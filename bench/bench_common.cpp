@@ -1,0 +1,74 @@
+//===- bench/bench_common.cpp ---------------------------------------------===//
+
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lcdfg;
+using namespace lcdfg::bench;
+
+namespace {
+
+long envLong(const char *Name, long Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  return std::atol(V);
+}
+
+} // namespace
+
+Config Config::fromEnvironment() {
+  Config C;
+  C.TotalCells = envLong("MFD_CELLS", 1L << 21);
+  C.LargeBox = static_cast<int>(envLong("MFD_LARGE_BOX", 64));
+  C.Reps = static_cast<int>(envLong("MFD_REPS", 3));
+  C.MaxThreads = static_cast<int>(envLong("MFD_THREADS", 4));
+  return C;
+}
+
+std::vector<int> Config::threadSweep() const {
+  std::vector<int> Sweep;
+  for (int T = 1; T <= MaxThreads; T *= 2)
+    Sweep.push_back(T);
+  return Sweep;
+}
+
+double bench::timeBestOf(int Reps, const std::function<void()> &Fn) {
+  Fn(); // warm-up
+  double Best = 1e300;
+  for (int R = 0; R < Reps; ++R) {
+    auto T0 = std::chrono::steady_clock::now();
+    Fn();
+    auto T1 = std::chrono::steady_clock::now();
+    double S = std::chrono::duration<double>(T1 - T0).count();
+    if (S < Best)
+      Best = S;
+  }
+  return Best;
+}
+
+double bench::timeVariant(mfd::Variant V, const std::vector<rt::Box> &In,
+                          std::vector<rt::Box> &Out,
+                          const mfd::RunConfig &Run, int Reps) {
+  return timeBestOf(Reps, [&] { mfd::runVariant(V, In, Out, Run); });
+}
+
+void bench::printHeader(const std::string &Title,
+                        const std::string &Columns) {
+  std::printf("\n== %s ==\n%s\n", Title.c_str(), Columns.c_str());
+}
+
+void bench::printRow(const std::vector<std::string> &Cells) {
+  for (std::size_t I = 0; I < Cells.size(); ++I)
+    std::printf("%s%-26s", I ? " " : "", Cells[I].c_str());
+  std::printf("\n");
+}
+
+std::string bench::fmtSeconds(double S) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.4gs", S);
+  return Buf;
+}

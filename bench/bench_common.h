@@ -1,0 +1,69 @@
+//===- bench/bench_common.h - Shared benchmark harness ----------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared pieces of the figure-reproduction harnesses: wall-clock timing,
+/// environment-variable problem scaling, and row printing. Problem sizes
+/// default to container-friendly values and scale up via:
+///
+///   MFD_CELLS      total cells per run        (default 2^21 ~ 2M)
+///   MFD_LARGE_BOX  edge of the "large" boxes  (default 64; paper used 128)
+///   MFD_REPS       timing repetitions         (default 3)
+///   MFD_THREADS    max thread count swept     (default 4)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_BENCH_BENCH_COMMON_H
+#define LCDFG_BENCH_BENCH_COMMON_H
+
+#include "minifluxdiv/Variants.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace bench {
+
+/// Environment-scaled configuration shared by the MiniFluxDiv figures.
+struct Config {
+  long TotalCells;
+  int LargeBox;
+  int Reps;
+  int MaxThreads;
+
+  static Config fromEnvironment();
+
+  mfd::Problem smallProblem() const {
+    return mfd::Problem::smallBoxes(TotalCells);
+  }
+  mfd::Problem largeProblem() const {
+    return mfd::Problem::largeBoxes(TotalCells, LargeBox);
+  }
+  std::vector<int> threadSweep() const;
+};
+
+/// Best-of-Reps wall-clock seconds of \p Fn (one warm-up first).
+double timeBestOf(int Reps, const std::function<void()> &Fn);
+
+/// Times one variant over \p In / \p Out.
+double timeVariant(mfd::Variant V, const std::vector<rt::Box> &In,
+                   std::vector<rt::Box> &Out, const mfd::RunConfig &Run,
+                   int Reps);
+
+/// Prints a header line followed by aligned rows; every harness routes its
+/// output through this so the figures read uniformly.
+void printHeader(const std::string &Title, const std::string &Columns);
+void printRow(const std::vector<std::string> &Cells);
+
+/// Formats seconds with 4 significant digits.
+std::string fmtSeconds(double S);
+
+} // namespace bench
+} // namespace lcdfg
+
+#endif // LCDFG_BENCH_BENCH_COMMON_H

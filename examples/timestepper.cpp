@@ -1,0 +1,108 @@
+//===- examples/timestepper.cpp -------------------------------------------===//
+//
+// A multi-step driver in the shape of the applications the paper targets:
+// a periodic domain decomposed into boxes, each time step exchanging ghost
+// cells and then running the MiniFluxDiv flux-divergence step on every box
+// (Chombo's pattern, Section 5.6). Compares the baseline schedule against
+// the M2DFG-derived fused schedule over the whole simulation, and checks
+// they track each other.
+//
+//   $ ./timestepper [boxSize] [boxesPerDim] [steps]
+//
+//===----------------------------------------------------------------------===//
+
+#include "minifluxdiv/Variants.h"
+#include "runtime/GhostExchange.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lcdfg;
+using rt::Box;
+using rt::GridLayout;
+
+namespace {
+
+double interiorNorm(const std::vector<Box> &Boxes) {
+  double Sum = 0.0;
+  for (const Box &B : Boxes)
+    for (int C = 0; C < B.numComponents(); ++C)
+      for (int Z = 0; Z < B.size(); ++Z)
+        for (int Y = 0; Y < B.size(); ++Y)
+          for (int X = 0; X < B.size(); ++X)
+            Sum += B.at(C, Z, Y, X) * B.at(C, Z, Y, X);
+  return std::sqrt(Sum);
+}
+
+double runSimulation(mfd::Variant V, std::vector<Box> State,
+                     const GridLayout &Layout, int Steps, int Threads,
+                     double *FinalNorm) {
+  mfd::Problem P;
+  P.BoxSize = State.front().size();
+  P.NumBoxes = static_cast<int>(State.size());
+  std::vector<Box> Next = mfd::makeOutputs(P);
+  mfd::RunConfig Cfg;
+  Cfg.Threads = Threads;
+
+  auto T0 = std::chrono::steady_clock::now();
+  for (int Step = 0; Step < Steps; ++Step) {
+    rt::exchangeGhosts(State, Layout, Threads);
+    mfd::runVariant(V, State, Next, Cfg);
+    for (std::size_t I = 0; I < State.size(); ++I)
+      State[I].copyInteriorFrom(Next[I]);
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  *FinalNorm = interiorNorm(State);
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int N = argc > 1 ? std::atoi(argv[1]) : 16;
+  int B = argc > 2 ? std::atoi(argv[2]) : 2;
+  int Steps = argc > 3 ? std::atoi(argv[3]) : 8;
+
+  GridLayout Layout{B, B, B};
+  mfd::Problem P;
+  P.BoxSize = N;
+  P.NumBoxes = Layout.numBoxes();
+  std::vector<Box> Initial = mfd::makeInputs(P, 0x7157e9);
+
+  std::printf("periodic %dx%dx%d boxes of %d^3 cells, %d time steps\n\n",
+              B, B, B, N, Steps);
+
+  struct Row {
+    const char *Name;
+    mfd::Variant V;
+  };
+  const Row Rows[] = {
+      {"series of loops (baseline)", mfd::Variant::SeriesReduced},
+      {"fuse all levels, reduced", mfd::Variant::FuseAllReduced},
+      {"overlapped tiling (within)", mfd::Variant::OverlapWithinTiles},
+  };
+
+  double BaselineNorm = 0.0;
+  bool First = true;
+  for (const Row &R : Rows) {
+    double Norm = 0.0;
+    double Seconds = runSimulation(R.V, Initial, Layout, Steps, 1, &Norm);
+    double Drift =
+        First ? 0.0 : std::fabs(Norm - BaselineNorm) / BaselineNorm;
+    if (First)
+      BaselineNorm = Norm;
+    std::printf("%-28s %8.4fs  |state| = %.12g  (rel drift vs baseline "
+                "%.2g)\n",
+                R.Name, Seconds, Norm, Drift);
+    if (!First && Drift > 1e-10) {
+      std::fprintf(stderr, "schedules diverged!\n");
+      return 1;
+    }
+    First = false;
+  }
+  std::printf("\nall schedules agree across %d coupled time steps.\n",
+              Steps);
+  return 0;
+}

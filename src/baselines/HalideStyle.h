@@ -1,0 +1,38 @@
+//===- baselines/HalideStyle.h - Halide-autotuned comparator ----*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stand-in for the Halide implementation of Section 5.5. Halide itself
+/// cannot be shipped here, so this implements the schedule its autotuner
+/// produced for MiniFluxDiv as characterized by the paper: overlapped
+/// tiling in the Figure 5(c) shape (tile the consumer, expand producers
+/// per tile, full-tile temporaries), vectorizable inner loops, each
+/// direction treated as a pipeline stage computed at tile granularity, and
+/// parallelism restricted to *within* boxes. See DESIGN.md, Substitutions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_BASELINES_HALIDESTYLE_H
+#define LCDFG_BASELINES_HALIDESTYLE_H
+
+#include "minifluxdiv/Variants.h"
+#include "runtime/BoxGrid.h"
+
+#include <vector>
+
+namespace lcdfg {
+namespace baselines {
+
+/// Runs the Halide-style schedule: boxes sequentially, tiles within each
+/// box in parallel on \p Threads threads.
+void runHalideStyle(const std::vector<rt::Box> &In, std::vector<rt::Box> &Out,
+                    int Threads, int TileSize = 0);
+
+} // namespace baselines
+} // namespace lcdfg
+
+#endif // LCDFG_BASELINES_HALIDESTYLE_H

@@ -1,0 +1,77 @@
+//===- baselines/PolyMageStyle.cpp ----------------------------------------===//
+
+#include "baselines/PolyMageStyle.h"
+
+#include "minifluxdiv/FaceOps.h"
+#include "runtime/Parallel.h"
+
+#include <algorithm>
+
+using namespace lcdfg;
+using namespace lcdfg::baselines;
+using namespace lcdfg::mfd;
+using rt::Box;
+
+namespace {
+
+int polymageTile(int N) { return N >= 32 ? 8 : 4; }
+
+/// One tile of the single overlapped group: all fifteen F1 scratchpads,
+/// then all fifteen F2 scratchpads, then one fused consumer sweep — the
+/// whole pipeline lives in one group, PolyMage's grouping for short
+/// pipelines.
+void polymageTileBody(const Box &In, Box &Out, int TZ, int Z1, int TY,
+                      int Y1) {
+  int N = In.size();
+  // Scratchpads for the whole overlapped group, reused across tiles per
+  // thread like PolyMage's pool allocator.
+  auto F1 = [](int Dir, int C) -> Buf3 & {
+    return scratchBuf(Dir * NumComps + C);
+  };
+  auto F2 = [](int Dir, int C) -> Buf3 & {
+    return scratchBuf(3 * NumComps + Dir * NumComps + C);
+  };
+  for (int Dir = 0; Dir < 3; ++Dir)
+    for (int C = 0; C < NumComps; ++C) {
+      resizeFaceBuf(F1(Dir, C), Dir, TZ, TY, 0, Z1 - TZ, Y1 - TY, N);
+      computeF1(In, C, Dir, F1(Dir, C));
+    }
+  for (int Dir = 0; Dir < 3; ++Dir)
+    for (int C = 0; C < NumComps; ++C)
+      computeF2(F1(Dir, C), F1(Dir, VelOfDir[Dir]), F2(Dir, C));
+  for (int C = 0; C < NumComps; ++C) {
+    const Buf3 &FX = F2(DirX, C), &FY = F2(DirY, C), &FZ = F2(DirZ, C);
+    for (int Z = TZ; Z < Z1; ++Z)
+      for (int Y = TY; Y < Y1; ++Y) {
+        const double *RX = &FX.at(Z, Y, 0);
+        const double *RY0 = &FY.at(Z, Y, 0), *RY1 = &FY.at(Z, Y + 1, 0);
+        const double *RZ0 = &FZ.at(Z, Y, 0), *RZ1 = &FZ.at(Z + 1, Y, 0);
+        double *OutRow = &Out.at(C, Z, Y, 0);
+        for (int X = 0; X < N; ++X)
+          OutRow[X] += DiffScale * ((RX[X + 1] - RX[X]) +
+                                    (RY1[X] - RY0[X]) + (RZ1[X] - RZ0[X]));
+      }
+  }
+}
+
+} // namespace
+
+void baselines::runPolyMageStyle(const std::vector<Box> &In,
+                                 std::vector<Box> &Out, int Threads,
+                                 int TileSize) {
+  for (std::size_t B = 0; B < In.size(); ++B) {
+    const Box &IB = In[B];
+    Box &OB = Out[B];
+    int N = IB.size();
+    int T = TileSize > 0 ? TileSize : polymageTile(N);
+    OB.copyInteriorFrom(IB);
+    int TilesZ = (N + T - 1) / T;
+    int TilesY = (N + T - 1) / T;
+    rt::parallelFor(TilesZ * TilesY, Threads, [&](int Tile) {
+      int TZ = (Tile / TilesY) * T;
+      int TY = (Tile % TilesY) * T;
+      polymageTileBody(IB, OB, TZ, std::min(TZ + T, N), TY,
+                       std::min(TY + T, N));
+    });
+  }
+}

@@ -1,0 +1,38 @@
+//===- baselines/PolyMageStyle.h - PolyMage comparator ----------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stand-in for the PolyMage implementation of Section 5.5. PolyMage
+/// groups the whole pipeline into one overlapped-tile group backed by
+/// scratchpad buffers: per tile, every stage of every direction is
+/// materialized into tile-local scratchpads before the single consumer
+/// sweep runs. Parallelism is restricted to within boxes, as the paper
+/// notes for both comparators. See DESIGN.md, Substitutions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_BASELINES_POLYMAGESTYLE_H
+#define LCDFG_BASELINES_POLYMAGESTYLE_H
+
+#include "minifluxdiv/Variants.h"
+#include "runtime/BoxGrid.h"
+
+#include <vector>
+
+namespace lcdfg {
+namespace baselines {
+
+/// Runs the PolyMage-style schedule: boxes sequentially, tiles within each
+/// box in parallel on \p Threads threads.
+void runPolyMageStyle(const std::vector<rt::Box> &In,
+                      std::vector<rt::Box> &Out, int Threads,
+                      int TileSize = 0);
+
+} // namespace baselines
+} // namespace lcdfg
+
+#endif // LCDFG_BASELINES_POLYMAGESTYLE_H

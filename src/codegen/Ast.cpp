@@ -1,0 +1,35 @@
+//===- codegen/Ast.cpp ----------------------------------------------------===//
+
+#include "codegen/Ast.h"
+
+using namespace lcdfg;
+using namespace lcdfg::codegen;
+
+AstPtr AstNode::loop(std::string Iter, poly::AffineExpr Lower,
+                     poly::AffineExpr Upper) {
+  auto Node = std::make_unique<AstNode>(AstKind::Loop);
+  Node->Iter = std::move(Iter);
+  Node->Lower = std::move(Lower);
+  Node->Upper = std::move(Upper);
+  return Node;
+}
+
+AstPtr AstNode::guard(poly::BoxSet Domain) {
+  auto Node = std::make_unique<AstNode>(AstKind::Guard);
+  Node->Domain = std::move(Domain);
+  return Node;
+}
+
+AstPtr AstNode::stmt(unsigned NestId, std::vector<std::int64_t> Shift) {
+  auto Node = std::make_unique<AstNode>(AstKind::StmtInstance);
+  Node->NestId = NestId;
+  Node->Shift = std::move(Shift);
+  return Node;
+}
+
+unsigned AstNode::countStatements() const {
+  unsigned Count = Kind == AstKind::StmtInstance ? 1 : 0;
+  for (const AstPtr &Child : Children)
+    Count += Child->countStatements();
+  return Count;
+}

@@ -1,0 +1,66 @@
+//===- codegen/Ast.h - Loop-nest abstract syntax tree -----------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small loop AST standing between the scheduled M2DFG and concrete code
+/// (the ISCC-generated code of Section 4). The generator lowers each
+/// statement node into a loop nest over its fused domain, with per-member
+/// guards where shifted member domains differ from the hull.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_CODEGEN_AST_H
+#define LCDFG_CODEGEN_AST_H
+
+#include "poly/BoxSet.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace codegen {
+
+enum class AstKind { Block, Loop, Guard, StmtInstance };
+
+struct AstNode;
+using AstPtr = std::unique_ptr<AstNode>;
+
+/// One AST node; fields are meaningful per kind.
+struct AstNode {
+  AstKind Kind;
+
+  // Loop
+  std::string Iter;
+  poly::AffineExpr Lower, Upper; // inclusive bounds
+
+  // Guard: execute children only when the current iterators lie in Domain.
+  poly::BoxSet Domain;
+
+  // StmtInstance: chain nest plus the lexicographic shift applied to it.
+  unsigned NestId = 0;
+  std::vector<std::int64_t> Shift;
+
+  std::vector<AstPtr> Children;
+
+  explicit AstNode(AstKind Kind) : Kind(Kind) {}
+
+  static AstPtr block() { return std::make_unique<AstNode>(AstKind::Block); }
+  static AstPtr loop(std::string Iter, poly::AffineExpr Lower,
+                     poly::AffineExpr Upper);
+  static AstPtr guard(poly::BoxSet Domain);
+  static AstPtr stmt(unsigned NestId, std::vector<std::int64_t> Shift);
+
+  /// Number of StmtInstance nodes in this subtree.
+  unsigned countStatements() const;
+};
+
+} // namespace codegen
+} // namespace lcdfg
+
+#endif // LCDFG_CODEGEN_AST_H

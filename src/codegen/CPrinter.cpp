@@ -1,0 +1,160 @@
+//===- codegen/CPrinter.cpp -----------------------------------------------===//
+
+#include "codegen/CPrinter.h"
+
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::codegen;
+
+namespace {
+
+class Printer {
+public:
+  Printer(const graph::Graph &G, const PrintOptions &Options)
+      : G(G), Options(Options) {}
+
+  std::string run(const AstNode &Root) {
+    visit(Root, /*CurrentIters=*/{});
+    return OS.str();
+  }
+
+private:
+  void indent() {
+    for (unsigned I = 0; I < Level * Options.Indent; ++I)
+      OS << ' ';
+  }
+
+  /// Renders an index expression `iter + offset - shift` simplified.
+  static std::string indexExpr(const std::string &Iter, std::int64_t Delta) {
+    if (Delta == 0)
+      return Iter;
+    std::ostringstream S;
+    S << Iter << (Delta > 0 ? "+" : "-") << (Delta < 0 ? -Delta : Delta);
+    return S.str();
+  }
+
+  /// Renders one array access with the storage map applied.
+  std::string access(const std::string &Array,
+                     const std::vector<std::string> &Iters,
+                     const std::vector<std::int64_t> &Offsets,
+                     const std::vector<std::int64_t> &Shift) {
+    std::vector<std::string> Indices(Iters.size());
+    for (std::size_t D = 0; D < Iters.size(); ++D)
+      Indices[D] = indexExpr(Iters[D], Offsets[D] - Shift[D]);
+
+    if (Options.Plan && Options.Plan->hasMap(Array)) {
+      const storage::StorageMap &M = Options.Plan->map(Array);
+      if (M.Kind == storage::MapKind::Modulo) {
+        std::ostringstream S;
+        S << "space" << M.SpaceId << "[(";
+        // Linearize with the extent strides, symbolically.
+        bool First = true;
+        for (std::size_t D = 0; D < Indices.size(); ++D) {
+          poly::AffineExpr Len = M.Extent.dim(D).Upper -
+                                 M.Extent.dim(D).Lower + poly::AffineExpr(1);
+          std::string Stride;
+          for (std::size_t E = D + 1; E < Indices.size(); ++E) {
+            poly::AffineExpr L = M.Extent.dim(E).Upper -
+                                 M.Extent.dim(E).Lower +
+                                 poly::AffineExpr(1);
+            Stride += (Stride.empty() ? "" : "*") + std::string("(") +
+                      L.toString() + ")";
+          }
+          (void)Len;
+          if (!First)
+            S << " + ";
+          S << "(" << Indices[D] << ")";
+          if (!Stride.empty())
+            S << "*" << Stride;
+          First = false;
+        }
+        S << ") % (" << M.Size.toString() << ")]";
+        return S.str();
+      }
+    }
+    std::ostringstream S;
+    S << Array << "(";
+    for (std::size_t D = 0; D < Indices.size(); ++D) {
+      if (D)
+        S << ", ";
+      S << Indices[D];
+    }
+    S << ")";
+    return S.str();
+  }
+
+  void visit(const AstNode &Node, std::vector<std::string> Iters) {
+    switch (Node.Kind) {
+    case AstKind::Block:
+      for (const AstPtr &Child : Node.Children)
+        visit(*Child, Iters);
+      return;
+    case AstKind::Loop: {
+      indent();
+      OS << "for (int " << Node.Iter << " = " << Node.Lower.toString()
+         << "; " << Node.Iter << " <= " << Node.Upper.toString() << "; ++"
+         << Node.Iter << ") {\n";
+      ++Level;
+      Iters.push_back(Node.Iter);
+      for (const AstPtr &Child : Node.Children)
+        visit(*Child, Iters);
+      --Level;
+      indent();
+      OS << "}\n";
+      return;
+    }
+    case AstKind::Guard: {
+      indent();
+      OS << "if (";
+      for (unsigned D = 0; D < Node.Domain.rank(); ++D) {
+        if (D)
+          OS << " && ";
+        const poly::Dim &Dim = Node.Domain.dim(D);
+        OS << Dim.Lower.toString() << " <= " << Dim.Name << " && "
+           << Dim.Name << " <= " << Dim.Upper.toString();
+      }
+      OS << ") {\n";
+      ++Level;
+      for (const AstPtr &Child : Node.Children)
+        visit(*Child, Iters);
+      --Level;
+      indent();
+      OS << "}\n";
+      return;
+    }
+    case AstKind::StmtInstance: {
+      const ir::LoopNest &Nest = G.chain().nest(Node.NestId);
+      indent();
+      OS << access(Nest.Write.Array, Iters, Nest.Write.Offsets.front(),
+                   Node.Shift)
+         << " = f_" << Nest.Name << "(";
+      bool First = true;
+      for (const ir::Access &R : Nest.Reads) {
+        for (const auto &Off : R.Offsets) {
+          if (!First)
+            OS << ", ";
+          OS << access(R.Array, Iters, Off, Node.Shift);
+          First = false;
+        }
+      }
+      OS << ");";
+      OS << "  // " << Nest.Name << "\n";
+      return;
+    }
+    }
+  }
+
+  const graph::Graph &G;
+  const PrintOptions &Options;
+  std::ostringstream OS;
+  unsigned Level = 0;
+};
+
+} // namespace
+
+std::string codegen::printC(const graph::Graph &G, const AstNode &Root,
+                            const PrintOptions &Options) {
+  Printer P(G, Options);
+  return P.run(Root);
+}

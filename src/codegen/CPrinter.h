@@ -1,0 +1,43 @@
+//===- codegen/CPrinter.h - C code pretty printer ---------------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints the loop AST as C-like code, applying storage mappings: direct-
+/// mapped arrays print as multi-dimensional accesses, modulo-mapped buffers
+/// print as `space2[(...) % 2]` (the optimized code of Figure 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_CODEGEN_CPRINTER_H
+#define LCDFG_CODEGEN_CPRINTER_H
+
+#include "codegen/Ast.h"
+#include "graph/Graph.h"
+#include "storage/StorageMap.h"
+
+#include <string>
+
+namespace lcdfg {
+namespace codegen {
+
+/// Options for the printer.
+struct PrintOptions {
+  /// Indentation width per nesting level.
+  unsigned Indent = 2;
+  /// When set, accesses print through the plan's storage mappings;
+  /// otherwise symbolic A(i, j) form is used.
+  const storage::StoragePlan *Plan = nullptr;
+};
+
+/// Prints \p Root (lowered from \p G) as C-like code.
+std::string printC(const graph::Graph &G, const AstNode &Root,
+                   const PrintOptions &Options = {});
+
+} // namespace codegen
+} // namespace lcdfg
+
+#endif // LCDFG_CODEGEN_CPRINTER_H

@@ -1,0 +1,46 @@
+//===- codegen/Generator.cpp ----------------------------------------------===//
+
+#include "codegen/Generator.h"
+
+using namespace lcdfg;
+using namespace lcdfg::codegen;
+using graph::Graph;
+using graph::NodeId;
+
+AstPtr codegen::generateStmtNode(const Graph &G, NodeId StmtId) {
+  const graph::StmtNode &Node = G.stmt(StmtId);
+
+  // Innermost: the member statement instances, guarded when their shifted
+  // domain is narrower than the hull.
+  AstPtr Body = AstNode::block();
+  for (std::size_t I = 0; I < Node.Nests.size(); ++I) {
+    const ir::LoopNest &Nest = G.chain().nest(Node.Nests[I]);
+    poly::BoxSet Shifted = Nest.Domain.translated(Node.Shifts[I]);
+    AstPtr Stmt = AstNode::stmt(Node.Nests[I], Node.Shifts[I]);
+    if (Shifted == Node.Domain) {
+      Body->Children.push_back(std::move(Stmt));
+    } else {
+      AstPtr Guard = AstNode::guard(std::move(Shifted));
+      Guard->Children.push_back(std::move(Stmt));
+      Body->Children.push_back(std::move(Guard));
+    }
+  }
+
+  // Wrap in loops following the node's execution order (interchange may
+  // have permuted it), innermost last.
+  std::vector<unsigned> Order = Node.executionOrder();
+  for (unsigned K = Node.Domain.rank(); K-- > 0;) {
+    const poly::Dim &Dim = Node.Domain.dim(Order[K]);
+    AstPtr Loop = AstNode::loop(Dim.Name, Dim.Lower, Dim.Upper);
+    Loop->Children.push_back(std::move(Body));
+    Body = std::move(Loop);
+  }
+  return Body;
+}
+
+AstPtr codegen::generate(const Graph &G) {
+  AstPtr Root = AstNode::block();
+  for (NodeId S : G.scheduleOrder())
+    Root->Children.push_back(generateStmtNode(G, S));
+  return Root;
+}

@@ -1,0 +1,35 @@
+//===- codegen/Generator.h - M2DFG to loop AST lowering ---------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a scheduled M2DFG to the loop AST: statement nodes become loop
+/// nests over their fused domains in row/column order; members whose shifted
+/// domains are narrower than the hull are wrapped in guards (the prologue/
+/// steady-state structure of Figure 1 expressed with conditionals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_CODEGEN_GENERATOR_H
+#define LCDFG_CODEGEN_GENERATOR_H
+
+#include "codegen/Ast.h"
+#include "graph/Graph.h"
+
+namespace lcdfg {
+namespace codegen {
+
+/// Lowers the whole graph: a Block of one loop nest per statement node in
+/// schedule order.
+AstPtr generate(const graph::Graph &G);
+
+/// Lowers a single statement node.
+AstPtr generateStmtNode(const graph::Graph &G, graph::NodeId StmtId);
+
+} // namespace codegen
+} // namespace lcdfg
+
+#endif // LCDFG_CODEGEN_GENERATOR_H

@@ -1,0 +1,57 @@
+//===- codegen/Interpreter.h - Executable schedules -------------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a generated loop AST against concrete storage. Each loop nest's
+/// computation is a kernel registered by id; the interpreter resolves reads
+/// and writes through the storage plan (including modulo mappings), which
+/// makes transformed schedules directly checkable against a reference
+/// execution of the original chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_CODEGEN_INTERPRETER_H
+#define LCDFG_CODEGEN_INTERPRETER_H
+
+#include "codegen/Ast.h"
+#include "graph/Graph.h"
+#include "storage/StorageMap.h"
+
+#include <functional>
+#include <vector>
+
+namespace lcdfg {
+namespace codegen {
+
+/// A registry of executable statement bodies. A kernel receives the values
+/// of its reads (flattened in declaration order: per read access, per
+/// stencil point) plus the current value of the write location (so that
+/// accumulating statements like the flux-difference updates can be
+/// expressed) and returns the value to store.
+class KernelRegistry {
+public:
+  using Kernel =
+      std::function<double(const std::vector<double> &Reads, double Current)>;
+
+  /// Registers a kernel; the returned id goes into LoopNest::KernelId.
+  int add(Kernel K);
+  const Kernel &get(int Id) const;
+
+private:
+  std::vector<Kernel> Kernels;
+};
+
+/// Executes \p Root (generated from \p G) with parameter binding \p Env.
+/// Every nest reached must have a registered kernel.
+void execute(const graph::Graph &G, const AstNode &Root,
+             const KernelRegistry &Kernels, storage::ConcreteStorage &Store,
+             const std::map<std::string, std::int64_t, std::less<>> &Env);
+
+} // namespace codegen
+} // namespace lcdfg
+
+#endif // LCDFG_CODEGEN_INTERPRETER_H

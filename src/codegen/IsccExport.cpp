@@ -1,0 +1,138 @@
+//===- codegen/IsccExport.cpp ---------------------------------------------===//
+
+#include "codegen/IsccExport.h"
+
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::codegen;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// "S0[y, x]" style tuple of a nest's iterators.
+std::string iterTuple(const ir::LoopNest &Nest) {
+  std::ostringstream OS;
+  OS << "[";
+  for (unsigned D = 0; D < Nest.Domain.rank(); ++D) {
+    if (D)
+      OS << ", ";
+    OS << Nest.Domain.dim(D).Name;
+  }
+  OS << "]";
+  return OS.str();
+}
+
+/// The constraint list of a box domain: "0 <= y and y <= N - 1 and ...".
+std::string constraints(const poly::BoxSet &Domain) {
+  std::ostringstream OS;
+  for (unsigned D = 0; D < Domain.rank(); ++D) {
+    if (D)
+      OS << " and ";
+    OS << Domain.dim(D).Lower.toString() << " <= " << Domain.dim(D).Name
+       << " <= " << Domain.dim(D).Upper.toString();
+  }
+  return OS.str();
+}
+
+std::string sanitize(std::string Name) {
+  for (char &C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+std::string codegen::exportIscc(const Graph &G, const IsccOptions &Options) {
+  std::ostringstream OS;
+  OS << "# ISCC script generated from an M2DFG (lcdfg)\n";
+  OS << "# statement-set domains\n";
+
+  const ir::LoopChain &Chain = G.chain();
+  std::vector<std::string> DomainNames(Chain.numNests());
+
+  for (NodeId S : G.scheduleOrder()) {
+    const graph::StmtNode &Node = G.stmt(S);
+    for (unsigned NestId : Node.Nests) {
+      const ir::LoopNest &Nest = Chain.nest(NestId);
+      std::string Name = sanitize(Nest.Name);
+      DomainNames[NestId] = Name;
+      OS << "D_" << Name << " := [" << Options.Symbol << "] -> { " << Name
+         << iterTuple(Nest) << " : " << constraints(Nest.Domain) << " };\n";
+    }
+  }
+
+  OS << "\n# schedule maps: [row, col, shifted iterators..., member]\n";
+  for (NodeId S : G.scheduleOrder()) {
+    const graph::StmtNode &Node = G.stmt(S);
+    for (std::size_t M = 0; M < Node.Nests.size(); ++M) {
+      const ir::LoopNest &Nest = Chain.nest(Node.Nests[M]);
+      const std::string &Name = DomainNames[Node.Nests[M]];
+      OS << "S_" << Name << " := [" << Options.Symbol << "] -> { " << Name
+         << iterTuple(Nest) << " -> [" << Node.Row << ", " << Node.Col;
+      for (unsigned D = 0; D < Nest.Domain.rank(); ++D) {
+        OS << ", " << Nest.Domain.dim(D).Name;
+        std::int64_t Shift = Node.Shifts[M][D];
+        if (Shift > 0)
+          OS << " + " << Shift;
+        else if (Shift < 0)
+          OS << " - " << -Shift;
+      }
+      OS << ", " << M << "] };\n";
+    }
+  }
+
+  if (Options.IncludeAccesses) {
+    OS << "\n# access relations\n";
+    for (unsigned I = 0; I < Chain.numNests(); ++I) {
+      if (DomainNames[I].empty())
+        continue;
+      const ir::LoopNest &Nest = Chain.nest(I);
+      const std::string &Name = DomainNames[I];
+      auto EmitAccess = [&](const char *Kind, const ir::Access &A,
+                            unsigned Ordinal) {
+        OS << Kind << "_" << Name << "_" << Ordinal << " := ["
+           << Options.Symbol << "] -> { ";
+        // One map per stencil point, unioned with ';'.
+        for (std::size_t T = 0; T < A.Offsets.size(); ++T) {
+          if (T)
+            OS << "; ";
+          OS << Name << iterTuple(Nest) << " -> " << sanitize(A.Array)
+             << "[";
+          for (unsigned D = 0; D < Nest.Domain.rank(); ++D) {
+            if (D)
+              OS << ", ";
+            OS << Nest.Domain.dim(D).Name;
+            std::int64_t Off = A.Offsets[T][D];
+            if (Off > 0)
+              OS << " + " << Off;
+            else if (Off < 0)
+              OS << " - " << -Off;
+          }
+          OS << "]";
+        }
+        OS << " };\n";
+      };
+      EmitAccess("W", Nest.Write, 0);
+      for (unsigned R = 0; R < Nest.Reads.size(); ++R)
+        EmitAccess("R", Nest.Reads[R], R + 1);
+    }
+  }
+
+  OS << "\n# generate the transformed code\ncodegen(";
+  bool First = true;
+  for (NodeId S : G.scheduleOrder()) {
+    const graph::StmtNode &Node = G.stmt(S);
+    for (unsigned NestId : Node.Nests) {
+      if (!First)
+        OS << " + ";
+      OS << "(S_" << DomainNames[NestId] << " * D_" << DomainNames[NestId]
+         << ")";
+      First = false;
+    }
+  }
+  OS << ");\n";
+  return OS.str();
+}

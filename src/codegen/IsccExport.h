@@ -1,0 +1,44 @@
+//===- codegen/IsccExport.h - M2DFG to ISCC script --------------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4 describes M2DFGs as visual representations of an ISCC script:
+/// every graph operation is a relation, and once the script is written the
+/// code is generated automatically. This module emits that script — one
+/// named domain per statement set, one schedule map per fused node member
+/// (row, column, shifted iterators, member position), the read/write
+/// access relations, and the final `codegen` invocation — in the syntax of
+/// Verdoolaege's ISCC calculator, so the transformed schedules can be fed
+/// to the original toolchain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_CODEGEN_ISCCEXPORT_H
+#define LCDFG_CODEGEN_ISCCEXPORT_H
+
+#include "graph/Graph.h"
+
+#include <string>
+
+namespace lcdfg {
+namespace codegen {
+
+/// Options for the exported script.
+struct IsccOptions {
+  /// Emit the read/write access relations alongside the schedule.
+  bool IncludeAccesses = true;
+  /// Name of the symbolic size parameter.
+  std::string Symbol = "N";
+};
+
+/// Emits the ISCC script realizing \p G's schedule.
+std::string exportIscc(const graph::Graph &G, const IsccOptions &Options = {});
+
+} // namespace codegen
+} // namespace lcdfg
+
+#endif // LCDFG_CODEGEN_ISCCEXPORT_H

@@ -1,0 +1,260 @@
+//===- godunov/Godunov.cpp ------------------------------------------------===//
+
+#include "godunov/Godunov.h"
+
+#include "godunov/Kernels.h"
+#include "minifluxdiv/FaceOps.h"
+#include "runtime/Parallel.h"
+
+#include <cassert>
+
+using namespace lcdfg;
+using namespace lcdfg::gdnv;
+using mfd::Buf3;
+using rt::Box;
+
+namespace {
+
+/// The two dimensions other than \p D.
+void otherDims(int D, int &A, int &B) {
+  A = D == 0 ? 1 : 0;
+  B = D == 2 ? 1 : 2;
+}
+
+/// Stride of dimension \p D (0 = x, 1 = y, 2 = z) in a box.
+std::int64_t strideOf(const Box &W, int D) {
+  return D == 0 ? W.strideX() : D == 1 ? W.strideY() : W.strideZ();
+}
+
+/// Step vector of dimension \p D in (z, y, x) index order.
+void stepOf(int D, int &DZ, int &DY, int &DX) {
+  DZ = D == 2;
+  DY = D == 1;
+  DX = D == 0;
+}
+
+/// Intermediate stages cover [0, N+1] in every dimension so that every
+/// downstream +1 stencil stays in range; see the header chain of needs.
+constexpr int regionHi(int N) { return N + 1; } // inclusive
+
+/// Computes WMinus/WPlus/WHalf1 for dimension \p D over the extended
+/// region.
+void predictorStage(const Box &W, int D, std::vector<Buf3> &WMinus,
+                    std::vector<Buf3> &WPlus, std::vector<Buf3> &WHalf1) {
+  int Hi = regionHi(W.size());
+  std::int64_t S = strideOf(W, D);
+  for (int C = 0; C < NumComps; ++C) {
+    WMinus[C].resize(0, 0, 0, Hi + 1, Hi + 1, Hi + 1);
+    WPlus[C].resize(0, 0, 0, Hi + 1, Hi + 1, Hi + 1);
+    WHalf1[C].resize(0, 0, 0, Hi + 1, Hi + 1, Hi + 1);
+    const double *P = W.origin(C);
+    for (int Z = 0; Z <= Hi; ++Z)
+      for (int Y = 0; Y <= Hi; ++Y)
+        for (int X = 0; X <= Hi; ++X) {
+          const double *Q =
+              P + Z * W.strideZ() + Y * W.strideY() + X;
+          WMinus[C].at(Z, Y, X) = ppmMinus(Q[-S], Q[0], Q[S]);
+          WPlus[C].at(Z, Y, X) = ppmPlus(Q[-S], Q[0], Q[S]);
+        }
+    for (int Z = 0; Z <= Hi; ++Z)
+      for (int Y = 0; Y <= Hi; ++Y)
+        for (int X = 0; X <= Hi; ++X)
+          WHalf1[C].at(Z, Y, X) =
+              riemann(WMinus[C].at(Z, Y, X), WPlus[C].at(Z, Y, X));
+  }
+}
+
+} // namespace
+
+std::vector<WHalfSet> gdnv::makeOutputs(int NumBoxes, int N) {
+  std::vector<WHalfSet> Out;
+  Out.reserve(NumBoxes);
+  for (int I = 0; I < NumBoxes; ++I)
+    Out.push_back(WHalfSet{Box(N, 0, NumComps), Box(N, 0, NumComps),
+                           Box(N, 0, NumComps)});
+  return Out;
+}
+
+void gdnv::computeWHalfOriginal(const Box &W, WHalfSet &Out) {
+  int N = W.size();
+  int Hi = regionHi(N);
+
+  // Stage 1-2: predictors and first Riemann solves, all materialized.
+  std::vector<std::vector<Buf3>> WMinus(3, std::vector<Buf3>(NumComps));
+  std::vector<std::vector<Buf3>> WPlus(3, std::vector<Buf3>(NumComps));
+  std::vector<std::vector<Buf3>> WHalf1(3, std::vector<Buf3>(NumComps));
+  for (int D = 0; D < 3; ++D)
+    predictorStage(W, D, WMinus[D], WPlus[D], WHalf1[D]);
+
+  // Stage 3-4: transverse corrections per ordered pair (D1 corrected by
+  // D2), WTemp arrays materialized, then the second Riemann solves.
+  // WHalf2[D1][D2] is indexed by the corrected dimension D1 and the
+  // transverse dimension D2.
+  std::vector<std::vector<std::vector<Buf3>>> WHalf2(
+      3, std::vector<std::vector<Buf3>>(3, std::vector<Buf3>(NumComps)));
+  std::vector<Buf3> WTm(NumComps), WTp(NumComps);
+  for (int D1 = 0; D1 < 3; ++D1)
+    for (int D2 = 0; D2 < 3; ++D2) {
+      if (D1 == D2)
+        continue;
+      int DZ, DY, DX;
+      stepOf(D2, DZ, DY, DX);
+      for (int C = 0; C < NumComps; ++C) {
+        WTm[C].resize(0, 0, 0, Hi + 1, Hi + 1, Hi + 1);
+        WTp[C].resize(0, 0, 0, Hi + 1, Hi + 1, Hi + 1);
+        WHalf2[D1][D2][C].resize(0, 0, 0, Hi + 1, Hi + 1, Hi + 1);
+        for (int Z = 0; Z < Hi; ++Z)
+          for (int Y = 0; Y < Hi; ++Y)
+            for (int X = 0; X < Hi; ++X) {
+              const Buf3 &H = WHalf1[D2][C];
+              WTm[C].at(Z, Y, X) =
+                  qlu(WMinus[D1][C].at(Z, Y, X), H.at(Z, Y, X),
+                      H.at(Z + DZ, Y + DY, X + DX));
+              WTp[C].at(Z, Y, X) =
+                  qlu(WPlus[D1][C].at(Z, Y, X), H.at(Z, Y, X),
+                      H.at(Z + DZ, Y + DY, X + DX));
+            }
+        for (int Z = 0; Z < Hi; ++Z)
+          for (int Y = 0; Y < Hi; ++Y)
+            for (int X = 0; X < Hi; ++X)
+              WHalf2[D1][D2][C].at(Z, Y, X) =
+                  riemann(WTm[C].at(Z, Y, X), WTp[C].at(Z, Y, X));
+      }
+    }
+
+  // Stage 5-6: final corrections from both transverse half-states, then
+  // the final Riemann solves into the outputs.
+  std::vector<Buf3> WM2(NumComps), WP2(NumComps);
+  for (int D = 0; D < 3; ++D) {
+    int A, B;
+    otherDims(D, A, B);
+    int AZ, AY, AX, BZ, BY, BX;
+    stepOf(A, AZ, AY, AX);
+    stepOf(B, BZ, BY, BX);
+    for (int C = 0; C < NumComps; ++C) {
+      WM2[C].resize(0, 0, 0, N, N, N);
+      WP2[C].resize(0, 0, 0, N, N, N);
+      const Buf3 &HA = WHalf2[A][B][C];
+      const Buf3 &HB = WHalf2[B][A][C];
+      for (int Z = 0; Z < N; ++Z)
+        for (int Y = 0; Y < N; ++Y)
+          for (int X = 0; X < N; ++X) {
+            WM2[C].at(Z, Y, X) = qlu2(
+                WMinus[D][C].at(Z, Y, X), HA.at(Z, Y, X),
+                HA.at(Z + AZ, Y + AY, X + AX), HB.at(Z, Y, X),
+                HB.at(Z + BZ, Y + BY, X + BX));
+            WP2[C].at(Z, Y, X) = qlu2(
+                WPlus[D][C].at(Z, Y, X), HA.at(Z, Y, X),
+                HA.at(Z + AZ, Y + AY, X + AX), HB.at(Z, Y, X),
+                HB.at(Z + BZ, Y + BY, X + BX));
+          }
+      for (int Z = 0; Z < N; ++Z)
+        for (int Y = 0; Y < N; ++Y)
+          for (int X = 0; X < N; ++X)
+            Out[D].at(C, Z, Y, X) =
+                riemann(WM2[C].at(Z, Y, X), WP2[C].at(Z, Y, X));
+    }
+  }
+}
+
+void gdnv::computeWHalfFused(const Box &W, WHalfSet &Out) {
+  int N = W.size();
+  int Hi = regionHi(N);
+
+  std::vector<std::vector<Buf3>> WMinus(3, std::vector<Buf3>(NumComps));
+  std::vector<std::vector<Buf3>> WPlus(3, std::vector<Buf3>(NumComps));
+  std::vector<std::vector<Buf3>> WHalf1(3, std::vector<Buf3>(NumComps));
+  for (int D = 0; D < 3; ++D)
+    predictorStage(W, D, WMinus[D], WPlus[D], WHalf1[D]);
+
+  // Fused stage 3+4 (Figure 14): the qlu pair and its Riemann solve run in
+  // one loop; WTemp collapses to two scalars per point.
+  std::vector<std::vector<std::vector<Buf3>>> WHalf2(
+      3, std::vector<std::vector<Buf3>>(3, std::vector<Buf3>(NumComps)));
+  for (int D1 = 0; D1 < 3; ++D1)
+    for (int D2 = 0; D2 < 3; ++D2) {
+      if (D1 == D2)
+        continue;
+      int DZ, DY, DX;
+      stepOf(D2, DZ, DY, DX);
+      for (int C = 0; C < NumComps; ++C) {
+        WHalf2[D1][D2][C].resize(0, 0, 0, Hi + 1, Hi + 1, Hi + 1);
+        const Buf3 &H = WHalf1[D2][C];
+        for (int Z = 0; Z < Hi; ++Z)
+          for (int Y = 0; Y < Hi; ++Y)
+            for (int X = 0; X < Hi; ++X) {
+              double H0 = H.at(Z, Y, X);
+              double H1 = H.at(Z + DZ, Y + DY, X + DX);
+              double Tm = qlu(WMinus[D1][C].at(Z, Y, X), H0, H1);
+              double Tp = qlu(WPlus[D1][C].at(Z, Y, X), H0, H1);
+              WHalf2[D1][D2][C].at(Z, Y, X) = riemann(Tm, Tp);
+            }
+      }
+    }
+
+  // Fused stage 5+6: corrected states collapse to scalars feeding the
+  // final Riemann solve directly.
+  for (int D = 0; D < 3; ++D) {
+    int A, B;
+    otherDims(D, A, B);
+    int AZ, AY, AX, BZ, BY, BX;
+    stepOf(A, AZ, AY, AX);
+    stepOf(B, BZ, BY, BX);
+    for (int C = 0; C < NumComps; ++C) {
+      const Buf3 &HA = WHalf2[A][B][C];
+      const Buf3 &HB = WHalf2[B][A][C];
+      for (int Z = 0; Z < N; ++Z)
+        for (int Y = 0; Y < N; ++Y)
+          for (int X = 0; X < N; ++X) {
+            double A0 = HA.at(Z, Y, X);
+            double A1 = HA.at(Z + AZ, Y + AY, X + AX);
+            double B0 = HB.at(Z, Y, X);
+            double B1 = HB.at(Z + BZ, Y + BY, X + BX);
+            double M2 = qlu2(WMinus[D][C].at(Z, Y, X), A0, A1, B0, B1);
+            double P2 = qlu2(WPlus[D][C].at(Z, Y, X), A0, A1, B0, B1);
+            Out[D].at(C, Z, Y, X) = riemann(M2, P2);
+          }
+    }
+  }
+}
+
+void gdnv::runOriginal(const std::vector<Box> &In, std::vector<WHalfSet> &Out,
+                       int Threads) {
+  assert(In.size() == Out.size() && "box count mismatch");
+  rt::parallelFor(static_cast<int>(In.size()), Threads,
+                  [&](int I) { computeWHalfOriginal(In[I], Out[I]); });
+}
+
+void gdnv::runFused(const std::vector<Box> &In, std::vector<WHalfSet> &Out,
+                    int Threads) {
+  assert(In.size() == Out.size() && "box count mismatch");
+  rt::parallelFor(static_cast<int>(In.size()), Threads,
+                  [&](int I) { computeWHalfFused(In[I], Out[I]); });
+}
+
+long gdnv::temporaryElementsOriginal(int N) {
+  long Region = static_cast<long>(N + 2) * (N + 2) * (N + 2);
+  long Interior = static_cast<long>(N) * N * N;
+  // WMinus/WPlus (6), WHalf1 (3), WTemp pair (2), WHalf2 (6), WM2/WP2 (2),
+  // each x components.
+  return NumComps * ((6L + 3L + 2L + 6L) * Region + 2L * Interior);
+}
+
+long gdnv::temporaryElementsFused(int N) {
+  long Region = static_cast<long>(N + 2) * (N + 2) * (N + 2);
+  // The WTemp and corrected-state arrays are gone.
+  return NumComps * (6L + 3L + 6L) * Region;
+}
+
+double gdnv::verifySchedules(int N, std::uint64_t Seed) {
+  Box W(N, GhostDepth, NumComps);
+  W.fillPseudoRandom(Seed);
+  std::vector<WHalfSet> A = makeOutputs(1, N);
+  std::vector<WHalfSet> B = makeOutputs(1, N);
+  computeWHalfOriginal(W, A[0]);
+  computeWHalfFused(W, B[0]);
+  double Max = 0.0;
+  for (int D = 0; D < 3; ++D)
+    Max = std::max(Max, rt::maxRelDiff(A[0][D], B[0][D]));
+  return Max;
+}

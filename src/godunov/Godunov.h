@@ -1,0 +1,73 @@
+//===- godunov/Godunov.h - Mini AMR-Godunov ComputeWHalf --------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The case study of Section 5.6: ComputeWHalf, the subroutine consuming
+/// ~80% of an AMR-Godunov time step, as a C++ mini-kernel with the Figure
+/// 13 dataflow. Per spatial dimension a PPM predictor produces traced
+/// states (WMinus, WPlus), Riemann solves produce half-step states, and
+/// quasi-linear updates (qlu) apply transverse corrections; the final
+/// Riemann solves produce WHalf per dimension.
+///
+/// The original schedule materializes every node in a full-box temporary.
+/// The optimized schedule of Figure 14 fuses each qlu pair with its
+/// following Riemann solve, eliminating the WTemp and corrected-state
+/// arrays (their reuse distance is zero, so they collapse to scalars).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_GODUNOV_GODUNOV_H
+#define LCDFG_GODUNOV_GODUNOV_H
+
+#include "runtime/BoxGrid.h"
+
+#include <array>
+#include <vector>
+
+namespace lcdfg {
+namespace gdnv {
+
+inline constexpr int NumComps = 5;
+/// PPM predictor needs W three cells deep past the widest temporary region.
+inline constexpr int GhostDepth = 3;
+/// Riemann linearization constant.
+inline constexpr double Lambda = 0.3;
+/// Transverse-correction CFL factor.
+inline constexpr double DtDx = 0.1;
+
+/// Per-box outputs: one half-step state per dimension.
+using WHalfSet = std::array<rt::Box, 3>;
+
+/// Allocates outputs (no ghost cells) for \p NumBoxes boxes of \p N^3.
+std::vector<WHalfSet> makeOutputs(int NumBoxes, int N);
+
+/// The original schedule: one loop nest per Figure 13 node, full-box
+/// temporaries throughout.
+void computeWHalfOriginal(const rt::Box &W, WHalfSet &Out);
+
+/// The Figure 14 schedule: qlu pairs fused with their Riemann solves; the
+/// WTemp and corrected-state value sets collapse to scalars.
+void computeWHalfFused(const rt::Box &W, WHalfSet &Out);
+
+/// Runs a whole set of boxes on \p Threads threads (parallel over boxes).
+void runOriginal(const std::vector<rt::Box> &In, std::vector<WHalfSet> &Out,
+                 int Threads);
+void runFused(const std::vector<rt::Box> &In, std::vector<WHalfSet> &Out,
+              int Threads);
+
+/// Temporary elements per box for each schedule (the storage the Figure 14
+/// fusion eliminates).
+long temporaryElementsOriginal(int N);
+long temporaryElementsFused(int N);
+
+/// Max relative difference between the two schedules on a random box.
+double verifySchedules(int N, std::uint64_t Seed = 0x90d);
+
+} // namespace gdnv
+} // namespace lcdfg
+
+#endif // LCDFG_GODUNOV_GODUNOV_H

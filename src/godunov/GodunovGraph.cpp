@@ -1,0 +1,199 @@
+//===- godunov/GodunovGraph.cpp -------------------------------------------===//
+
+#include "godunov/GodunovGraph.h"
+
+#include "godunov/Kernels.h"
+#include "graph/Transforms.h"
+#include "support/Errors.h"
+
+using namespace lcdfg;
+using namespace lcdfg::gdnv;
+using poly::AffineExpr;
+using poly::BoxSet;
+using poly::Dim;
+
+namespace {
+
+/// Dimension labels 1..3 map to (x, y, z); the box dims are ordered
+/// (z, y, x), so dimension d uses offset index 3 - d.
+unsigned offsetIdx(int D) { return static_cast<unsigned>(3 - D); }
+
+BoxSet region(const AffineExpr &Hi) {
+  return BoxSet({Dim{"z", AffineExpr(0), Hi}, Dim{"y", AffineExpr(0), Hi},
+                 Dim{"x", AffineExpr(0), Hi}});
+}
+
+std::vector<std::int64_t> offset(int D, std::int64_t V) {
+  std::vector<std::int64_t> O(3, 0);
+  if (D != 0)
+    O[offsetIdx(D)] = V;
+  return O;
+}
+
+unsigned nestByName(const ir::LoopChain &Chain, const std::string &Name) {
+  for (unsigned I = 0; I < Chain.numNests(); ++I)
+    if (Chain.nest(I).Name == Name)
+      return I;
+  reportFatalError("godunov recipe: no nest named " + Name);
+}
+
+graph::NodeId nodeOf(const graph::Graph &G, const std::string &NestName) {
+  graph::NodeId Id = G.stmtOfNest(nestByName(G.chain(), NestName));
+  if (Id == graph::InvalidNode)
+    reportFatalError("godunov recipe: nest " + NestName + " is dead");
+  return Id;
+}
+
+void mustOk(const graph::TransformResult &R) {
+  if (!R)
+    reportFatalError("godunov recipe: " + R.Error);
+}
+
+} // namespace
+
+ir::LoopChain gdnv::buildComputeWHalfChain() {
+  ir::LoopChain Chain("computeWHalf", "fuse");
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet R2 = region(N + AffineExpr(1)); // predictor region [0, N+1]
+  BoxSet R1 = region(N);                 // transverse region [0, N]
+  BoxSet R0 = region(N - AffineExpr(1)); // interior [0, N-1]
+  std::vector<std::int64_t> Zero(3, 0);
+
+  auto S = [](int D) { return std::to_string(D); };
+
+  // Stage 1: PPM predictors.
+  for (int D = 1; D <= 3; ++D) {
+    for (const char *Side : {"m", "p"}) {
+      ir::LoopNest Nest;
+      Nest.Name = std::string("PPM") + Side + "_" + S(D);
+      Nest.Domain = R2;
+      Nest.Write = ir::Access{
+          (Side[0] == 'm' ? "WMinus_" : "WPlus_") + S(D), {Zero}};
+      Nest.Reads = {
+          ir::Access{"W", {offset(D, -1), Zero, offset(D, 1)}}};
+      Chain.addNest(std::move(Nest));
+    }
+  }
+  // Stage 2: first Riemann solves.
+  for (int D = 1; D <= 3; ++D) {
+    ir::LoopNest Nest;
+    Nest.Name = "riem1_" + S(D);
+    Nest.Domain = R2;
+    Nest.Write = ir::Access{"WHalf1_" + S(D), {Zero}};
+    Nest.Reads = {ir::Access{"WMinus_" + S(D), {Zero}},
+                  ir::Access{"WPlus_" + S(D), {Zero}}};
+    Chain.addNest(std::move(Nest));
+  }
+  // Stages 3-4: transverse qlu pairs and their Riemann solves.
+  for (int D1 = 1; D1 <= 3; ++D1)
+    for (int D2 = 1; D2 <= 3; ++D2) {
+      if (D1 == D2)
+        continue;
+      std::string Pair = S(D1) + S(D2);
+      for (const char *Side : {"M", "P"}) {
+        ir::LoopNest Nest;
+        Nest.Name = std::string("qlu") + Side + "_" + Pair;
+        Nest.Domain = R1;
+        Nest.Write = ir::Access{
+            (Side[0] == 'M' ? "WTempMinus_" : "WTempPlus_") + Pair, {Zero}};
+        Nest.Reads = {
+            ir::Access{(Side[0] == 'M' ? "WMinus_" : "WPlus_") + S(D1),
+                       {Zero}},
+            ir::Access{"WHalf1_" + S(D2), {Zero, offset(D2, 1)}}};
+        Chain.addNest(std::move(Nest));
+      }
+      ir::LoopNest Nest;
+      Nest.Name = "riem2_" + Pair;
+      Nest.Domain = R1;
+      Nest.Write = ir::Access{"WHalf2_" + Pair, {Zero}};
+      Nest.Reads = {ir::Access{"WTempMinus_" + Pair, {Zero}},
+                    ir::Access{"WTempPlus_" + Pair, {Zero}}};
+      Chain.addNest(std::move(Nest));
+    }
+  // Stages 5-6: final corrections and Riemann solves.
+  for (int D = 1; D <= 3; ++D) {
+    int A = D == 1 ? 2 : 1;
+    int B = D == 3 ? 2 : 3;
+    for (const char *Side : {"M", "P"}) {
+      ir::LoopNest Nest;
+      Nest.Name = std::string("qlu2") + Side + "_" + S(D);
+      Nest.Domain = R0;
+      Nest.Write = ir::Access{
+          (Side[0] == 'M' ? "WFinalMinus_" : "WFinalPlus_") + S(D), {Zero}};
+      Nest.Reads = {
+          ir::Access{(Side[0] == 'M' ? "WMinus_" : "WPlus_") + S(D), {Zero}},
+          ir::Access{"WHalf2_" + S(A) + S(B), {Zero, offset(A, 1)}},
+          ir::Access{"WHalf2_" + S(B) + S(A), {Zero, offset(B, 1)}}};
+      Chain.addNest(std::move(Nest));
+    }
+    ir::LoopNest Nest;
+    Nest.Name = "riem3_" + S(D);
+    Nest.Domain = R0;
+    Nest.Write = ir::Access{"WHalf_" + S(D), {Zero}};
+    Nest.Reads = {ir::Access{"WFinalMinus_" + S(D), {Zero}},
+                  ir::Access{"WFinalPlus_" + S(D), {Zero}}};
+    Chain.addNest(std::move(Nest));
+  }
+  Chain.finalize();
+  return Chain;
+}
+
+void gdnv::registerKernels(ir::LoopChain &Chain,
+                           codegen::KernelRegistry &Registry) {
+  int PPMm = Registry.add([](const std::vector<double> &R, double) {
+    return ppmMinus(R[0], R[1], R[2]);
+  });
+  int PPMp = Registry.add([](const std::vector<double> &R, double) {
+    return ppmPlus(R[0], R[1], R[2]);
+  });
+  int Riem = Registry.add([](const std::vector<double> &R, double) {
+    return riemann(R[0], R[1]);
+  });
+  int Qlu = Registry.add([](const std::vector<double> &R, double) {
+    return qlu(R[0], R[1], R[2]);
+  });
+  int Qlu2 = Registry.add([](const std::vector<double> &R, double) {
+    return qlu2(R[0], R[1], R[2], R[3], R[4]);
+  });
+  for (unsigned I = 0; I < Chain.numNests(); ++I) {
+    ir::LoopNest &Nest = Chain.nest(I);
+    if (Nest.Name.rfind("PPMm", 0) == 0)
+      Nest.KernelId = PPMm;
+    else if (Nest.Name.rfind("PPMp", 0) == 0)
+      Nest.KernelId = PPMp;
+    else if (Nest.Name.rfind("riem", 0) == 0)
+      Nest.KernelId = Riem;
+    else if (Nest.Name.rfind("qlu2", 0) == 0)
+      Nest.KernelId = Qlu2;
+    else if (Nest.Name.rfind("qlu", 0) == 0)
+      Nest.KernelId = Qlu;
+    else
+      reportFatalError("godunov kernels: unrecognized nest " + Nest.Name);
+  }
+}
+
+void gdnv::applyGodunovFusion(graph::Graph &G) {
+  auto S = [](int D) { return std::to_string(D); };
+  // Figure 14: each transverse qlu pair executes fused with its Riemann
+  // solve.
+  for (int D1 = 1; D1 <= 3; ++D1)
+    for (int D2 = 1; D2 <= 3; ++D2) {
+      if (D1 == D2)
+        continue;
+      std::string Pair = S(D1) + S(D2);
+      mustOk(graph::fuseReadReduction(G, nodeOf(G, "qluM_" + Pair),
+                                      nodeOf(G, "qluP_" + Pair)));
+      mustOk(graph::fuseProducerConsumer(G, nodeOf(G, "qluM_" + Pair),
+                                         nodeOf(G, "riem2_" + Pair)));
+    }
+  // The final qlu pairs fuse with the last Riemann solves the same way.
+  for (int D = 1; D <= 3; ++D) {
+    mustOk(graph::fuseReadReduction(G, nodeOf(G, std::string("qlu2M_") + S(D)),
+                                    nodeOf(G, std::string("qlu2P_") + S(D))));
+    mustOk(graph::fuseProducerConsumer(
+        G, nodeOf(G, std::string("qlu2M_") + S(D)),
+        nodeOf(G, "riem3_" + S(D))));
+  }
+  G.compactRows();
+  G.compactColumns();
+}

@@ -1,0 +1,46 @@
+//===- godunov/GodunovGraph.h - ComputeWHalf as an M2DFG --------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ComputeWHalf subroutine of AMR-Godunov expressed as a loop chain and
+/// the Figure 13 -> Figure 14 optimization expressed as an M2DFG
+/// transformation sequence: each qlu pair is read-reduction fused, then
+/// producer-consumer fused with its Riemann solve, collapsing the WTemp and
+/// corrected-state value sets to scalars. Arrays model one component; the
+/// kernels in Godunov.h carry five.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_GODUNOV_GODUNOVGRAPH_H
+#define LCDFG_GODUNOV_GODUNOVGRAPH_H
+
+#include "codegen/Interpreter.h"
+#include "graph/Graph.h"
+#include "ir/LoopChain.h"
+
+namespace lcdfg {
+namespace gdnv {
+
+/// Builds the Figure 13 loop chain: 6 PPM nests, 3 first Riemann solves,
+/// 12 transverse qlu nests, 6 second Riemann solves, 6 final qlu nests,
+/// and 3 final Riemann solves.
+ir::LoopChain buildComputeWHalfChain();
+
+/// Applies the Figure 14 fusion sequence to the initial graph of
+/// buildComputeWHalfChain(). Aborts on an illegal step (the sequence is
+/// known-legal).
+void applyGodunovFusion(graph::Graph &G);
+
+/// Registers interpreter kernels for a chain built by
+/// buildComputeWHalfChain(), so the Figure 13/14 schedules execute.
+void registerKernels(ir::LoopChain &Chain,
+                     codegen::KernelRegistry &Registry);
+
+} // namespace gdnv
+} // namespace lcdfg
+
+#endif // LCDFG_GODUNOV_GODUNOVGRAPH_H

@@ -1,0 +1,50 @@
+//===- godunov/Kernels.h - ComputeWHalf pointwise kernels -------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pointwise math of the mini ComputeWHalf, shared by the hand-coded
+/// schedules (Godunov.cpp) and the interpreter kernels registered for the
+/// Figure 13 loop chain (GodunovGraph).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_GODUNOV_KERNELS_H
+#define LCDFG_GODUNOV_KERNELS_H
+
+#include "godunov/Godunov.h"
+
+namespace lcdfg {
+namespace gdnv {
+
+/// PPM-style traced states from the centered and neighboring values.
+inline double ppmMinus(double WM, double W0, double WP) {
+  return W0 - 0.25 * (WP - WM) + 0.05 * (WP - 2.0 * W0 + WM);
+}
+inline double ppmPlus(double WM, double W0, double WP) {
+  return W0 + 0.25 * (WP - WM) + 0.05 * (WP - 2.0 * W0 + WM);
+}
+
+/// Linearized Riemann solve of a left/right state pair.
+inline double riemann(double A, double B) {
+  return 0.5 * (A + B) - Lambda * (B - A);
+}
+
+/// Quasi-linear transverse correction from one half-state difference.
+inline double qlu(double W, double H0, double H1) {
+  return W - DtDx * (H1 - H0);
+}
+
+/// Final correction from both transverse half-state differences.
+inline double qlu2(double W, double HA0, double HA1, double HB0,
+                   double HB1) {
+  return W - 0.5 * DtDx * ((HA1 - HA0) + (HB1 - HB0));
+}
+
+} // namespace gdnv
+} // namespace lcdfg
+
+#endif // LCDFG_GODUNOV_KERNELS_H

@@ -1,0 +1,96 @@
+//===- graph/CostModel.cpp ------------------------------------------------===//
+
+#include "graph/CostModel.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+
+namespace {
+
+/// Streams opened by one statement set: one per read access, or — under
+/// the wide-stencil refinement sketched in Section 3.3 — one per distinct
+/// combination of non-innermost stencil offsets within each access.
+unsigned nestStreams(const ir::LoopNest &Nest, bool WideStencils) {
+  if (!WideStencils)
+    return static_cast<unsigned>(Nest.Reads.size());
+  unsigned Streams = 0;
+  for (const ir::Access &R : Nest.Reads) {
+    std::set<std::vector<std::int64_t>> OuterOffsets;
+    for (const auto &Offsets : R.Offsets)
+      OuterOffsets.insert(
+          std::vector<std::int64_t>(Offsets.begin(), Offsets.end() - 1));
+    Streams += std::max<unsigned>(
+        1, static_cast<unsigned>(OuterOffsets.size()));
+  }
+  return Streams;
+}
+
+} // namespace
+
+CostReport graph::computeCost(const Graph &G, const CostOptions &Options) {
+  CostReport Report;
+
+  // S_R: sum over value nodes of size x out-degree, grouped by row.
+  for (NodeId V = 0; V < G.numValueNodes(); ++V) {
+    const ValueNode &Node = G.value(V);
+    if (Node.Dead)
+      continue;
+    unsigned Degree = G.outDegree(V);
+    if (Degree == 0)
+      continue;
+    Polynomial Contribution = Node.Size * Polynomial(Degree);
+    Report.RowRead[Node.Row] += Contribution;
+    Report.TotalRead += Contribution;
+  }
+
+  // S_c: maximum stream count over statement *sets* — fusion groups sets
+  // into one node, but each set still opens its own streams while it
+  // executes (which is why the fused rows of Figures 8 and 9 keep width 2).
+  for (NodeId S = 0; S < G.numStmtNodes(); ++S) {
+    const StmtNode &Node = G.stmt(S);
+    if (Node.Dead)
+      continue;
+    unsigned Streams = 0;
+    for (unsigned NestId : Node.Nests)
+      Streams = std::max(
+          Streams, nestStreams(G.chain().nest(NestId),
+                               Options.CountWideStencilStreams));
+    auto [It, Inserted] = Report.RowWidth.emplace(Node.Row, Streams);
+    if (!Inserted)
+      It->second = std::max(It->second, Streams);
+    Report.MaxStreams = std::max(Report.MaxStreams, Streams);
+  }
+
+  return Report;
+}
+
+std::string CostReport::toString() const {
+  std::ostringstream OS;
+  OS << "row  width  data read\n";
+  std::set<int> Rows;
+  for (const auto &[Row, P] : RowRead) {
+    (void)P;
+    Rows.insert(Row);
+  }
+  for (const auto &[Row, W] : RowWidth) {
+    (void)W;
+    Rows.insert(Row);
+  }
+  for (int Row : Rows) {
+    OS << Row << "    ";
+    auto WIt = RowWidth.find(Row);
+    OS << (WIt == RowWidth.end() ? std::string("-")
+                                 : std::to_string(WIt->second));
+    OS << "      ";
+    auto RIt = RowRead.find(Row);
+    OS << (RIt == RowRead.end() ? std::string("0") : RIt->second.toString());
+    OS << "\n";
+  }
+  OS << "S_R = " << TotalRead.toString() << "\n";
+  OS << "S_c = " << MaxStreams << "\n";
+  return OS.str();
+}

@@ -1,0 +1,67 @@
+//===- graph/CostModel.h - Memory-traffic cost model ------------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The high-level cost model of Section 3.3. Two metrics are computed from
+/// the value nodes of an M2DFG:
+///
+///   S_R  total data read: for each value set, the number of outgoing edges
+///        multiplied by the size of the value set, summed over the graph;
+///   S_c  maximum number of simultaneously accessed streams: the maximum
+///        incoming degree over all statement sets.
+///
+/// Internalized temporaries (after producer-consumer fusion and storage
+/// reduction) contribute their *reduced* sizes, which is how the fused
+/// variants' totals in Figures 8 and 9 pick up constant and O(N) terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_GRAPH_COSTMODEL_H
+#define LCDFG_GRAPH_COSTMODEL_H
+
+#include "graph/Graph.h"
+#include "support/Polynomial.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace graph {
+
+/// Options for the cost computation.
+struct CostOptions {
+  /// When true, an edge whose consumer reads a multi-point stencil from the
+  /// value counts one stream per distinct offset in non-innermost
+  /// dimensions (the "wide stencil" refinement sketched in Section 3.3).
+  /// Off by default to match the paper's figures.
+  bool CountWideStencilStreams = false;
+};
+
+/// Cost report for a graph.
+struct CostReport {
+  /// Total data read per layout row (row index -> polynomial in N).
+  std::map<int, Polynomial> RowRead;
+  /// Maximum stream width per layout row.
+  std::map<int, unsigned> RowWidth;
+  /// Total data read, S_R.
+  Polynomial TotalRead;
+  /// Maximum simultaneous streams, S_c.
+  unsigned MaxStreams = 0;
+
+  /// Renders the per-row table in the style of the yellow/blue boxes of
+  /// Figure 3.
+  std::string toString() const;
+};
+
+/// Computes the cost model for \p G.
+CostReport computeCost(const Graph &G, const CostOptions &Options = {});
+
+} // namespace graph
+} // namespace lcdfg
+
+#endif // LCDFG_GRAPH_COSTMODEL_H

@@ -1,0 +1,104 @@
+//===- graph/DotExport.cpp ------------------------------------------------===//
+
+#include "graph/DotExport.h"
+
+#include <map>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+
+std::string graph::toDot(const Graph &G, const DotOptions &Options) {
+  CostReport Cost = computeCost(G);
+  std::ostringstream OS;
+  OS << "digraph M2DFG {\n";
+  if (!Options.Title.empty())
+    OS << "  label=\"" << Options.Title << "\";\n  labelloc=t;\n";
+  OS << "  rankdir=TB;\n  node [fontsize=10];\n";
+
+  for (NodeId V = 0; V < G.numValueNodes(); ++V) {
+    const ValueNode &Node = G.value(V);
+    if (Node.Dead)
+      continue;
+    OS << "  v" << V << " [shape=box, label=\"" << Node.Array << "\\n"
+       << Node.Size.toString() << "\"";
+    if (Node.Persistent)
+      OS << ", style=filled, fillcolor=gray80";
+    else if (Node.Internalized)
+      OS << ", style=dashed";
+    OS << "];\n";
+  }
+  for (NodeId S = 0; S < G.numStmtNodes(); ++S) {
+    const StmtNode &Node = G.stmt(S);
+    if (Node.Dead)
+      continue;
+    OS << "  s" << S << " [shape=invtriangle, label=\"" << Node.Label
+       << "\"];\n";
+  }
+
+  // Ranks per row.
+  std::map<int, std::vector<std::string>> Ranks;
+  for (NodeId V = 0; V < G.numValueNodes(); ++V)
+    if (!G.value(V).Dead)
+      Ranks[G.value(V).Row].push_back("v" + std::to_string(V));
+  for (NodeId S = 0; S < G.numStmtNodes(); ++S)
+    if (!G.stmt(S).Dead)
+      Ranks[G.stmt(S).Row].push_back("s" + std::to_string(S));
+  for (const auto &[Row, Nodes] : Ranks) {
+    OS << "  { rank=same;";
+    for (const std::string &N : Nodes)
+      OS << " " << N << ";";
+    if (Options.ShowCosts) {
+      OS << " cost" << Row << " [shape=note, label=\"row " << Row;
+      if (auto It = Cost.RowRead.find(Row); It != Cost.RowRead.end())
+        OS << "\\nread " << It->second.toString();
+      if (auto It = Cost.RowWidth.find(Row); It != Cost.RowWidth.end())
+        OS << "\\nwidth " << It->second;
+      OS << "\"];";
+    }
+    OS << " }\n";
+  }
+
+  for (const Edge &E : G.edges()) {
+    if (E.Dead)
+      continue;
+    if (E.FromKind == EndpointKind::Value)
+      OS << "  v" << E.From << " -> s" << E.To;
+    else
+      OS << "  s" << E.From << " -> v" << E.To;
+    if (E.Multiplicity > 1)
+      OS << " [label=\"x" << E.Multiplicity << "\"]";
+    OS << ";\n";
+  }
+  if (Options.ShowCosts)
+    OS << "  total [shape=note, label=\"S_R = " << Cost.TotalRead.toString()
+       << "\\nS_c = " << Cost.MaxStreams << "\"];\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string graph::toText(const Graph &G) {
+  std::ostringstream OS;
+  std::map<int, std::vector<NodeId>> Rows;
+  for (NodeId S = 0; S < G.numStmtNodes(); ++S)
+    if (!G.stmt(S).Dead)
+      Rows[G.stmt(S).Row].push_back(S);
+  // Row 0: chain inputs.
+  OS << "row 0:";
+  for (NodeId V = 0; V < G.numValueNodes(); ++V)
+    if (!G.value(V).Dead && G.value(V).Row == 0)
+      OS << " [" << G.value(V).Array << " " << G.value(V).Size.toString()
+         << "]";
+  OS << "\n";
+  for (const auto &[Row, Stmts] : Rows) {
+    OS << "row " << Row << ":";
+    for (NodeId S : Stmts) {
+      OS << " <" << G.stmt(S).Label << ">";
+      for (NodeId V : G.outputsOf(S))
+        OS << " [" << G.value(V).Array << " " << G.value(V).Size.toString()
+           << (G.value(V).Internalized ? " internal" : "") << "]";
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}

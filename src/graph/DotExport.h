@@ -1,0 +1,46 @@
+//===- graph/DotExport.h - Graphviz rendering of M2DFGs ---------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an M2DFG in Graphviz dot syntax, following the paper's visual
+/// conventions: value nodes as rectangles (persistent ones shaded gray),
+/// statement nodes as inverted triangles, layout rows as ranks, and value
+/// sizes as labels. This is the "visual interface to aid the performance
+/// expert" of Section 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_GRAPH_DOTEXPORT_H
+#define LCDFG_GRAPH_DOTEXPORT_H
+
+#include "graph/CostModel.h"
+#include "graph/Graph.h"
+
+#include <string>
+
+namespace lcdfg {
+namespace graph {
+
+/// Options for dot rendering.
+struct DotOptions {
+  /// Annotate each rank with the row's data-read cost and width.
+  bool ShowCosts = true;
+  /// Graph title.
+  std::string Title;
+};
+
+/// Returns the graph in dot syntax.
+std::string toDot(const Graph &G, const DotOptions &Options = {});
+
+/// Plain-text schedule dump: one line per row listing statement nodes and
+/// the values they produce.
+std::string toText(const Graph &G);
+
+} // namespace graph
+} // namespace lcdfg
+
+#endif // LCDFG_GRAPH_DOTEXPORT_H

@@ -1,0 +1,208 @@
+//===- graph/Graph.cpp ----------------------------------------------------===//
+
+#include "graph/Graph.h"
+
+#include "support/Errors.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+
+NodeId Graph::addValueNode(ValueNode V) {
+  Values.push_back(std::move(V));
+  return static_cast<NodeId>(Values.size() - 1);
+}
+
+NodeId Graph::addStmtNode(StmtNode S) {
+  Stmts.push_back(std::move(S));
+  return static_cast<NodeId>(Stmts.size() - 1);
+}
+
+void Graph::addReadEdge(NodeId Value, NodeId Stmt, unsigned Multiplicity) {
+  assert(Value < Values.size() && Stmt < Stmts.size() && "bad edge endpoint");
+  Edges.push_back(
+      Edge{Value, Stmt, EndpointKind::Value, Multiplicity, false});
+}
+
+void Graph::addWriteEdge(NodeId Stmt, NodeId Value) {
+  assert(Value < Values.size() && Stmt < Stmts.size() && "bad edge endpoint");
+  Edges.push_back(Edge{Stmt, Value, EndpointKind::Stmt, 1, false});
+}
+
+NodeId Graph::findValue(std::string_view Array) const {
+  for (NodeId I = 0; I < Values.size(); ++I)
+    if (!Values[I].Dead && Values[I].Array == Array)
+      return I;
+  return InvalidNode;
+}
+
+NodeId Graph::findStmt(std::string_view Label) const {
+  for (NodeId I = 0; I < Stmts.size(); ++I)
+    if (!Stmts[I].Dead && Stmts[I].Label == Label)
+      return I;
+  return InvalidNode;
+}
+
+NodeId Graph::stmtOfNest(unsigned NestId) const {
+  for (NodeId I = 0; I < Stmts.size(); ++I) {
+    if (Stmts[I].Dead)
+      continue;
+    for (unsigned N : Stmts[I].Nests)
+      if (N == NestId)
+        return I;
+  }
+  return InvalidNode;
+}
+
+std::vector<const Edge *> Graph::readsOf(NodeId StmtId) const {
+  std::vector<const Edge *> Result;
+  for (const Edge &E : Edges)
+    if (!E.Dead && E.FromKind == EndpointKind::Value && E.To == StmtId)
+      Result.push_back(&E);
+  return Result;
+}
+
+std::vector<const Edge *> Graph::readersOf(NodeId ValueId) const {
+  std::vector<const Edge *> Result;
+  for (const Edge &E : Edges)
+    if (!E.Dead && E.FromKind == EndpointKind::Value && E.From == ValueId)
+      Result.push_back(&E);
+  return Result;
+}
+
+NodeId Graph::producerOf(NodeId ValueId) const {
+  for (const Edge &E : Edges)
+    if (!E.Dead && E.FromKind == EndpointKind::Stmt && E.To == ValueId)
+      return E.From;
+  return InvalidNode;
+}
+
+std::vector<NodeId> Graph::outputsOf(NodeId StmtId) const {
+  std::vector<NodeId> Result;
+  for (const Edge &E : Edges)
+    if (!E.Dead && E.FromKind == EndpointKind::Stmt && E.From == StmtId)
+      Result.push_back(E.To);
+  return Result;
+}
+
+unsigned Graph::outDegree(NodeId ValueId) const {
+  unsigned Degree = 0;
+  for (const Edge *E : readersOf(ValueId))
+    Degree += E->Multiplicity;
+  return Degree;
+}
+
+unsigned Graph::inDegree(NodeId StmtId) const {
+  unsigned Degree = 0;
+  for (const Edge *E : readsOf(StmtId))
+    Degree += E->Multiplicity;
+  return Degree;
+}
+
+std::vector<NodeId> Graph::scheduleOrder() const {
+  std::vector<NodeId> Order;
+  for (NodeId I = 0; I < Stmts.size(); ++I)
+    if (!Stmts[I].Dead)
+      Order.push_back(I);
+  std::stable_sort(Order.begin(), Order.end(), [&](NodeId A, NodeId B) {
+    if (Stmts[A].Row != Stmts[B].Row)
+      return Stmts[A].Row < Stmts[B].Row;
+    return Stmts[A].Col < Stmts[B].Col;
+  });
+  return Order;
+}
+
+int Graph::maxRow() const {
+  int Max = 0;
+  for (const StmtNode &S : Stmts)
+    if (!S.Dead)
+      Max = std::max(Max, S.Row);
+  for (const ValueNode &V : Values)
+    if (!V.Dead)
+      Max = std::max(Max, V.Row);
+  return Max;
+}
+
+void Graph::compactColumns() {
+  std::map<int, std::vector<NodeId>> StmtsByRow;
+  for (NodeId I = 0; I < Stmts.size(); ++I)
+    if (!Stmts[I].Dead)
+      StmtsByRow[Stmts[I].Row].push_back(I);
+  for (auto &[Row, Ids] : StmtsByRow) {
+    (void)Row;
+    std::stable_sort(Ids.begin(), Ids.end(), [&](NodeId A, NodeId B) {
+      return Stmts[A].Col < Stmts[B].Col;
+    });
+    int Col = 0;
+    for (NodeId Id : Ids)
+      Stmts[Id].Col = Col++;
+  }
+}
+
+void Graph::compactRows() {
+  std::set<int> UsedRows;
+  for (const StmtNode &S : Stmts)
+    if (!S.Dead)
+      UsedRows.insert(S.Row);
+  std::map<int, int> Renumber;
+  // Row 0 is reserved for chain inputs even when no statement sits there.
+  int Next = 1;
+  for (int Row : UsedRows)
+    Renumber[Row] = Next++;
+  for (StmtNode &S : Stmts)
+    if (!S.Dead)
+      S.Row = Renumber[S.Row];
+  for (NodeId I = 0; I < Values.size(); ++I) {
+    if (Values[I].Dead)
+      continue;
+    NodeId Producer = producerOf(I);
+    Values[I].Row = Producer == InvalidNode ? 0 : Stmts[Producer].Row;
+  }
+}
+
+void Graph::verify() const {
+  for (const Edge &E : Edges) {
+    if (E.Dead)
+      continue;
+    if (E.FromKind == EndpointKind::Value) {
+      if (E.From >= Values.size() || E.To >= Stmts.size() ||
+          Values[E.From].Dead || Stmts[E.To].Dead)
+        reportFatalError("graph verify: dangling read edge");
+    } else {
+      if (E.From >= Stmts.size() || E.To >= Values.size() ||
+          Stmts[E.From].Dead || Values[E.To].Dead)
+        reportFatalError("graph verify: dangling write edge");
+    }
+  }
+  // Each temporary value has at most one producer; persistent outputs may
+  // be accumulated into by several statement nodes (e.g. Dx and Dy both
+  // updating the cell-centered result in MiniFluxDiv).
+  std::vector<unsigned> Producers(Values.size(), 0);
+  for (const Edge &E : Edges)
+    if (!E.Dead && E.FromKind == EndpointKind::Stmt)
+      ++Producers[E.To];
+  for (NodeId I = 0; I < Values.size(); ++I)
+    if (!Values[I].Dead && !Values[I].Persistent && Producers[I] > 1)
+      reportFatalError("graph verify: temporary value " + Values[I].Array +
+                       " has multiple producers");
+  // Rows respect dataflow: a consumer's row is strictly after its
+  // producer's row.
+  for (NodeId S = 0; S < Stmts.size(); ++S) {
+    if (Stmts[S].Dead)
+      continue;
+    for (const Edge *E : readsOf(S)) {
+      NodeId Producer = producerOf(E->From);
+      // A fused node consumes its own internalized values: not a row-order
+      // constraint.
+      if (Producer == InvalidNode || Producer == S)
+        continue;
+      if (Stmts[Producer].Row >= Stmts[S].Row)
+        reportFatalError("graph verify: row order violates dataflow from " +
+                         Stmts[Producer].Label + " to " + Stmts[S].Label);
+    }
+  }
+}

@@ -1,0 +1,167 @@
+//===- graph/Graph.h - Modified macro dataflow graphs -----------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The modified macro dataflow graph (M2DFG) of Section 3: a tuple
+/// G = (V, S, E) of value nodes, statement nodes, and directed edges. Value
+/// nodes carry symbolic cardinalities; statement nodes group all iterations
+/// of one or more loop nests; graph layout (rows) expresses the execution
+/// schedule, executed top-to-bottom and left-to-right.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_GRAPH_GRAPH_H
+#define LCDFG_GRAPH_GRAPH_H
+
+#include "ir/LoopChain.h"
+#include "poly/BoxSet.h"
+#include "support/Polynomial.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace graph {
+
+using NodeId = unsigned;
+inline constexpr NodeId InvalidNode = ~0u;
+
+/// A value node: a set of values mapped to memory (Section 3.1). Persistent
+/// value sets are accessed outside the chain and keep their storage mapping;
+/// temporary value sets may be internalized by producer-consumer fusion and
+/// have their storage reduced.
+struct ValueNode {
+  std::string Array;
+  Polynomial Size;         ///< Current (possibly reduced) cardinality.
+  Polynomial OriginalSize; ///< Single-assignment cardinality.
+  bool Persistent = false;
+  /// True once producer-consumer fusion pulled this value inside a statement
+  /// node; its storage is then sized by reuse distance (Section 4.4).
+  bool Internalized = false;
+  int Row = 0;
+  int Col = 0;
+  bool Dead = false; ///< Removed from the graph (kept for stable ids).
+};
+
+/// A statement node: one or more loop-nest statement sets co-scheduled in a
+/// single (possibly fused) iteration space.
+struct StmtNode {
+  std::string Label;
+  /// Indices into the originating LoopChain, in intra-node execution order.
+  std::vector<unsigned> Nests;
+  /// Per-nest lexicographic shift applied to make fusion legal (same arity
+  /// as the nest's domain). Empty means zero shift.
+  std::vector<std::vector<std::int64_t>> Shifts;
+  /// The fused iteration space (hull of member domains after shifting).
+  poly::BoxSet Domain;
+  /// Loop execution order as domain-dimension indices, outermost first;
+  /// empty means the domain's natural order. Set by the interchange
+  /// transformation; changes reuse distances and generated loop order.
+  std::vector<unsigned> DimOrder;
+
+  /// The execution order (explicit or natural).
+  std::vector<unsigned> executionOrder() const {
+    if (!DimOrder.empty())
+      return DimOrder;
+    std::vector<unsigned> Order(Domain.rank());
+    for (unsigned D = 0; D < Domain.rank(); ++D)
+      Order[D] = D;
+    return Order;
+  }
+  int Row = 0;
+  int Col = 0;
+  bool Dead = false;
+};
+
+/// Edge endpoints name either a value or a statement node.
+enum class EndpointKind { Value, Stmt };
+
+/// A directed edge. Read edges run value -> stmt; write edges stmt -> value.
+/// Multiplicity counts how many statement sets inside the consumer read the
+/// value; read-reduction fusion collapses it to 1 (Section 4.2).
+struct Edge {
+  NodeId From = InvalidNode;
+  NodeId To = InvalidNode;
+  EndpointKind FromKind = EndpointKind::Value;
+  unsigned Multiplicity = 1;
+  bool Dead = false;
+};
+
+/// The M2DFG. Node ids are stable across transformations; removed nodes are
+/// tombstoned with the Dead flag.
+class Graph {
+public:
+  explicit Graph(const ir::LoopChain &Chain) : Chain(&Chain) {}
+
+  const ir::LoopChain &chain() const { return *Chain; }
+
+  NodeId addValueNode(ValueNode V);
+  NodeId addStmtNode(StmtNode S);
+  void addReadEdge(NodeId Value, NodeId Stmt, unsigned Multiplicity = 1);
+  void addWriteEdge(NodeId Stmt, NodeId Value);
+
+  unsigned numValueNodes() const {
+    return static_cast<unsigned>(Values.size());
+  }
+  unsigned numStmtNodes() const { return static_cast<unsigned>(Stmts.size()); }
+
+  const ValueNode &value(NodeId Id) const { return Values[Id]; }
+  ValueNode &value(NodeId Id) { return Values[Id]; }
+  const StmtNode &stmt(NodeId Id) const { return Stmts[Id]; }
+  StmtNode &stmt(NodeId Id) { return Stmts[Id]; }
+  const std::vector<Edge> &edges() const { return Edges; }
+  std::vector<Edge> &edges() { return Edges; }
+
+  /// Id of the value node for \p Array, or InvalidNode.
+  NodeId findValue(std::string_view Array) const;
+  /// Id of the statement node whose label is \p Label, or InvalidNode.
+  NodeId findStmt(std::string_view Label) const;
+  /// Id of the live statement node containing chain nest \p NestId.
+  NodeId stmtOfNest(unsigned NestId) const;
+
+  /// Live read edges into statement \p Id.
+  std::vector<const Edge *> readsOf(NodeId StmtId) const;
+  /// Live read edges out of value \p Id.
+  std::vector<const Edge *> readersOf(NodeId ValueId) const;
+  /// Producer statement of value \p Id, or InvalidNode for chain inputs.
+  NodeId producerOf(NodeId ValueId) const;
+  /// Values written by statement \p Id.
+  std::vector<NodeId> outputsOf(NodeId StmtId) const;
+
+  /// Sum of read-edge multiplicities leaving value \p Id (the out-degree
+  /// used by the cost model).
+  unsigned outDegree(NodeId ValueId) const;
+  /// Sum of read-edge multiplicities entering statement \p Id.
+  unsigned inDegree(NodeId StmtId) const;
+
+  /// Live statement nodes ordered by (row, col): the execution schedule.
+  std::vector<NodeId> scheduleOrder() const;
+  /// Highest row index in use.
+  int maxRow() const;
+
+  /// Renumbers columns within each row to be consecutive (display helper).
+  void compactColumns();
+  /// Removes empty rows, renumbering so rows are consecutive from 0.
+  void compactRows();
+
+  /// Asserts basic invariants (every live edge touches live nodes, each
+  /// value has at most one producer, rows respect dataflow).
+  void verify() const;
+
+private:
+  const ir::LoopChain *Chain;
+  std::vector<ValueNode> Values;
+  std::vector<StmtNode> Stmts;
+  std::vector<Edge> Edges;
+};
+
+} // namespace graph
+} // namespace lcdfg
+
+#endif // LCDFG_GRAPH_GRAPH_H

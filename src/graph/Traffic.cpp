@@ -1,0 +1,54 @@
+//===- graph/Traffic.cpp --------------------------------------------------===//
+
+#include "graph/Traffic.h"
+
+#include "graph/CostModel.h"
+
+#include <set>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+
+TrafficReport graph::measureTraffic(const Graph &G, std::int64_t NVal) {
+  TrafficReport Report;
+  std::map<std::string, std::int64_t, std::less<>> Env{{"N", NVal}};
+
+  for (const Edge &E : G.edges()) {
+    if (E.Dead || E.FromKind != EndpointKind::Value)
+      continue;
+    const ValueNode &Value = G.value(E.From);
+    const StmtNode &Consumer = G.stmt(E.To);
+
+    // Distinct elements the consumer's statement sets read from this
+    // value, enumerated over their (original, unshifted) domains.
+    std::set<std::vector<std::int64_t>> Elements;
+    for (unsigned NestId : Consumer.Nests) {
+      const ir::LoopNest &Nest = G.chain().nest(NestId);
+      for (const ir::Access &R : Nest.Reads) {
+        if (R.Array != Value.Array)
+          continue;
+        for (const auto &Off : R.Offsets) {
+          Nest.Domain.forEachPoint(
+              Env, [&](const std::vector<std::int64_t> &P) {
+                std::vector<std::int64_t> Element(P.size());
+                for (std::size_t D = 0; D < P.size(); ++D)
+                  Element[D] = P[D] + Off[D];
+                Elements.insert(std::move(Element));
+              });
+        }
+      }
+    }
+    if (Elements.empty())
+      continue;
+    // A collapsed edge streams the union once; otherwise each statement
+    // set opens its own stream — modeled by the multiplicity.
+    std::int64_t Reads =
+        static_cast<std::int64_t>(Elements.size()) * E.Multiplicity;
+    auto Key = std::make_pair(Value.Array, Consumer.Label);
+    Report.EdgeReads[Key] += Reads;
+    Report.Total += Reads;
+  }
+
+  Report.ModelTotal = computeCost(G).TotalRead.evaluate(NVal);
+  return Report;
+}

@@ -1,0 +1,57 @@
+//===- graph/Traffic.h - Exact traffic vs the cost model --------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validation of the S_R cost model against ground truth. S_R approximates
+/// the data read as (value-set size) x (out-degree); the exact quantity it
+/// models is, per read edge, the number of *distinct* elements the
+/// consumer's statement sets load from the value set. This analysis
+/// enumerates those footprints at a concrete size, so tests and benches
+/// can quantify where the approximation is exact (the series schedules)
+/// and where it deviates (e.g. union-shaped footprints after read
+/// reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_GRAPH_TRAFFIC_H
+#define LCDFG_GRAPH_TRAFFIC_H
+
+#include "graph/Graph.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lcdfg {
+namespace graph {
+
+/// Exact per-edge traffic at a concrete parameter value.
+struct TrafficReport {
+  /// (value array, consumer label) -> distinct elements read.
+  std::map<std::pair<std::string, std::string>, std::int64_t> EdgeReads;
+  /// Total distinct-element reads over all edges.
+  std::int64_t Total = 0;
+  /// S_R evaluated at the same size, for comparison.
+  std::int64_t ModelTotal = 0;
+
+  /// ModelTotal / Total (1.0 = the model is exact).
+  double modelAccuracy() const {
+    return Total == 0 ? 1.0
+                      : static_cast<double>(ModelTotal) /
+                            static_cast<double>(Total);
+  }
+};
+
+/// Enumerates the exact read traffic of \p G at size \p NVal. Edge
+/// multiplicity is honored: a collapsed (read-reduced) edge streams its
+/// footprint once, an uncollapsed one once per statement set.
+TrafficReport measureTraffic(const Graph &G, std::int64_t NVal);
+
+} // namespace graph
+} // namespace lcdfg
+
+#endif // LCDFG_GRAPH_TRAFFIC_H

@@ -1,0 +1,369 @@
+//===- graph/Transforms.cpp -----------------------------------------------===//
+
+#include "graph/Transforms.h"
+
+#include "support/Errors.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+
+namespace {
+
+bool liveStmt(const Graph &G, NodeId Id) {
+  return Id < G.numStmtNodes() && !G.stmt(Id).Dead;
+}
+
+int nextColInRow(const Graph &G, int Row) {
+  int Col = 0;
+  for (NodeId I = 0; I < G.numStmtNodes(); ++I)
+    if (!G.stmt(I).Dead && G.stmt(I).Row == Row)
+      Col = std::max(Col, G.stmt(I).Col + 1);
+  return Col;
+}
+
+/// Componentwise max accumulation: Dst = max(Dst, Src).
+void maxInto(std::vector<std::int64_t> &Dst,
+             const std::vector<std::int64_t> &Src) {
+  assert(Dst.size() == Src.size() && "shift arity mismatch");
+  for (std::size_t I = 0; I < Dst.size(); ++I)
+    Dst[I] = std::max(Dst[I], Src[I]);
+}
+
+/// Returns the index (within \p Node's Nests) of the member nest writing
+/// \p Array, or -1.
+int memberWriting(const Graph &G, const StmtNode &Node,
+                  std::string_view Array) {
+  for (std::size_t I = 0; I < Node.Nests.size(); ++I)
+    if (G.chain().nest(Node.Nests[I]).Write.Array == Array)
+      return static_cast<int>(I);
+  return -1;
+}
+
+/// Recomputes a node's fused domain as the hull of its shifted member
+/// domains.
+void recomputeDomain(Graph &G, NodeId Id) {
+  StmtNode &Node = G.stmt(Id);
+  std::optional<poly::BoxSet> Hull;
+  for (std::size_t I = 0; I < Node.Nests.size(); ++I) {
+    poly::BoxSet D =
+        G.chain().nest(Node.Nests[I]).Domain.translated(Node.Shifts[I]);
+    Hull = Hull ? Hull->hull(D) : D;
+  }
+  Node.Domain = *Hull;
+}
+
+/// Marks every temporary produced by \p Node whose readers are all \p Node
+/// itself as internalized.
+void internalizeCaptured(Graph &G, NodeId Node) {
+  for (NodeId V : G.outputsOf(Node)) {
+    ValueNode &Value = G.value(V);
+    if (Value.Persistent)
+      continue;
+    bool AllInside = true;
+    for (const Edge *E : G.readersOf(V))
+      AllInside &= E->To == Node;
+    if (AllInside && !G.readersOf(V).empty())
+      Value.Internalized = true;
+  }
+}
+
+/// Moves every edge endpoint on statement \p From to statement \p To,
+/// merging parallel read edges by summing multiplicities.
+void repointEdges(Graph &G, NodeId From, NodeId To) {
+  for (Edge &E : G.edges()) {
+    if (E.Dead)
+      continue;
+    if (E.FromKind == EndpointKind::Value && E.To == From) {
+      // Merge with an existing read edge from the same value if present.
+      Edge *Existing = nullptr;
+      for (Edge &F : G.edges())
+        if (!F.Dead && &F != &E && F.FromKind == EndpointKind::Value &&
+            F.From == E.From && F.To == To)
+          Existing = &F;
+      if (Existing) {
+        Existing->Multiplicity += E.Multiplicity;
+        E.Dead = true;
+      } else {
+        E.To = To;
+      }
+    } else if (E.FromKind == EndpointKind::Stmt && E.From == From) {
+      E.From = To;
+    }
+  }
+}
+
+} // namespace
+
+TransformResult graph::reschedule(Graph &G, NodeId Stmt, int NewRow) {
+  if (!liveStmt(G, Stmt))
+    return TransformResult::failure("reschedule: no such statement node");
+  if (NewRow < 1)
+    return TransformResult::failure(
+        "reschedule: row 0 is reserved for chain inputs");
+  for (const Edge *E : G.readsOf(Stmt)) {
+    NodeId Producer = G.producerOf(E->From);
+    if (Producer != InvalidNode && Producer != Stmt &&
+        G.stmt(Producer).Row >= NewRow)
+      return TransformResult::failure(
+          "reschedule: would execute before producer " +
+          G.stmt(Producer).Label);
+  }
+  for (NodeId V : G.outputsOf(Stmt))
+    for (const Edge *E : G.readersOf(V))
+      if (E->To != Stmt && G.stmt(E->To).Row <= NewRow)
+        return TransformResult::failure(
+            "reschedule: would execute after consumer " +
+            G.stmt(E->To).Label);
+  int NewCol = nextColInRow(G, NewRow);
+  G.stmt(Stmt).Row = NewRow;
+  G.stmt(Stmt).Col = NewCol;
+  G.verify();
+  return TransformResult::success();
+}
+
+TransformResult graph::fuseProducerConsumer(Graph &G, NodeId Producer,
+                                            NodeId Consumer) {
+  if (!liveStmt(G, Producer) || !liveStmt(G, Consumer) ||
+      Producer == Consumer)
+    return TransformResult::failure("fusePC: invalid node pair");
+  StmtNode &P = G.stmt(Producer);
+  StmtNode &C = G.stmt(Consumer);
+  if (P.Domain.rank() != C.Domain.rank())
+    return TransformResult::failure("fusePC: iteration space rank mismatch");
+  if (P.Row >= C.Row)
+    return TransformResult::failure(
+        "fusePC: producer must be scheduled before consumer");
+
+  // There must be a temporary value produced by P and read by C.
+  bool SharesValue = false;
+  for (const Edge *E : G.readsOf(Consumer)) {
+    if (G.producerOf(E->From) == Producer && !G.value(E->From).Persistent)
+      SharesValue = true;
+  }
+  if (!SharesValue)
+    return TransformResult::failure(
+        "fusePC: no temporary value flows from " + P.Label + " to " +
+        C.Label);
+
+  // The fused node executes at the consumer's position, so every other
+  // reader of the producer's outputs must be scheduled after the consumer.
+  for (NodeId V : G.outputsOf(Producer))
+    for (const Edge *E : G.readersOf(V))
+      if (E->To != Consumer && E->To != Producer &&
+          G.stmt(E->To).Row <= C.Row)
+        return TransformResult::failure(
+            "fusePC: " + G.value(V).Array + " is also read by " +
+            G.stmt(E->To).Label + " at or before row " +
+            std::to_string(C.Row));
+
+  // Compute the uniform extra shift for C's members: for every read in C of
+  // a value written by a member of P, the consumer instance must execute at
+  // or after the producing instance.
+  unsigned Rank = P.Domain.rank();
+  std::vector<std::int64_t> Delta(Rank, 0);
+  for (std::size_t CI = 0; CI < C.Nests.size(); ++CI) {
+    const ir::LoopNest &CNest = G.chain().nest(C.Nests[CI]);
+    for (const ir::Access &R : CNest.Reads) {
+      int PI = memberWriting(G, P, R.Array);
+      if (PI < 0)
+        continue;
+      const ir::LoopNest &PNest = G.chain().nest(P.Nests[PI]);
+      const std::vector<std::int64_t> &WOff = PNest.Write.Offsets.front();
+      for (const auto &ROff : R.Offsets) {
+        // Constraint: shift_C + delta >= rOff - wOff + shift_P.
+        std::vector<std::int64_t> Needed(Rank);
+        for (unsigned D = 0; D < Rank; ++D)
+          Needed[D] = ROff[D] - WOff[D] + P.Shifts[PI][D] -
+                      C.Shifts[CI][D];
+        maxInto(Delta, Needed);
+      }
+    }
+  }
+
+  // Apply: append C's members to P with the adjusted shifts.
+  for (std::size_t CI = 0; CI < C.Nests.size(); ++CI) {
+    std::vector<std::int64_t> Shift = C.Shifts[CI];
+    for (unsigned D = 0; D < Rank; ++D)
+      Shift[D] += Delta[D];
+    P.Nests.push_back(C.Nests[CI]);
+    P.Shifts.push_back(std::move(Shift));
+  }
+  P.Label += "+" + C.Label;
+  P.Row = C.Row;
+  P.Col = C.Col;
+  repointEdges(G, Consumer, Producer);
+  C.Dead = true;
+  recomputeDomain(G, Producer);
+  internalizeCaptured(G, Producer);
+
+  // Values produced by the fused node move with it for display purposes.
+  for (NodeId V = 0; V < G.numValueNodes(); ++V)
+    if (!G.value(V).Dead && G.producerOf(V) == Producer)
+      G.value(V).Row = P.Row;
+
+  G.verify();
+  return TransformResult::success();
+}
+
+TransformResult graph::fuseReadReduction(Graph &G, NodeId A, NodeId B,
+                                         bool CollapseShared) {
+  if (!liveStmt(G, A) || !liveStmt(G, B) || A == B)
+    return TransformResult::failure("fuseRR: invalid node pair");
+  StmtNode &NA = G.stmt(A);
+  StmtNode &NB = G.stmt(B);
+  if (NA.Domain.rank() != NB.Domain.rank())
+    return TransformResult::failure("fuseRR: iteration space rank mismatch");
+
+  // No dataflow may connect the two nodes (that would be a PC fusion).
+  for (const Edge *E : G.readsOf(B))
+    if (G.producerOf(E->From) == A)
+      return TransformResult::failure(
+          "fuseRR: dataflow from " + NA.Label + " to " + NB.Label +
+          " (use producer-consumer fusion)");
+  for (const Edge *E : G.readsOf(A))
+    if (G.producerOf(E->From) == B)
+      return TransformResult::failure(
+          "fuseRR: dataflow from " + NB.Label + " to " + NA.Label +
+          " (use producer-consumer fusion)");
+
+  // They must share at least one read value, or accumulate into a common
+  // persistent output (Dx/Dy both updating the cell-centered result).
+  bool Shares = false;
+  for (const Edge *EA : G.readsOf(A))
+    for (const Edge *EB : G.readsOf(B))
+      Shares |= EA->From == EB->From;
+  for (NodeId VA : G.outputsOf(A))
+    for (NodeId VB : G.outputsOf(B))
+      Shares |= VA == VB && G.value(VA).Persistent;
+  if (!Shares)
+    return TransformResult::failure("fuseRR: " + NA.Label + " and " +
+                                    NB.Label +
+                                    " share no read value or output");
+
+  int TargetRow = std::min(NA.Row, NB.Row);
+  // All producers must come before the target row; all consumers after.
+  for (NodeId Id : {A, B}) {
+    for (const Edge *E : G.readsOf(Id)) {
+      NodeId Producer = G.producerOf(E->From);
+      // Self-produced (internalized) inputs travel with the node.
+      if (Producer == InvalidNode || Producer == A || Producer == B)
+        continue;
+      if (G.stmt(Producer).Row >= TargetRow)
+        return TransformResult::failure(
+            "fuseRR: input of " + G.stmt(Id).Label +
+            " is not available at row " + std::to_string(TargetRow));
+    }
+    for (NodeId V : G.outputsOf(Id))
+      for (const Edge *E : G.readersOf(V))
+        if (E->To != A && E->To != B && G.stmt(E->To).Row <= TargetRow)
+          return TransformResult::failure(
+              "fuseRR: output of " + G.stmt(Id).Label +
+              " is consumed at or before row " + std::to_string(TargetRow));
+  }
+
+  // Record which values both nodes read so their streams can collapse.
+  std::vector<NodeId> SharedValues;
+  for (const Edge *EA : G.readsOf(A))
+    for (const Edge *EB : G.readsOf(B))
+      if (EA->From == EB->From)
+        SharedValues.push_back(EA->From);
+
+  for (std::size_t BI = 0; BI < NB.Nests.size(); ++BI) {
+    NA.Nests.push_back(NB.Nests[BI]);
+    NA.Shifts.push_back(NB.Shifts[BI]);
+  }
+  NA.Label += "+" + NB.Label;
+  NA.Row = TargetRow;
+  repointEdges(G, B, A);
+  NB.Dead = true;
+  recomputeDomain(G, A);
+
+  // The read reduction itself: one stream per shared value.
+  if (CollapseShared) {
+    for (NodeId V : SharedValues) {
+      TransformResult R = collapseReads(G, V, A);
+      if (!R)
+        return R;
+    }
+  }
+  G.verify();
+  return TransformResult::success();
+}
+
+TransformResult graph::collapseReads(Graph &G, NodeId Value, NodeId Stmt) {
+  if (!liveStmt(G, Stmt) || Value >= G.numValueNodes() ||
+      G.value(Value).Dead)
+    return TransformResult::failure("collapseReads: invalid node pair");
+  bool Found = false;
+  for (Edge &E : G.edges()) {
+    if (E.Dead || E.FromKind != EndpointKind::Value || E.From != Value ||
+        E.To != Stmt)
+      continue;
+    if (Found) {
+      E.Dead = true;
+    } else {
+      E.Multiplicity = 1;
+      Found = true;
+    }
+  }
+  if (!Found)
+    return TransformResult::failure("collapseReads: no such edge");
+  return TransformResult::success();
+}
+
+TransformResult graph::interchange(Graph &G, NodeId Stmt,
+                                   const std::vector<unsigned> &Order) {
+  if (!liveStmt(G, Stmt))
+    return TransformResult::failure("interchange: no such statement node");
+  StmtNode &Node = G.stmt(Stmt);
+  unsigned Rank = Node.Domain.rank();
+  if (Order.size() != Rank)
+    return TransformResult::failure("interchange: order arity mismatch");
+  std::vector<bool> Seen(Rank, false);
+  for (unsigned D : Order) {
+    if (D >= Rank || Seen[D])
+      return TransformResult::failure(
+          "interchange: order is not a permutation");
+    Seen[D] = true;
+  }
+
+  // Every intra-node dependence distance must stay lexicographically
+  // non-negative under the new order. Distances come from member pairs
+  // where one writes what the other reads.
+  for (std::size_t P = 0; P < Node.Nests.size(); ++P) {
+    const ir::LoopNest &PNest = G.chain().nest(Node.Nests[P]);
+    const std::vector<std::int64_t> &WOff = PNest.Write.Offsets.front();
+    for (std::size_t C = 0; C < Node.Nests.size(); ++C) {
+      const ir::LoopNest &CNest = G.chain().nest(Node.Nests[C]);
+      for (const ir::Access &R : CNest.Reads) {
+        if (R.Array != PNest.Write.Array)
+          continue;
+        for (const auto &ROff : R.Offsets) {
+          // Sign of the distance in the new order.
+          int Sign = 0;
+          for (unsigned K = 0; K < Rank && Sign == 0; ++K) {
+            unsigned D = Order[K];
+            std::int64_t Delta = (Node.Shifts[C][D] - ROff[D]) -
+                                 (Node.Shifts[P][D] - WOff[D]);
+            Sign = Delta > 0 ? 1 : Delta < 0 ? -1 : 0;
+          }
+          if (Sign < 0)
+            return TransformResult::failure(
+                "interchange: dependence from " + PNest.Name + " to " +
+                CNest.Name + " becomes lexicographically negative");
+        }
+      }
+    }
+  }
+
+  // Identity orders clear the override.
+  bool Identity = true;
+  for (unsigned D = 0; D < Rank; ++D)
+    Identity &= Order[D] == D;
+  Node.DimOrder = Identity ? std::vector<unsigned>{} : Order;
+  return TransformResult::success();
+}

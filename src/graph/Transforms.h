@@ -1,0 +1,80 @@
+//===- graph/Transforms.h - M2DFG scheduling transformations ----*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The graph operations of Section 4: reschedule, producer-consumer fusion,
+/// and read-reduction fusion. Each corresponds to a transformation of the
+/// generated code; fusion shifts member statement sets automatically to keep
+/// execution legal ("any shifting will be automatically applied", §3.2).
+///
+/// Transformations validate their preconditions and return an error without
+/// mutating the graph when they would be illegal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_GRAPH_TRANSFORMS_H
+#define LCDFG_GRAPH_TRANSFORMS_H
+
+#include "graph/Graph.h"
+
+#include <string>
+
+namespace lcdfg {
+namespace graph {
+
+/// Outcome of a transformation attempt.
+struct TransformResult {
+  bool Ok = true;
+  std::string Error;
+
+  explicit operator bool() const { return Ok; }
+  static TransformResult success() { return {}; }
+  static TransformResult failure(std::string Msg) {
+    return TransformResult{false, std::move(Msg)};
+  }
+};
+
+/// Moves statement node \p Stmt to \p NewRow (Section 4.1). Legal when every
+/// producer feeding \p Stmt sits in an earlier row and every consumer of its
+/// outputs sits in a later row.
+TransformResult reschedule(Graph &G, NodeId Stmt, int NewRow);
+
+/// Producer-consumer fusion (Section 4.2): fuses \p Consumer into
+/// \p Producer, which must produce at least one temporary value read by
+/// \p Consumer. Consumer statement sets are shifted to respect the stencil
+/// dependences; shared temporaries whose readers all end up inside the
+/// fused node are internalized (enabling storage reduction). The fused node
+/// takes the consumer's schedule position, so any other reader of the
+/// producer's outputs must be scheduled after the consumer.
+TransformResult fuseProducerConsumer(Graph &G, NodeId Producer,
+                                     NodeId Consumer);
+
+/// Read-reduction fusion (Section 4.2): fuses \p B into \p A when the two
+/// nodes share at least one read value (or accumulate into a common
+/// persistent output) and no dataflow connects them. Each fused statement
+/// set keeps its own output. With \p CollapseShared (the default), edges
+/// from shared values collapse to a single stream — the read reduction;
+/// passing false merely co-schedules the nodes (node coalescing).
+TransformResult fuseReadReduction(Graph &G, NodeId A, NodeId B,
+                                  bool CollapseShared = true);
+
+/// Collapses all read edges from \p Value into \p Stmt to a single stream
+/// (an explicit intra-node read reduction).
+TransformResult collapseReads(Graph &G, NodeId Value, NodeId Stmt);
+
+/// Loop interchange on a statement node: executes the node's loops in
+/// \p Order (domain-dimension indices, outermost first). Legal when every
+/// intra-node dependence distance stays lexicographically non-negative in
+/// the new order. Changes reuse distances — the "larger set of intra-tile
+/// schedules" of Section 5.2 — so run storage reduction afterwards.
+TransformResult interchange(Graph &G, NodeId Stmt,
+                            const std::vector<unsigned> &Order);
+
+} // namespace graph
+} // namespace lcdfg
+
+#endif // LCDFG_GRAPH_TRANSFORMS_H

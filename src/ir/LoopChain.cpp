@@ -1,0 +1,196 @@
+//===- ir/LoopChain.cpp ---------------------------------------------------===//
+
+#include "ir/LoopChain.h"
+
+#include "poly/IntegerMap.h"
+#include "support/Errors.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::ir;
+
+std::vector<std::int64_t> Access::minOffsets() const {
+  assert(!Offsets.empty() && "access with no stencil points");
+  std::vector<std::int64_t> Min = Offsets.front();
+  for (const auto &O : Offsets)
+    for (std::size_t I = 0; I < Min.size(); ++I)
+      Min[I] = std::min(Min[I], O[I]);
+  return Min;
+}
+
+std::vector<std::int64_t> Access::maxOffsets() const {
+  assert(!Offsets.empty() && "access with no stencil points");
+  std::vector<std::int64_t> Max = Offsets.front();
+  for (const auto &O : Offsets)
+    for (std::size_t I = 0; I < Max.size(); ++I)
+      Max[I] = std::max(Max[I], O[I]);
+  return Max;
+}
+
+std::string Access::toString() const {
+  std::ostringstream OS;
+  OS << Array << "{";
+  for (unsigned I = 0; I < Offsets.size(); ++I) {
+    if (I)
+      OS << ",";
+    OS << "(";
+    for (unsigned J = 0; J < Offsets[I].size(); ++J) {
+      if (J)
+        OS << ",";
+      OS << Offsets[I][J];
+    }
+    OS << ")";
+  }
+  OS << "}";
+  return OS.str();
+}
+
+poly::BoxSet LoopNest::writeFootprint() const {
+  assert(Write.Offsets.size() == 1 && "write must be a single point");
+  return Domain.translated(Write.Offsets.front());
+}
+
+poly::BoxSet LoopNest::readFootprint(unsigned I) const {
+  assert(I < Reads.size() && "read index out of range");
+  const Access &A = Reads[I];
+  poly::BoxSet FP = Domain.translated(A.Offsets.front());
+  for (std::size_t P = 1; P < A.Offsets.size(); ++P)
+    FP = FP.hull(Domain.translated(A.Offsets[P]));
+  return FP;
+}
+
+unsigned LoopChain::addNest(LoopNest Nest) {
+  assert(Nest.Write.Offsets.size() == 1 &&
+         "loop chain nests write exactly one point per iteration");
+  Nests.push_back(std::move(Nest));
+  return static_cast<unsigned>(Nests.size() - 1);
+}
+
+void LoopChain::declareArray(ArrayInfo Info) {
+  auto It = Arrays.find(Info.Name);
+  if (It == Arrays.end()) {
+    ArrayOrder.push_back(Info.Name);
+    Arrays.emplace(Info.Name, std::move(Info));
+  } else {
+    It->second = std::move(Info);
+  }
+}
+
+bool LoopChain::hasArray(std::string_view Name) const {
+  return Arrays.find(Name) != Arrays.end();
+}
+
+const ArrayInfo &LoopChain::array(std::string_view Name) const {
+  auto It = Arrays.find(Name);
+  if (It == Arrays.end())
+    reportFatalError("unknown array: " + std::string(Name));
+  return It->second;
+}
+
+void LoopChain::finalize() {
+  // Record first-reference order and classify.
+  std::set<std::string> Declared;
+  for (const auto &[Name, Info] : Arrays) {
+    (void)Info;
+    Declared.insert(Name);
+  }
+
+  auto Touch = [&](const std::string &Name) -> ArrayInfo & {
+    auto It = Arrays.find(Name);
+    if (It == Arrays.end()) {
+      ArrayOrder.push_back(Name);
+      It = Arrays.emplace(Name, ArrayInfo{Name, StorageKind::Temporary, {}})
+               .first;
+    }
+    return It->second;
+  };
+
+  std::set<std::string> Written, ReadAfterWrite, ReadBeforeWrite;
+  for (const LoopNest &Nest : Nests) {
+    for (const Access &R : Nest.Reads) {
+      Touch(R.Array);
+      if (Written.count(R.Array))
+        ReadAfterWrite.insert(R.Array);
+      else
+        ReadBeforeWrite.insert(R.Array);
+    }
+    Touch(Nest.Write.Array);
+    Written.insert(Nest.Write.Array);
+  }
+
+  for (const std::string &Name : ArrayOrder) {
+    ArrayInfo &Info = Arrays.find(Name)->second;
+    if (!Declared.count(Name)) {
+      if (ReadBeforeWrite.count(Name) && !Written.count(Name))
+        Info.Kind = StorageKind::PersistentInput;
+      else if (Written.count(Name) && !ReadAfterWrite.count(Name))
+        Info.Kind = StorageKind::PersistentOutput;
+      else
+        Info.Kind = StorageKind::Temporary;
+    }
+    // Infer extent as the hull of all access footprints.
+    if (!Info.Extent) {
+      std::optional<poly::BoxSet> Extent;
+      for (const LoopNest &Nest : Nests) {
+        auto Merge = [&](const poly::BoxSet &FP) {
+          Extent = Extent ? Extent->hull(FP) : FP;
+        };
+        if (Nest.Write.Array == Name)
+          Merge(Nest.writeFootprint());
+        for (unsigned I = 0; I < Nest.Reads.size(); ++I)
+          if (Nest.Reads[I].Array == Name)
+            Merge(Nest.readFootprint(I));
+      }
+      Info.Extent = Extent;
+    }
+  }
+}
+
+std::vector<std::string> LoopChain::arrayNames() const { return ArrayOrder; }
+
+Polynomial LoopChain::valueSize(std::string_view ArrayName,
+                                std::string_view Symbol) const {
+  const ArrayInfo &Info = array(ArrayName);
+  if (!Info.Extent)
+    reportFatalError("array has no extent (finalize() not called?): " +
+                     std::string(ArrayName));
+  return Info.Extent->cardinality(Symbol);
+}
+
+std::optional<unsigned> LoopChain::writerOf(std::string_view ArrayName) const {
+  for (unsigned I = 0; I < Nests.size(); ++I)
+    if (Nests[I].Write.Array == ArrayName)
+      return I;
+  return std::nullopt;
+}
+
+std::vector<unsigned> LoopChain::readersOf(std::string_view ArrayName) const {
+  std::vector<unsigned> Readers;
+  for (unsigned I = 0; I < Nests.size(); ++I)
+    for (const Access &R : Nests[I].Reads)
+      if (R.Array == ArrayName) {
+        Readers.push_back(I);
+        break;
+      }
+  return Readers;
+}
+
+std::string LoopChain::toString() const {
+  std::ostringstream OS;
+  OS << "loopchain " << Name;
+  if (!ScheduleHint.empty())
+    OS << " parallel(" << ScheduleHint << ")";
+  OS << " {\n";
+  for (const LoopNest &Nest : Nests) {
+    OS << "  " << Nest.Name << ": domain " << Nest.Domain.toString()
+       << "\n    write " << Nest.Write.toString() << "\n";
+    for (const Access &R : Nest.Reads)
+      OS << "    read " << R.toString() << "\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,140 @@
+//===- ir/LoopChain.h - Loop chain intermediate representation --*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop chain abstraction (Krieger et al., HIPS 2013; Bertolacci et al.,
+/// WACCPD 2016): a series of loop nests that share data, each annotated with
+/// its iteration domain and its read/write access patterns. A LoopChain is
+/// the input to M2DFG construction (Section 2.2 of the paper). It can be
+/// built programmatically or parsed from omplc-style pragma annotations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_IR_LOOPCHAIN_H
+#define LCDFG_IR_LOOPCHAIN_H
+
+#include "poly/BoxSet.h"
+#include "support/Polynomial.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace ir {
+
+/// A data access: an array accessed at a set of constant offsets relative to
+/// the iteration point. `read VAL_2{(x,y,z),(x+1,y,z)}` becomes offsets
+/// {(0,0,0), (1,0,0)}.
+struct Access {
+  std::string Array;
+  std::vector<std::vector<std::int64_t>> Offsets;
+
+  /// Componentwise minimum over the stencil offsets.
+  std::vector<std::int64_t> minOffsets() const;
+  /// Componentwise maximum over the stencil offsets.
+  std::vector<std::int64_t> maxOffsets() const;
+
+  std::string toString() const;
+};
+
+/// One annotated loop nest within a chain: a named statement set with an
+/// iteration domain, exactly one written array, and any number of reads.
+struct LoopNest {
+  std::string Name;
+  poly::BoxSet Domain;
+  Access Write;
+  std::vector<Access> Reads;
+  /// Human-readable statement body for code printing, e.g.
+  /// "VAL_1(x,y) = f1(VAL_0(x,y));".
+  std::string BodyText;
+  /// Identifier of an executable kernel in the interpreter's registry
+  /// (-1 when the nest is symbolic only).
+  int KernelId = -1;
+
+  /// Image of the write access over the domain: the value set this nest
+  /// produces.
+  poly::BoxSet writeFootprint() const;
+
+  /// Image of the I-th read access over the domain (hull over the stencil
+  /// points).
+  poly::BoxSet readFootprint(unsigned I) const;
+};
+
+/// How an array relates to the chain (Section 3.1: persistent value sets are
+/// accessed outside the loop chain; temporaries live only inside it).
+enum class StorageKind { PersistentInput, PersistentOutput, Temporary };
+
+/// Per-array information, partly declared and partly inferred.
+struct ArrayInfo {
+  std::string Name;
+  StorageKind Kind = StorageKind::Temporary;
+  /// Index-space extent; inferred as the hull of all access footprints when
+  /// not declared.
+  std::optional<poly::BoxSet> Extent;
+};
+
+/// A series of loop nests sharing data, plus the array table.
+class LoopChain {
+public:
+  explicit LoopChain(std::string Name = "chain",
+                     std::string ScheduleHint = "")
+      : Name(std::move(Name)), ScheduleHint(std::move(ScheduleHint)) {}
+
+  const std::string &name() const { return Name; }
+  const std::string &scheduleHint() const { return ScheduleHint; }
+  void setScheduleHint(std::string Hint) { ScheduleHint = std::move(Hint); }
+
+  /// Appends a nest; returns its index.
+  unsigned addNest(LoopNest Nest);
+
+  unsigned numNests() const { return static_cast<unsigned>(Nests.size()); }
+  const LoopNest &nest(unsigned I) const { return Nests[I]; }
+  LoopNest &nest(unsigned I) { return Nests[I]; }
+  const std::vector<LoopNest> &nests() const { return Nests; }
+
+  /// Declares or overrides array metadata.
+  void declareArray(ArrayInfo Info);
+  bool hasArray(std::string_view Name) const;
+  const ArrayInfo &array(std::string_view Name) const;
+
+  /// Classifies every referenced array. Arrays read before any write are
+  /// persistent inputs; arrays written but never read afterwards are
+  /// persistent outputs; the rest are temporaries. Explicit declarations
+  /// win. Also infers extents as hulls of access footprints.
+  void finalize();
+
+  /// All referenced array names in first-reference order.
+  std::vector<std::string> arrayNames() const;
+
+  /// Symbolic size of the array's value set: the extent's cardinality.
+  Polynomial valueSize(std::string_view ArrayName,
+                       std::string_view Symbol = "N") const;
+
+  /// Index of the nest that writes \p ArrayName first, or nullopt for
+  /// chain inputs.
+  std::optional<unsigned> writerOf(std::string_view ArrayName) const;
+
+  /// Indices of nests that read \p ArrayName.
+  std::vector<unsigned> readersOf(std::string_view ArrayName) const;
+
+  std::string toString() const;
+
+private:
+  std::string Name;
+  std::string ScheduleHint;
+  std::vector<LoopNest> Nests;
+  std::map<std::string, ArrayInfo, std::less<>> Arrays;
+  std::vector<std::string> ArrayOrder;
+};
+
+} // namespace ir
+} // namespace lcdfg
+
+#endif // LCDFG_IR_LOOPCHAIN_H

@@ -1,0 +1,139 @@
+//===- minifluxdiv/FaceOps.h - Shared flux kernel helpers -------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Building blocks shared by the MiniFluxDiv schedule variants and the
+/// Halide-/PolyMage-style comparators: face-indexed scratch buffers and the
+/// three stage kernels (partial flux, complete flux, flux difference).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_MINIFLUXDIV_FACEOPS_H
+#define LCDFG_MINIFLUXDIV_FACEOPS_H
+
+#include "minifluxdiv/Spec.h"
+#include "minifluxdiv/Variants.h"
+#include "runtime/BoxGrid.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace lcdfg {
+namespace mfd {
+
+inline constexpr int DirX = 0;
+inline constexpr int DirY = 1;
+inline constexpr int DirZ = 2;
+inline constexpr int VelOfDir[3] = {CompU, CompV, CompW};
+
+/// Fourth-order face interpolation at the face addressed by \p P with
+/// stride \p S along the face direction: the face sits between cells P[-S]
+/// and P[0].
+inline double f1At(const double *P, std::int64_t S) {
+  return FluxC1 * (P[-S] + P[0]) - FluxC2 * (P[-2 * S] + P[S]);
+}
+
+/// A 3D scratch buffer with an arbitrary integer origin; used for face
+/// arrays, tile-local temporaries, and carry planes.
+struct Buf3 {
+  std::vector<double> Data;
+  int Nz = 0, Ny = 0, Nx = 0;
+  int Z0 = 0, Y0 = 0, X0 = 0;
+
+  /// Reshapes the buffer. Contents are NOT zeroed: every producer stage
+  /// fully overwrites its extent, and reusing capacity across boxes/tiles
+  /// is what keeps the per-box temporaries allocation-free.
+  void resize(int NewZ0, int NewY0, int NewX0, int NewNz, int NewNy,
+              int NewNx) {
+    Z0 = NewZ0;
+    Y0 = NewY0;
+    X0 = NewX0;
+    Nz = NewNz;
+    Ny = NewNy;
+    Nx = NewNx;
+    std::size_t Needed = static_cast<std::size_t>(Nz) * Ny * Nx;
+    if (Data.size() < Needed)
+      Data.resize(Needed);
+  }
+
+  /// Matches another buffer's shape without preserving contents.
+  void resizeLike(const Buf3 &Other) {
+    resize(Other.Z0, Other.Y0, Other.X0, Other.Nz, Other.Ny, Other.Nx);
+  }
+
+  double &at(int Z, int Y, int X) {
+    return Data[(static_cast<std::size_t>(Z - Z0) * Ny + (Y - Y0)) * Nx +
+                (X - X0)];
+  }
+  const double &at(int Z, int Y, int X) const {
+    return const_cast<Buf3 *>(this)->at(Z, Y, X);
+  }
+};
+
+/// Per-thread pool of reusable scratch buffers. Schedule variants address
+/// slots positionally; distinct slots model distinct (single-assignment)
+/// value sets while slot reuse models the storage-reduced mappings. The
+/// pool persists across boxes and tiles, so steady-state execution does no
+/// allocation — matching the hand-optimized baselines the paper measures.
+inline Buf3 &scratchBuf(unsigned Slot) {
+  // The deque keeps element addresses stable while the pool grows, so
+  // callers may hold several slot references at once.
+  static thread_local std::deque<Buf3> Pool;
+  while (Slot >= Pool.size())
+    Pool.emplace_back();
+  return Pool[Slot];
+}
+
+/// Sizes \p B as the face array of direction \p Dir over the cell region
+/// starting at (Z0, Y0, X0) with extents (Nz, Ny, Nx): the face dimension
+/// gains one entry.
+inline void resizeFaceBuf(Buf3 &B, int Dir, int Z0, int Y0, int X0, int Nz,
+                          int Ny, int Nx) {
+  B.resize(Z0, Y0, X0, Nz + (Dir == DirZ ? 1 : 0), Ny + (Dir == DirY ? 1 : 0),
+           Nx + (Dir == DirX ? 1 : 0));
+}
+
+/// Computes the partial flux F1 of component \p C over \p B's extent.
+inline void computeF1(const rt::Box &In, int C, int Dir, Buf3 &B) {
+  const double *P = In.origin(C);
+  std::int64_t SZ = In.strideZ(), SY = In.strideY();
+  std::int64_t FS = Dir == DirX ? 1 : Dir == DirY ? SY : SZ;
+  for (int Z = B.Z0; Z < B.Z0 + B.Nz; ++Z)
+    for (int Y = B.Y0; Y < B.Y0 + B.Ny; ++Y) {
+      const double *Row = P + Z * SZ + Y * SY;
+      for (int X = B.X0; X < B.X0 + B.Nx; ++X)
+        B.at(Z, Y, X) = f1At(Row + X, FS);
+    }
+}
+
+/// Completes the flux: F2 = F1 * F1_vel pointwise over \p F1Buf's extent.
+/// \p Vel must cover that extent.
+inline void computeF2(const Buf3 &F1Buf, const Buf3 &Vel, Buf3 &F2Buf) {
+  F2Buf.resizeLike(F1Buf);
+  for (int Z = F2Buf.Z0; Z < F2Buf.Z0 + F2Buf.Nz; ++Z)
+    for (int Y = F2Buf.Y0; Y < F2Buf.Y0 + F2Buf.Ny; ++Y)
+      for (int X = F2Buf.X0; X < F2Buf.X0 + F2Buf.Nx; ++X)
+        F2Buf.at(Z, Y, X) = F1Buf.at(Z, Y, X) * Vel.at(Z, Y, X);
+}
+
+/// Accumulates the flux difference of direction \p Dir into \p Out over the
+/// cell region [Z0,Z1) x [Y0,Y1) x [X0,X1).
+inline void accumulateDiff(rt::Box &Out, int C, int Dir, const Buf3 &F2,
+                           int Z0, int Z1, int Y0, int Y1, int X0, int X1) {
+  int DZ = Dir == DirZ, DY = Dir == DirY, DX = Dir == DirX;
+  for (int Z = Z0; Z < Z1; ++Z)
+    for (int Y = Y0; Y < Y1; ++Y)
+      for (int X = X0; X < X1; ++X)
+        Out.at(C, Z, Y, X) += DiffScale * (F2.at(Z + DZ, Y + DY, X + DX) -
+                                           F2.at(Z, Y, X));
+}
+
+} // namespace mfd
+} // namespace lcdfg
+
+#endif // LCDFG_MINIFLUXDIV_FACEOPS_H

@@ -1,0 +1,63 @@
+//===- minifluxdiv/Spec.h - The MiniFluxDiv loop chain ----------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniFluxDiv (Section 2.1) expressed as a loop chain, plus the schedule
+/// recipes of Section 5.2 expressed as M2DFG transformation sequences:
+/// series of loops (the initial graph, Figure 3), fuse among directions
+/// (Figure 7), fuse within directions (Figure 8), and fuse all levels
+/// (Figure 9).
+///
+/// Per direction d and component c the computation is
+///   F1d_c(face)  = 7/12 (phi_c(i-1) + phi_c(i)) - 1/12 (phi_c(i-2) +
+///                  phi_c(i+1))                       [partial flux]
+///   F2d_c(face)  = F1d_c(face) * F1d_vel(d)(face)    [complete flux]
+///   out_c(cell) += K (F2d_c(i+1) - F2d_c(i))         [flux difference]
+/// where vel(x) = u, vel(y) = v, vel(z) = w.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_MINIFLUXDIV_SPEC_H
+#define LCDFG_MINIFLUXDIV_SPEC_H
+
+#include "codegen/Interpreter.h"
+#include "graph/Graph.h"
+#include "graph/Transforms.h"
+#include "ir/LoopChain.h"
+
+namespace lcdfg {
+namespace mfd {
+
+/// Flux-difference scaling constant used by every implementation.
+inline constexpr double DiffScale = 0.5;
+/// Partial-flux stencil coefficients (fourth-order face interpolation).
+inline constexpr double FluxC1 = 7.0 / 12.0;
+inline constexpr double FluxC2 = 1.0 / 12.0;
+
+/// Builds the 2D, four-component (rho, u, v, e) chain used in the paper's
+/// diagrams: 24 loop nests over an N x N box with 2-deep ghost cells.
+ir::LoopChain buildChain2D();
+
+/// Builds the full 3D, five-component (rho, u, v, w, e) chain: 45 loop
+/// nests over an N^3 box.
+ir::LoopChain buildChain3D();
+
+/// Registers executable kernels for a chain built above and assigns
+/// LoopNest::KernelId, so graph schedules can be interpreted.
+void registerKernels(ir::LoopChain &Chain, codegen::KernelRegistry &Registry);
+
+/// The schedule recipes. Each takes the *initial* graph of a chain built by
+/// buildChain2D/3D and applies the paper's transformation sequence. They
+/// abort on a transformation failure (the recipes are known-legal).
+void applyFuseAmongDirections(graph::Graph &G);
+void applyFuseWithinDirections(graph::Graph &G);
+void applyFuseAllLevels(graph::Graph &G);
+
+} // namespace mfd
+} // namespace lcdfg
+
+#endif // LCDFG_MINIFLUXDIV_SPEC_H

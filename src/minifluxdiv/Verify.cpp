@@ -1,0 +1,40 @@
+//===- minifluxdiv/Verify.cpp ---------------------------------------------===//
+
+#include "minifluxdiv/Verify.h"
+
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::mfd;
+
+VerifyResult mfd::verifyVariant(Variant V, const Problem &P, double Tolerance,
+                                std::uint64_t Seed) {
+  std::vector<rt::Box> In = makeInputs(P, Seed);
+  std::vector<rt::Box> Ref = makeOutputs(P);
+  std::vector<rt::Box> Got = makeOutputs(P);
+
+  RunConfig Cfg;
+  Cfg.Threads = 1;
+  runVariant(Variant::SeriesReduced, In, Ref, Cfg);
+  runVariant(V, In, Got, Cfg);
+
+  VerifyResult R;
+  R.V = V;
+  for (std::size_t I = 0; I < In.size(); ++I)
+    R.MaxRelDiff = std::max(R.MaxRelDiff, rt::maxRelDiff(Ref[I], Got[I]));
+  R.Pass = R.MaxRelDiff <= Tolerance;
+  return R;
+}
+
+bool mfd::verifyAll(const Problem &P, std::string &Report, double Tolerance) {
+  std::ostringstream OS;
+  bool AllPass = true;
+  for (Variant V : allVariants()) {
+    VerifyResult R = verifyVariant(V, P, Tolerance);
+    OS << variantName(V) << ": max rel diff " << R.MaxRelDiff
+       << (R.Pass ? " PASS" : " FAIL") << "\n";
+    AllPass &= R.Pass;
+  }
+  Report += OS.str();
+  return AllPass;
+}

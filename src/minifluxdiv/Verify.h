@@ -1,0 +1,49 @@
+//===- minifluxdiv/Verify.h - Cross-variant result checking -----*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks that every schedule variant computes the same result as the
+/// series-of-loops reference on randomized boxes. Schedule and storage
+/// transformations must be semantics-preserving; this is the library's
+/// end-to-end correctness gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_MINIFLUXDIV_VERIFY_H
+#define LCDFG_MINIFLUXDIV_VERIFY_H
+
+#include "minifluxdiv/Variants.h"
+
+#include <string>
+
+namespace lcdfg {
+namespace mfd {
+
+/// Result of verifying one variant.
+struct VerifyResult {
+  Variant V = Variant::SeriesSA;
+  double MaxRelDiff = 0.0;
+  bool Pass = false;
+};
+
+/// Runs \p V and the reference on fresh pseudo-random inputs of shape \p P
+/// and compares interiors. \p Tolerance bounds the accepted relative
+/// difference (reassociation across variants produces rounding-level
+/// deviations).
+VerifyResult verifyVariant(Variant V, const Problem &P,
+                           double Tolerance = 1e-12,
+                           std::uint64_t Seed = 0x5eed);
+
+/// Verifies every variant; returns true when all pass and appends a
+/// human-readable report to \p Report.
+bool verifyAll(const Problem &P, std::string &Report,
+               double Tolerance = 1e-12);
+
+} // namespace mfd
+} // namespace lcdfg
+
+#endif // LCDFG_MINIFLUXDIV_VERIFY_H

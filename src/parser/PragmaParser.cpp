@@ -1,0 +1,372 @@
+//===- parser/PragmaParser.cpp --------------------------------------------===//
+
+#include "parser/PragmaParser.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::parser;
+
+namespace {
+
+/// Line-oriented cursor over the preprocessed source.
+struct Cursor {
+  std::vector<std::string> Lines;
+  std::vector<unsigned> LineNumbers; // original 1-based numbers
+  std::size_t Pos = 0;
+
+  bool atEnd() const { return Pos >= Lines.size(); }
+  const std::string &peek() const { return Lines[Pos]; }
+  unsigned lineNo() const {
+    return Pos < LineNumbers.size() ? LineNumbers[Pos]
+                                    : (LineNumbers.empty()
+                                           ? 1
+                                           : LineNumbers.back());
+  }
+  void advance() { ++Pos; }
+};
+
+/// Joins backslash continuations, strips // comments, drops blank lines.
+Cursor preprocess(std::string_view Source) {
+  Cursor C;
+  std::string Pending;
+  unsigned PendingLine = 0;
+  unsigned LineNo = 0;
+  std::size_t Start = 0;
+  auto FlushLine = [&](std::string_view Raw) {
+    std::string Line(Raw);
+    if (auto Slash = Line.find("//"); Slash != std::string::npos)
+      Line.erase(Slash);
+    std::string_view Trimmed = trim(Line);
+    bool Continued = !Trimmed.empty() && Trimmed.back() == '\\';
+    if (Continued)
+      Trimmed.remove_suffix(1);
+    if (Pending.empty())
+      PendingLine = LineNo;
+    if (!Trimmed.empty()) {
+      if (!Pending.empty())
+        Pending += ' ';
+      Pending += std::string(trim(Trimmed));
+    }
+    if (!Continued && !Pending.empty()) {
+      C.Lines.push_back(Pending);
+      C.LineNumbers.push_back(PendingLine);
+      Pending.clear();
+    }
+  };
+  for (std::size_t I = 0; I <= Source.size(); ++I) {
+    if (I == Source.size() || Source[I] == '\n') {
+      ++LineNo;
+      FlushLine(Source.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  if (!Pending.empty()) {
+    C.Lines.push_back(Pending);
+    C.LineNumbers.push_back(PendingLine);
+  }
+  return C;
+}
+
+ParseResult makeError(std::string Msg, unsigned Line) {
+  ParseResult R;
+  R.Error = std::move(Msg);
+  R.Line = Line;
+  return R;
+}
+
+/// Extracts the balanced "(...)" argument list that starts at S[Pos] and
+/// returns its contents; advances Pos past the ')'.
+std::optional<std::string> takeParenGroup(std::string_view S,
+                                          std::size_t &Pos) {
+  while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+    ++Pos;
+  if (Pos >= S.size() || S[Pos] != '(')
+    return std::nullopt;
+  int Depth = 0;
+  std::size_t Start = Pos + 1;
+  for (; Pos < S.size(); ++Pos) {
+    if (S[Pos] == '(')
+      ++Depth;
+    else if (S[Pos] == ')') {
+      if (--Depth == 0) {
+        std::string Inner(S.substr(Start, Pos - Start));
+        ++Pos;
+        return Inner;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Parses "NAME{(..),(..)}" starting at Pos; advances past the '}'.
+std::optional<ir::Access> takeAccess(std::string_view S, std::size_t &Pos,
+                                     const std::vector<std::string> &Iters,
+                                     const std::vector<unsigned> &IterToDim,
+                                     std::string &Err) {
+  while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+    ++Pos;
+  std::size_t NameStart = Pos;
+  while (Pos < S.size() && (std::isalnum(static_cast<unsigned char>(S[Pos])) ||
+                            S[Pos] == '_'))
+    ++Pos;
+  if (Pos == NameStart) {
+    Err = "expected array name in access";
+    return std::nullopt;
+  }
+  ir::Access A;
+  A.Array = std::string(S.substr(NameStart, Pos - NameStart));
+  while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+    ++Pos;
+  if (Pos >= S.size() || S[Pos] != '{') {
+    Err = "expected '{' after array name " + A.Array;
+    return std::nullopt;
+  }
+  std::size_t Close = Pos;
+  int Depth = 0;
+  for (; Close < S.size(); ++Close) {
+    if (S[Close] == '{')
+      ++Depth;
+    else if (S[Close] == '}' && --Depth == 0)
+      break;
+  }
+  if (Close >= S.size()) {
+    Err = "unterminated access braces for " + A.Array;
+    return std::nullopt;
+  }
+  std::string_view Body = S.substr(Pos + 1, Close - Pos - 1);
+  Pos = Close + 1;
+
+  for (const std::string &Tuple : splitTopLevel(Body, ',')) {
+    std::string_view T = trim(Tuple);
+    if (T.size() < 2 || T.front() != '(' || T.back() != ')') {
+      Err = "malformed access tuple '" + Tuple + "'";
+      return std::nullopt;
+    }
+    std::vector<std::string> Elems = split(T.substr(1, T.size() - 2), ',');
+    if (Elems.size() != Iters.size()) {
+      Err = "access tuple arity mismatch in " + A.Array;
+      return std::nullopt;
+    }
+    // Offsets are stored in *domain* order (IterToDim maps tuple position
+    // to domain dimension).
+    std::vector<std::int64_t> Offsets(Iters.size(), 0);
+    for (std::size_t P = 0; P < Elems.size(); ++P) {
+      auto E = poly::AffineExpr::parse(Elems[P]);
+      if (!E) {
+        Err = "cannot parse access expression '" + Elems[P] + "'";
+        return std::nullopt;
+      }
+      // Expected form: iterator_P + constant.
+      poly::AffineExpr Diff = *E - poly::AffineExpr::var(Iters[P]);
+      if (!Diff.isConstant()) {
+        Err = "access expression '" + Elems[P] +
+              "' must be iterator '" + Iters[P] + "' plus a constant";
+        return std::nullopt;
+      }
+      Offsets[IterToDim[P]] = Diff.constant();
+    }
+    A.Offsets.push_back(std::move(Offsets));
+  }
+  if (A.Offsets.empty()) {
+    Err = "access " + A.Array + " has no tuples";
+    return std::nullopt;
+  }
+  return A;
+}
+
+} // namespace
+
+ParseResult parser::parseLoopChain(std::string_view Source) {
+  Cursor C = preprocess(Source);
+  ir::LoopChain Chain("chain");
+  bool SawParallel = false;
+  unsigned StmtCounter = 0;
+
+  while (!C.atEnd()) {
+    std::string_view Line = C.peek();
+    unsigned LineNo = C.lineNo();
+    // Accept both "#pragma omplc ..." and bare "omplc ..." directives.
+    std::string_view Rest = Line;
+    bool IsPragma = consumePrefix(Rest, "#pragma omplc") ||
+                    consumePrefix(Rest, "omplc");
+    if (!IsPragma) {
+      // Braces and stray code outside a `for` directive are ignored.
+      C.advance();
+      continue;
+    }
+    Rest = trim(Rest);
+    if (consumePrefix(Rest, "parallel")) {
+      std::size_t Pos = 0;
+      auto Hint = takeParenGroup(Rest, Pos);
+      if (!Hint)
+        return makeError("expected (schedule) after 'parallel'", LineNo);
+      Chain.setScheduleHint(std::string(trim(*Hint)));
+      SawParallel = true;
+      C.advance();
+      continue;
+    }
+    if (!consumePrefix(Rest, "for"))
+      return makeError("unknown omplc directive: " + std::string(Rest),
+                       LineNo);
+
+    // --- domain(...) ---
+    std::string S(Rest);
+    std::size_t DomPos = S.find("domain");
+    if (DomPos == std::string::npos)
+      return makeError("omplc for: missing domain clause", LineNo);
+    std::size_t Pos = DomPos + 6;
+    auto DomBody = takeParenGroup(S, Pos);
+    if (!DomBody)
+      return makeError("omplc for: malformed domain clause", LineNo);
+    std::vector<std::string> Ranges = splitTopLevel(*DomBody, ',');
+
+    // --- with (...) ---
+    std::size_t WithPos = S.find("with", Pos);
+    if (WithPos == std::string::npos)
+      return makeError("omplc for: missing with clause", LineNo);
+    std::size_t WPos = WithPos + 4;
+    auto WithBody = takeParenGroup(S, WPos);
+    if (!WithBody)
+      return makeError("omplc for: malformed with clause", LineNo);
+    std::vector<std::string> Iters = split(*WithBody, ',');
+    if (Iters.size() != Ranges.size())
+      return makeError("omplc for: domain/with arity mismatch", LineNo);
+
+    // --- optional order (...) ---
+    std::vector<std::string> Order;
+    std::size_t AccessStart = WPos;
+    std::size_t OrderPos = S.find("order", WPos);
+    if (OrderPos != std::string::npos) {
+      std::size_t OPos = OrderPos + 5;
+      auto OrderBody = takeParenGroup(S, OPos);
+      if (!OrderBody)
+        return makeError("omplc for: malformed order clause", LineNo);
+      Order = split(*OrderBody, ',');
+      AccessStart = OPos;
+    } else {
+      // Default: last `with` iterator is outermost (paper's convention).
+      Order.assign(Iters.rbegin(), Iters.rend());
+    }
+    if (Order.size() != Iters.size())
+      return makeError("omplc for: order/with arity mismatch", LineNo);
+
+    // Map with-tuple position -> domain dimension index (loop order).
+    std::vector<unsigned> IterToDim(Iters.size(), 0);
+    for (std::size_t P = 0; P < Iters.size(); ++P) {
+      bool Found = false;
+      for (std::size_t D = 0; D < Order.size(); ++D)
+        if (Order[D] == Iters[P]) {
+          IterToDim[P] = static_cast<unsigned>(D);
+          Found = true;
+          break;
+        }
+      if (!Found)
+        return makeError("order clause missing iterator " + Iters[P], LineNo);
+    }
+
+    // Build the domain in loop order (outermost first).
+    std::vector<poly::Dim> Dims(Iters.size());
+    for (std::size_t P = 0; P < Ranges.size(); ++P) {
+      std::vector<std::string> Parts = split(Ranges[P], ':');
+      if (Parts.size() != 2)
+        return makeError("domain range '" + Ranges[P] +
+                             "' must be lower:upper",
+                         LineNo);
+      auto Lo = poly::AffineExpr::parse(Parts[0]);
+      auto Hi = poly::AffineExpr::parse(Parts[1]);
+      if (!Lo || !Hi)
+        return makeError("cannot parse domain bounds '" + Ranges[P] + "'",
+                         LineNo);
+      Dims[IterToDim[P]] = poly::Dim{Iters[P], *Lo, *Hi};
+    }
+
+    // --- write / read clauses ---
+    ir::LoopNest Nest;
+    Nest.Domain = poly::BoxSet(std::move(Dims));
+    std::string_view Tail = std::string_view(S).substr(AccessStart);
+    std::size_t TPos = 0;
+    bool SawWrite = false;
+    while (true) {
+      while (TPos < Tail.size() &&
+             std::isspace(static_cast<unsigned char>(Tail[TPos])))
+        ++TPos;
+      if (TPos >= Tail.size())
+        break;
+      std::string Err;
+      if (Tail.substr(TPos, 5) == "write") {
+        TPos += 5;
+        auto A = takeAccess(Tail, TPos, Iters, IterToDim, Err);
+        if (!A)
+          return makeError(Err, LineNo);
+        if (SawWrite)
+          return makeError("multiple write clauses in one nest", LineNo);
+        if (A->Offsets.size() != 1)
+          return makeError("write access must have exactly one tuple",
+                           LineNo);
+        Nest.Write = std::move(*A);
+        SawWrite = true;
+      } else if (Tail.substr(TPos, 4) == "read") {
+        TPos += 4;
+        auto A = takeAccess(Tail, TPos, Iters, IterToDim, Err);
+        if (!A)
+          return makeError(Err, LineNo);
+        Nest.Reads.push_back(std::move(*A));
+      } else {
+        return makeError("expected 'write' or 'read', got '" +
+                             std::string(Tail.substr(TPos, 10)) + "'",
+                         LineNo);
+      }
+    }
+    if (!SawWrite)
+      return makeError("omplc for: missing write clause", LineNo);
+
+    // --- statement body: following non-pragma lines up to ';' ---
+    C.advance();
+    std::string Body;
+    while (!C.atEnd()) {
+      std::string_view Next = trim(C.peek());
+      if (startsWith(Next, "#pragma") || startsWith(Next, "omplc") ||
+          Next == "{" || Next == "}")
+        break;
+      if (!Body.empty())
+        Body += ' ';
+      Body += std::string(Next);
+      C.advance();
+      if (!Body.empty() && Body.back() == ';')
+        break;
+    }
+    // Optional "NAME:" label at the front of the body names the nest.
+    std::string Name;
+    if (auto Colon = Body.find(':');
+        Colon != std::string::npos && Colon > 0 &&
+        Body.find('=') != std::string::npos && Colon < Body.find('=')) {
+      std::string_view Label = trim(std::string_view(Body).substr(0, Colon));
+      bool IsIdent = !Label.empty();
+      for (char Ch : Label)
+        IsIdent &= std::isalnum(static_cast<unsigned char>(Ch)) || Ch == '_';
+      if (IsIdent) {
+        Name = std::string(Label);
+        Body.erase(0, Colon + 1);
+        Body = std::string(trim(Body));
+      }
+    }
+    if (Name.empty())
+      Name = "S" + std::to_string(++StmtCounter);
+    Nest.Name = Name;
+    Nest.BodyText = Body;
+    Chain.addNest(std::move(Nest));
+  }
+
+  if (Chain.numNests() == 0)
+    return makeError("no loop nests found", 1);
+  if (!SawParallel)
+    Chain.setScheduleHint("");
+  Chain.finalize();
+  ParseResult R;
+  R.Chain = std::move(Chain);
+  return R;
+}

@@ -1,0 +1,60 @@
+//===- parser/PragmaParser.h - omplc annotation parser ----------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the loop-chain pragma annotation language of Figure 1 /
+/// Bertolacci et al. (WACCPD 2016), restricted as in the paper. The accepted
+/// form is line-oriented:
+///
+/// \code
+///   #pragma omplc parallel(fuse)
+///   {
+///   #pragma omplc for domain(0:X+1, 0:Y, 0:Z) with (x, y, z) <backslash>
+///       write VAL_1{(x,y,z)} read VAL_0{(x-1,y,z),(x,y,z)}
+///   S1: VAL_1(x,y,z) = func1(VAL_0(x-1,y,z), VAL_0(x,y,z));
+///   ...
+///   }
+/// \endcode
+///
+/// Domain bounds are inclusive and listed in the same order as the `with`
+/// iterator tuple. The generated loop nest runs the *last* iterator of the
+/// `with` tuple outermost (matching the paper's example, where
+/// `with (x,y,z)` annotates `for z / for y / for x`); an explicit
+/// `order(z,y,x)` clause overrides this. Backslash line continuations and
+/// `//` comments are handled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_PARSER_PRAGMAPARSER_H
+#define LCDFG_PARSER_PRAGMAPARSER_H
+
+#include "ir/LoopChain.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lcdfg {
+namespace parser {
+
+/// Result of a parse: either a chain or a diagnostic.
+struct ParseResult {
+  std::optional<ir::LoopChain> Chain;
+  std::string Error; // empty on success
+  unsigned Line = 0; // 1-based line of the error
+
+  explicit operator bool() const { return Chain.has_value(); }
+};
+
+/// Parses an annotated source fragment into a LoopChain. The chain is
+/// finalized (array classification and extents inferred) before returning.
+ParseResult parseLoopChain(std::string_view Source);
+
+} // namespace parser
+} // namespace lcdfg
+
+#endif // LCDFG_PARSER_PRAGMAPARSER_H

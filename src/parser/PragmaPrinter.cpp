@@ -1,0 +1,94 @@
+//===- parser/PragmaPrinter.cpp -------------------------------------------===//
+
+#include "parser/PragmaPrinter.h"
+
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::parser;
+
+namespace {
+
+/// Renders one access tuple in `with` order, e.g. "(x-2,y)".
+std::string tupleFor(const ir::LoopNest &Nest,
+                     const std::vector<std::int64_t> &Offsets) {
+  unsigned Rank = Nest.Domain.rank();
+  std::ostringstream OS;
+  OS << "(";
+  // `with` order is the reverse of loop order: innermost first.
+  for (unsigned P = 0; P < Rank; ++P) {
+    unsigned D = Rank - 1 - P;
+    if (P)
+      OS << ",";
+    OS << Nest.Domain.dim(D).Name;
+    std::int64_t Off = Offsets[D];
+    if (Off > 0)
+      OS << "+" << Off;
+    else if (Off < 0)
+      OS << Off;
+  }
+  OS << ")";
+  return OS.str();
+}
+
+std::string accessFor(const ir::LoopNest &Nest, const ir::Access &A) {
+  std::ostringstream OS;
+  OS << A.Array << "{";
+  for (std::size_t I = 0; I < A.Offsets.size(); ++I) {
+    if (I)
+      OS << ",";
+    OS << tupleFor(Nest, A.Offsets[I]);
+  }
+  OS << "}";
+  return OS.str();
+}
+
+} // namespace
+
+std::string parser::printPragmas(const ir::LoopChain &Chain) {
+  std::ostringstream OS;
+  OS << "#pragma omplc parallel("
+     << (Chain.scheduleHint().empty() ? "fuse" : Chain.scheduleHint())
+     << ")\n{\n";
+  for (unsigned I = 0; I < Chain.numNests(); ++I) {
+    const ir::LoopNest &Nest = Chain.nest(I);
+    unsigned Rank = Nest.Domain.rank();
+    OS << "#pragma omplc for domain(";
+    for (unsigned P = 0; P < Rank; ++P) {
+      unsigned D = Rank - 1 - P;
+      if (P)
+        OS << ", ";
+      OS << Nest.Domain.dim(D).Lower.toString() << ":"
+         << Nest.Domain.dim(D).Upper.toString();
+    }
+    OS << ") with (";
+    for (unsigned P = 0; P < Rank; ++P) {
+      if (P)
+        OS << ", ";
+      OS << Nest.Domain.dim(Rank - 1 - P).Name;
+    }
+    OS << ") \\\n    write " << accessFor(Nest, Nest.Write);
+    for (const ir::Access &R : Nest.Reads)
+      OS << " \\\n    read " << accessFor(Nest, R);
+    OS << "\n" << Nest.Name << ": ";
+    if (!Nest.BodyText.empty()) {
+      OS << Nest.BodyText;
+    } else {
+      // Synthesize a body from the accesses.
+      OS << Nest.Write.Array << tupleFor(Nest, Nest.Write.Offsets.front())
+         << " = f_" << Nest.Name << "(";
+      bool First = true;
+      for (const ir::Access &R : Nest.Reads)
+        for (const auto &Off : R.Offsets) {
+          if (!First)
+            OS << ", ";
+          OS << R.Array << tupleFor(Nest, Off);
+          First = false;
+        }
+      OS << ");";
+    }
+    OS << "\n\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

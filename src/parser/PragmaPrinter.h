@@ -1,0 +1,35 @@
+//===- parser/PragmaPrinter.h - LoopChain to annotation text ----*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inverse of the pragma parser: renders a LoopChain back into the
+/// omplc annotation language, so chains built programmatically can be
+/// inspected, diffed, and round-tripped (printPragmas followed by
+/// parseLoopChain reproduces the chain).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_PARSER_PRAGMAPRINTER_H
+#define LCDFG_PARSER_PRAGMAPRINTER_H
+
+#include "ir/LoopChain.h"
+
+#include <string>
+
+namespace lcdfg {
+namespace parser {
+
+/// Renders \p Chain as annotated source. Domains print in `with` order
+/// (the reverse of the stored loop order, matching the parser's default
+/// convention); statement bodies print as labeled statements when
+/// available and as synthesized assignments otherwise.
+std::string printPragmas(const ir::LoopChain &Chain);
+
+} // namespace parser
+} // namespace lcdfg
+
+#endif // LCDFG_PARSER_PRAGMAPRINTER_H

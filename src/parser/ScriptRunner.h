@@ -1,0 +1,61 @@
+//===- parser/ScriptRunner.h - Transformation script language ---*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small scripting front end over the graph transformations, in the
+/// spirit of the scriptable loop-transformation tools the paper relates to
+/// (CHiLL, POET, URUK): a performance expert writes the Figure 7/8/9
+/// recipes as text instead of C++ calls. One command per line, `#`
+/// comments:
+///
+/// \code
+///   reschedule Fy1_v 1      # move a node to a row
+///   fusepc Fx1_rho Fx2_rho  # producer-consumer fusion
+///   fuserr Dx_rho Dy_rho    # read-reduction fusion
+///   fuserr A B nocollapse   # co-schedule without collapsing streams
+///   collapse in_rho S       # collapse reads of a value into one stream
+///   reduce                  # reuse-distance storage reduction
+///   autoschedule 4          # greedy search with a stream budget
+///   compact                 # renumber rows and columns
+///   cost                    # append the cost report to the log
+/// \endcode
+///
+/// Statement nodes are addressed by their (possibly fused, '+'-joined)
+/// labels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_PARSER_SCRIPTRUNNER_H
+#define LCDFG_PARSER_SCRIPTRUNNER_H
+
+#include "graph/Graph.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcdfg {
+namespace parser {
+
+/// Result of running a script.
+struct ScriptResult {
+  bool Ok = true;
+  std::string Error;  // first failure, empty on success
+  unsigned Line = 0;  // 1-based line of the failure
+  std::vector<std::string> Log;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Runs \p Script against \p G, stopping at the first failing command.
+/// The graph retains all transformations applied before the failure.
+ScriptResult runScript(graph::Graph &G, std::string_view Script);
+
+} // namespace parser
+} // namespace lcdfg
+
+#endif // LCDFG_PARSER_SCRIPTRUNNER_H

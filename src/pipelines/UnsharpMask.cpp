@@ -1,0 +1,170 @@
+//===- pipelines/UnsharpMask.cpp ------------------------------------------===//
+
+#include "pipelines/UnsharpMask.h"
+
+#include <cmath>
+
+using namespace lcdfg;
+using namespace lcdfg::pipelines;
+using poly::AffineExpr;
+using poly::BoxSet;
+using poly::Dim;
+
+void Image::fillPseudoRandom(std::uint64_t Seed) {
+  std::uint64_t State = Seed;
+  for (double &V : Data) {
+    State += 0x9e3779b97f4a7c15ull;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    Z ^= Z >> 31;
+    V = static_cast<double>(Z >> 11) / 9007199254740992.0;
+  }
+}
+
+double pipelines::maxAbsDiff(const Image &A, const Image &B) {
+  double Max = 0.0;
+  for (int Y = 0; Y < A.size(); ++Y)
+    for (int X = 0; X < A.size(); ++X)
+      Max = std::fmax(Max, std::fabs(A.at(Y, X) - B.at(Y, X)));
+  return Max;
+}
+
+namespace {
+
+inline double blur5(double A, double B, double C, double D, double E) {
+  return Gauss[0] * A + Gauss[1] * B + Gauss[2] * C + Gauss[3] * D +
+         Gauss[4] * E;
+}
+
+inline double sharpenOf(double Img, double Blur) {
+  return (1.0 + SharpenWeight) * Img - SharpenWeight * Blur;
+}
+
+inline double maskOf(double Img, double Blur, double Sharpen) {
+  return std::fabs(Img - Blur) < MaskThreshold ? Img : Sharpen;
+}
+
+} // namespace
+
+ir::LoopChain pipelines::buildUnsharpChain() {
+  ir::LoopChain Chain("unsharp", "fuse");
+  AffineExpr N = AffineExpr::var("N");
+  // blurx feeds a +-2 stencil in y, so it covers two extra rows each way.
+  BoxSet BlurxDomain({Dim{"y", AffineExpr(-2), N + AffineExpr(1)},
+                      Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+  BoxSet Cells({Dim{"y", AffineExpr(0), N - AffineExpr(1)},
+                Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+
+  ir::LoopNest Blurx;
+  Blurx.Name = "blurx";
+  Blurx.Domain = BlurxDomain;
+  Blurx.Write = ir::Access{"blurx", {{0, 0}}};
+  Blurx.Reads = {
+      ir::Access{"img", {{0, -2}, {0, -1}, {0, 0}, {0, 1}, {0, 2}}}};
+  Chain.addNest(Blurx);
+
+  ir::LoopNest Blury;
+  Blury.Name = "blury";
+  Blury.Domain = Cells;
+  Blury.Write = ir::Access{"blury", {{0, 0}}};
+  Blury.Reads = {
+      ir::Access{"blurx", {{-2, 0}, {-1, 0}, {0, 0}, {1, 0}, {2, 0}}}};
+  Chain.addNest(Blury);
+
+  ir::LoopNest Sharpen;
+  Sharpen.Name = "sharpen";
+  Sharpen.Domain = Cells;
+  Sharpen.Write = ir::Access{"sharpen", {{0, 0}}};
+  Sharpen.Reads = {ir::Access{"img", {{0, 0}}},
+                   ir::Access{"blury", {{0, 0}}}};
+  Chain.addNest(Sharpen);
+
+  ir::LoopNest Mask;
+  Mask.Name = "mask";
+  Mask.Domain = Cells;
+  Mask.Write = ir::Access{"out", {{0, 0}}};
+  Mask.Reads = {ir::Access{"img", {{0, 0}}},
+                ir::Access{"blury", {{0, 0}}},
+                ir::Access{"sharpen", {{0, 0}}}};
+  Chain.addNest(Mask);
+
+  Chain.finalize();
+  return Chain;
+}
+
+void pipelines::registerKernels(ir::LoopChain &Chain,
+                                codegen::KernelRegistry &Registry) {
+  Chain.nest(0).KernelId =
+      Registry.add([](const std::vector<double> &R, double) {
+        return blur5(R[0], R[1], R[2], R[3], R[4]);
+      });
+  Chain.nest(1).KernelId = Chain.nest(0).KernelId;
+  Chain.nest(2).KernelId =
+      Registry.add([](const std::vector<double> &R, double) {
+        return sharpenOf(R[0], R[1]);
+      });
+  Chain.nest(3).KernelId =
+      Registry.add([](const std::vector<double> &R, double) {
+        return maskOf(R[0], R[1], R[2]);
+      });
+}
+
+void pipelines::runUnsharpSeries(const Image &In, Image &Out) {
+  int N = In.size();
+  // Full-image intermediates, one stage after another.
+  Image Blurx(N), Blury(N), Sharpen(N);
+  for (int Y = -2; Y < N + 2; ++Y)
+    for (int X = 0; X < N; ++X)
+      Blurx.at(Y, X) = blur5(In.at(Y, X - 2), In.at(Y, X - 1), In.at(Y, X),
+                             In.at(Y, X + 1), In.at(Y, X + 2));
+  for (int Y = 0; Y < N; ++Y)
+    for (int X = 0; X < N; ++X)
+      Blury.at(Y, X) =
+          blur5(Blurx.at(Y - 2, X), Blurx.at(Y - 1, X), Blurx.at(Y, X),
+                Blurx.at(Y + 1, X), Blurx.at(Y + 2, X));
+  for (int Y = 0; Y < N; ++Y)
+    for (int X = 0; X < N; ++X)
+      Sharpen.at(Y, X) = sharpenOf(In.at(Y, X), Blury.at(Y, X));
+  for (int Y = 0; Y < N; ++Y)
+    for (int X = 0; X < N; ++X)
+      Out.at(Y, X) = maskOf(In.at(Y, X), Blury.at(Y, X), Sharpen.at(Y, X));
+}
+
+void pipelines::runUnsharpFused(const Image &In, Image &Out) {
+  int N = In.size();
+  // blurx collapses to a five-line circular buffer (its reuse distance in
+  // the fused schedule); blury and sharpen collapse to scalars.
+  std::vector<double> Lines(static_cast<std::size_t>(5) * N);
+  auto LineAt = [&](int Y) { return Lines.data() + (((Y % 5) + 5) % 5) * N; };
+
+  // Prologue: the four leading blurx rows.
+  for (int Y = -2; Y < 2; ++Y) {
+    double *Row = LineAt(Y);
+    for (int X = 0; X < N; ++X)
+      Row[X] = blur5(In.at(Y, X - 2), In.at(Y, X - 1), In.at(Y, X),
+                     In.at(Y, X + 1), In.at(Y, X + 2));
+  }
+  for (int Y = 0; Y < N; ++Y) {
+    // Produce blurx row Y+2, then consume rows Y-2..Y+2.
+    double *RowP2 = LineAt(Y + 2);
+    for (int X = 0; X < N; ++X)
+      RowP2[X] =
+          blur5(In.at(Y + 2, X - 2), In.at(Y + 2, X - 1), In.at(Y + 2, X),
+                In.at(Y + 2, X + 1), In.at(Y + 2, X + 2));
+    const double *RM2 = LineAt(Y - 2), *RM1 = LineAt(Y - 1),
+                 *R0 = LineAt(Y), *RP1 = LineAt(Y + 1), *RP2 = RowP2;
+    for (int X = 0; X < N; ++X) {
+      double Blur = blur5(RM2[X], RM1[X], R0[X], RP1[X], RP2[X]);
+      double Img = In.at(Y, X);
+      Out.at(Y, X) = maskOf(Img, Blur, sharpenOf(Img, Blur));
+    }
+  }
+}
+
+long pipelines::temporaryElementsSeries(int N) {
+  long Padded = static_cast<long>(N + 2 * Border) * (N + 2 * Border);
+  return 3 * Padded; // blurx, blury, sharpen
+}
+
+long pipelines::temporaryElementsFused(int N) { return 5L * N; }

@@ -1,0 +1,94 @@
+//===- pipelines/UnsharpMask.h - Image pipeline case study ------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Halide and PolyMage — the systems the paper compares against — target
+/// image-processing pipelines; unsharp masking is PolyMage's flagship
+/// benchmark. This module expresses it as a loop chain (blurx -> blury ->
+/// sharpen -> mask) to demonstrate that the M2DFG machinery is not
+/// specific to CFD: the same fusion + reuse-distance reduction collapses
+/// the full-image intermediates to a handful of line buffers.
+///
+///   blurx(y, x)  = G * img(y, x-2..x+2)         (5-tap Gaussian in x)
+///   blury(y, x)  = G * blurx(y-2..y+2, x)       (5-tap Gaussian in y)
+///   sharpen      = (1 + w) img - w blury
+///   out          = |img - blury| < t ? img : sharpen
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_PIPELINES_UNSHARPMASK_H
+#define LCDFG_PIPELINES_UNSHARPMASK_H
+
+#include "codegen/Interpreter.h"
+#include "ir/LoopChain.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lcdfg {
+namespace pipelines {
+
+inline constexpr double Gauss[5] = {1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16,
+                                    1.0 / 16};
+inline constexpr double SharpenWeight = 0.8;
+inline constexpr double MaskThreshold = 0.01;
+/// Ghost border required by the two 5-tap stencils.
+inline constexpr int Border = 4;
+
+/// A square 2D image with a ghost border.
+class Image {
+public:
+  Image(int N, int BorderWidth = Border)
+      : N(N), B(BorderWidth),
+        Data(static_cast<std::size_t>(N + 2 * BorderWidth) *
+                 (N + 2 * BorderWidth),
+             0.0) {}
+
+  int size() const { return N; }
+  int border() const { return B; }
+  std::int64_t stride() const { return N + 2 * B; }
+
+  double &at(int Y, int X) {
+    return Data[static_cast<std::size_t>(Y + B) * stride() + (X + B)];
+  }
+  double at(int Y, int X) const {
+    return const_cast<Image *>(this)->at(Y, X);
+  }
+
+  /// Deterministic pseudo-random fill of the whole padded image.
+  void fillPseudoRandom(std::uint64_t Seed);
+
+private:
+  int N;
+  int B;
+  std::vector<double> Data;
+};
+
+/// Maximum absolute difference over the interiors.
+double maxAbsDiff(const Image &A, const Image &B);
+
+/// Builds the unsharp-mask loop chain over an N x N image.
+ir::LoopChain buildUnsharpChain();
+
+/// Registers interpreter kernels and assigns LoopNest::KernelId.
+void registerKernels(ir::LoopChain &Chain, codegen::KernelRegistry &Registry);
+
+/// Hand-written schedules.
+/// Series of loops: every stage materialized over the full image.
+void runUnsharpSeries(const Image &In, Image &Out);
+/// Fully fused with reuse-distance line buffers: blurx lives in a 5-line
+/// circular buffer, blury/sharpen in registers.
+void runUnsharpFused(const Image &In, Image &Out);
+
+/// Peak temporary doubles of each schedule.
+long temporaryElementsSeries(int N);
+long temporaryElementsFused(int N);
+
+} // namespace pipelines
+} // namespace lcdfg
+
+#endif // LCDFG_PIPELINES_UNSHARPMASK_H

@@ -1,0 +1,216 @@
+//===- poly/AffineExpr.cpp ------------------------------------------------===//
+
+#include "poly/AffineExpr.h"
+
+#include "support/Errors.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::poly;
+
+AffineExpr AffineExpr::var(std::string_view Name) {
+  AffineExpr E;
+  E.Coeffs.emplace(std::string(Name), 1);
+  return E;
+}
+
+std::int64_t AffineExpr::coeff(std::string_view Name) const {
+  auto It = Coeffs.find(Name);
+  return It == Coeffs.end() ? 0 : It->second;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr &RHS) const {
+  AffineExpr Result = *this;
+  Result += RHS;
+  return Result;
+}
+
+AffineExpr &AffineExpr::operator+=(const AffineExpr &RHS) {
+  Constant += RHS.Constant;
+  for (const auto &[Name, C] : RHS.Coeffs) {
+    auto [It, Inserted] = Coeffs.emplace(Name, C);
+    if (!Inserted) {
+      It->second += C;
+      if (It->second == 0)
+        Coeffs.erase(It);
+    }
+  }
+  return *this;
+}
+
+AffineExpr AffineExpr::operator-() const {
+  AffineExpr Result;
+  Result.Constant = -Constant;
+  for (const auto &[Name, C] : Coeffs)
+    Result.Coeffs.emplace(Name, -C);
+  return Result;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &RHS) const {
+  return *this + (-RHS);
+}
+
+AffineExpr &AffineExpr::operator-=(const AffineExpr &RHS) {
+  *this += -RHS;
+  return *this;
+}
+
+AffineExpr AffineExpr::operator*(std::int64_t Scale) const {
+  AffineExpr Result;
+  if (Scale == 0)
+    return Result;
+  Result.Constant = Constant * Scale;
+  for (const auto &[Name, C] : Coeffs)
+    Result.Coeffs.emplace(Name, C * Scale);
+  return Result;
+}
+
+AffineExpr AffineExpr::substitute(std::string_view Name,
+                                  const AffineExpr &Replacement) const {
+  auto It = Coeffs.find(Name);
+  if (It == Coeffs.end())
+    return *this;
+  std::int64_t C = It->second;
+  AffineExpr Result = *this;
+  Result.Coeffs.erase(std::string(Name));
+  Result += Replacement * C;
+  return Result;
+}
+
+std::int64_t AffineExpr::evaluate(
+    const std::map<std::string, std::int64_t, std::less<>> &Env) const {
+  std::int64_t Result = Constant;
+  for (const auto &[Name, C] : Coeffs) {
+    auto It = Env.find(Name);
+    if (It == Env.end())
+      reportFatalError("unbound variable in AffineExpr::evaluate: " + Name);
+    Result += C * It->second;
+  }
+  return Result;
+}
+
+Polynomial AffineExpr::toPolynomial(std::string_view Symbol) const {
+  Polynomial P(Constant);
+  for (const auto &[Name, C] : Coeffs) {
+    if (Name != Symbol)
+      reportFatalError("AffineExpr::toPolynomial: stray variable " + Name);
+    P += Polynomial::term(C, 1);
+  }
+  return P;
+}
+
+AffineExpr::SignKind AffineExpr::signForParamsGE1() const {
+  if (Coeffs.empty()) {
+    if (Constant == 0)
+      return SignKind::Zero;
+    return Constant > 0 ? SignKind::NonNegative : SignKind::NonPositive;
+  }
+  // With every variable v >= 1 and unbounded above, a sum of c_v*v + k is
+  // nonnegative for all assignments iff all c_v >= 0 and sum(c_v) + k >= 0.
+  std::int64_t SumC = 0;
+  bool AllNonNeg = true, AllNonPos = true;
+  for (const auto &[Name, C] : Coeffs) {
+    (void)Name;
+    SumC += C;
+    AllNonNeg &= C >= 0;
+    AllNonPos &= C <= 0;
+  }
+  if (AllNonNeg && SumC + Constant >= 0)
+    return SignKind::NonNegative;
+  if (AllNonPos && SumC + Constant <= 0)
+    return SignKind::NonPositive;
+  return SignKind::Unknown;
+}
+
+std::string AffineExpr::toString() const {
+  std::ostringstream OS;
+  bool First = true;
+  for (const auto &[Name, C] : Coeffs) {
+    if (C == 0)
+      continue;
+    if (!First)
+      OS << (C > 0 ? "+" : "-");
+    else if (C < 0)
+      OS << "-";
+    std::int64_t Abs = C < 0 ? -C : C;
+    if (Abs != 1)
+      OS << Abs;
+    OS << Name;
+    First = false;
+  }
+  if (First) {
+    OS << Constant;
+  } else if (Constant != 0) {
+    OS << (Constant > 0 ? "+" : "-") << (Constant < 0 ? -Constant : Constant);
+  }
+  return OS.str();
+}
+
+std::optional<AffineExpr> AffineExpr::parse(std::string_view Text) {
+  std::string_view S = trim(Text);
+  if (S.empty())
+    return std::nullopt;
+  AffineExpr Result;
+  std::size_t I = 0;
+  int Sign = 1;
+  bool ExpectTerm = true;
+  while (I < S.size()) {
+    char C = S[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '+' || C == '-') {
+      if (ExpectTerm && C == '-') {
+        Sign = -Sign;
+        ++I;
+        continue;
+      }
+      if (ExpectTerm)
+        return std::nullopt; // "++"
+      Sign = C == '-' ? -1 : 1;
+      ExpectTerm = true;
+      ++I;
+      continue;
+    }
+    if (!ExpectTerm)
+      return std::nullopt;
+    // A term: [number]['*'][identifier] or just number or identifier.
+    std::int64_t Num = 1;
+    bool HasNum = false;
+    while (I < S.size() && std::isdigit(static_cast<unsigned char>(S[I]))) {
+      if (!HasNum)
+        Num = 0;
+      HasNum = true;
+      Num = Num * 10 + (S[I] - '0');
+      ++I;
+    }
+    while (I < S.size() &&
+           (S[I] == '*' || std::isspace(static_cast<unsigned char>(S[I]))))
+      ++I;
+    std::string Name;
+    while (I < S.size() && (std::isalnum(static_cast<unsigned char>(S[I])) ||
+                            S[I] == '_')) {
+      if (Name.empty() && std::isdigit(static_cast<unsigned char>(S[I])))
+        break;
+      Name.push_back(S[I]);
+      ++I;
+    }
+    if (Name.empty()) {
+      if (!HasNum)
+        return std::nullopt;
+      Result.Constant += Sign * Num;
+    } else {
+      Result += AffineExpr::var(Name) * (Sign * Num);
+    }
+    Sign = 1;
+    ExpectTerm = false;
+  }
+  if (ExpectTerm)
+    return std::nullopt;
+  return Result;
+}

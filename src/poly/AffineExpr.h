@@ -1,0 +1,95 @@
+//===- poly/AffineExpr.h - Affine expressions over named vars ---*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine (linear + constant) integer expressions over named variables.
+/// Variables may be loop iterators (x, y, z) or symbolic size parameters
+/// (N, X, Y, Z). These are the building blocks of the integer-set substrate
+/// that stands in for ISL/ISCC in this reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_POLY_AFFINEEXPR_H
+#define LCDFG_POLY_AFFINEEXPR_H
+
+#include "support/Polynomial.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lcdfg {
+namespace poly {
+
+/// An affine expression: sum of integer-coefficient named variables plus an
+/// integer constant, e.g. `x + 1`, `N - 2`, `2N + 3`.
+class AffineExpr {
+public:
+  /// Constructs the constant expression \p Constant.
+  /*implicit*/ AffineExpr(std::int64_t Constant = 0) : Constant(Constant) {}
+
+  /// Returns the expression consisting of the single variable \p Name.
+  static AffineExpr var(std::string_view Name);
+
+  /// Parses expressions of the form `a*v + b*w + c` with optional `*`,
+  /// e.g. "x+1", "N-2", "2N+3", "0". Returns nullopt on malformed input.
+  static std::optional<AffineExpr> parse(std::string_view Text);
+
+  std::int64_t constant() const { return Constant; }
+  std::int64_t coeff(std::string_view Name) const;
+  const std::map<std::string, std::int64_t, std::less<>> &coeffs() const {
+    return Coeffs;
+  }
+
+  bool isConstant() const { return Coeffs.empty(); }
+
+  /// True when the expression references the variable \p Name.
+  bool references(std::string_view Name) const { return coeff(Name) != 0; }
+
+  AffineExpr operator+(const AffineExpr &RHS) const;
+  AffineExpr operator-(const AffineExpr &RHS) const;
+  AffineExpr operator-() const;
+  AffineExpr operator*(std::int64_t Scale) const;
+  AffineExpr &operator+=(const AffineExpr &RHS);
+  AffineExpr &operator-=(const AffineExpr &RHS);
+
+  bool operator==(const AffineExpr &RHS) const {
+    return Constant == RHS.Constant && Coeffs == RHS.Coeffs;
+  }
+  bool operator!=(const AffineExpr &RHS) const { return !(*this == RHS); }
+
+  /// Replaces variable \p Name with \p Replacement.
+  AffineExpr substitute(std::string_view Name,
+                        const AffineExpr &Replacement) const;
+
+  /// Evaluates with every variable bound by \p Lookup; asserts all variables
+  /// are bound.
+  std::int64_t
+  evaluate(const std::map<std::string, std::int64_t, std::less<>> &Env) const;
+
+  /// Converts to a polynomial in the single symbol \p Symbol. All variables
+  /// other than \p Symbol must be absent (call substitute first).
+  Polynomial toPolynomial(std::string_view Symbol = "N") const;
+
+  /// Sign determination for all integer assignments with every variable
+  /// >= 1 (size parameters are at least 1 in this domain).
+  enum class SignKind { NonNegative, NonPositive, Zero, Unknown };
+  SignKind signForParamsGE1() const;
+
+  std::string toString() const;
+
+private:
+  std::map<std::string, std::int64_t, std::less<>> Coeffs;
+  std::int64_t Constant = 0;
+};
+
+} // namespace poly
+} // namespace lcdfg
+
+#endif // LCDFG_POLY_AFFINEEXPR_H

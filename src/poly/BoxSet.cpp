@@ -1,0 +1,206 @@
+//===- poly/BoxSet.cpp ----------------------------------------------------===//
+
+#include "poly/BoxSet.h"
+
+#include "support/Errors.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::poly;
+
+AffineExpr poly::affineMax(const AffineExpr &A, const AffineExpr &B) {
+  AffineExpr Diff = A - B;
+  switch (Diff.signForParamsGE1()) {
+  case AffineExpr::SignKind::Zero:
+  case AffineExpr::SignKind::NonNegative:
+    return A;
+  case AffineExpr::SignKind::NonPositive:
+    return B;
+  case AffineExpr::SignKind::Unknown:
+    reportFatalError("affineMax: ambiguous bound comparison between " +
+                     A.toString() + " and " + B.toString());
+  }
+  LCDFG_UNREACHABLE("covered switch");
+}
+
+AffineExpr poly::affineMin(const AffineExpr &A, const AffineExpr &B) {
+  AffineExpr Diff = A - B;
+  switch (Diff.signForParamsGE1()) {
+  case AffineExpr::SignKind::Zero:
+  case AffineExpr::SignKind::NonPositive:
+    return A;
+  case AffineExpr::SignKind::NonNegative:
+    return B;
+  case AffineExpr::SignKind::Unknown:
+    reportFatalError("affineMin: ambiguous bound comparison between " +
+                     A.toString() + " and " + B.toString());
+  }
+  LCDFG_UNREACHABLE("covered switch");
+}
+
+BoxSet BoxSet::fromBounds(
+    const std::vector<std::tuple<std::string, AffineExpr, AffineExpr>>
+        &Bounds) {
+  std::vector<Dim> Dims;
+  Dims.reserve(Bounds.size());
+  for (const auto &[Name, Lo, Hi] : Bounds)
+    Dims.push_back(Dim{Name, Lo, Hi});
+  return BoxSet(std::move(Dims));
+}
+
+std::optional<unsigned> BoxSet::dimIndex(std::string_view Name) const {
+  for (unsigned I = 0; I < Dims.size(); ++I)
+    if (Dims[I].Name == Name)
+      return I;
+  return std::nullopt;
+}
+
+BoxSet BoxSet::translated(const std::vector<std::int64_t> &Offsets) const {
+  assert(Offsets.size() == Dims.size() && "offset arity mismatch");
+  BoxSet Result = *this;
+  for (unsigned I = 0; I < Dims.size(); ++I) {
+    Result.Dims[I].Lower += AffineExpr(Offsets[I]);
+    Result.Dims[I].Upper += AffineExpr(Offsets[I]);
+  }
+  return Result;
+}
+
+BoxSet BoxSet::expanded(unsigned I, std::int64_t Lo, std::int64_t Hi) const {
+  assert(I < Dims.size() && "dimension out of range");
+  assert(Lo >= 0 && Hi >= 0 && "expansion widths must be non-negative");
+  BoxSet Result = *this;
+  Result.Dims[I].Lower -= AffineExpr(Lo);
+  Result.Dims[I].Upper += AffineExpr(Hi);
+  return Result;
+}
+
+BoxSet BoxSet::intersect(const BoxSet &RHS) const {
+  assert(Dims.size() == RHS.Dims.size() && "rank mismatch in intersect");
+  BoxSet Result = *this;
+  for (unsigned I = 0; I < Dims.size(); ++I) {
+    assert(Dims[I].Name == RHS.Dims[I].Name && "dim name mismatch");
+    Result.Dims[I].Lower = affineMax(Dims[I].Lower, RHS.Dims[I].Lower);
+    Result.Dims[I].Upper = affineMin(Dims[I].Upper, RHS.Dims[I].Upper);
+  }
+  return Result;
+}
+
+BoxSet BoxSet::hull(const BoxSet &RHS) const {
+  assert(Dims.size() == RHS.Dims.size() && "rank mismatch in hull");
+  BoxSet Result = *this;
+  for (unsigned I = 0; I < Dims.size(); ++I) {
+    assert(Dims[I].Name == RHS.Dims[I].Name && "dim name mismatch");
+    Result.Dims[I].Lower = affineMin(Dims[I].Lower, RHS.Dims[I].Lower);
+    Result.Dims[I].Upper = affineMax(Dims[I].Upper, RHS.Dims[I].Upper);
+  }
+  return Result;
+}
+
+bool BoxSet::isProvablyEmpty() const {
+  for (const Dim &D : Dims) {
+    // Empty when Upper - Lower < 0 always, i.e. Upper - Lower + 1 <= 0.
+    AffineExpr Len = D.Upper - D.Lower + AffineExpr(1);
+    if (Len.signForParamsGE1() == AffineExpr::SignKind::NonPositive &&
+        !(Len.isConstant() && Len.constant() == 0))
+      return true;
+    if (Len.isConstant() && Len.constant() <= 0)
+      return true;
+  }
+  return false;
+}
+
+Polynomial BoxSet::cardinality(std::string_view Symbol) const {
+  Polynomial P(1);
+  for (const Dim &D : Dims) {
+    AffineExpr Len = D.Upper - D.Lower + AffineExpr(1);
+    P *= Len.toPolynomial(Symbol);
+  }
+  return P;
+}
+
+std::int64_t BoxSet::numPoints(
+    const std::map<std::string, std::int64_t, std::less<>> &Env) const {
+  std::int64_t Count = 1;
+  for (const Dim &D : Dims) {
+    std::int64_t Len = D.Upper.evaluate(Env) - D.Lower.evaluate(Env) + 1;
+    if (Len <= 0)
+      return 0;
+    Count *= Len;
+  }
+  return Count;
+}
+
+bool BoxSet::contains(
+    const std::vector<std::int64_t> &Point,
+    const std::map<std::string, std::int64_t, std::less<>> &Env) const {
+  assert(Point.size() == Dims.size() && "point arity mismatch");
+  for (unsigned I = 0; I < Dims.size(); ++I) {
+    if (Point[I] < Dims[I].Lower.evaluate(Env) ||
+        Point[I] > Dims[I].Upper.evaluate(Env))
+      return false;
+  }
+  return true;
+}
+
+void BoxSet::forEachPoint(
+    const std::map<std::string, std::int64_t, std::less<>> &Env,
+    const std::function<void(const std::vector<std::int64_t> &)> &Fn) const {
+  // A zero-dimensional box holds exactly one (empty) point.
+  if (Dims.empty()) {
+    Fn({});
+    return;
+  }
+  std::vector<std::int64_t> Lo(Dims.size()), Hi(Dims.size());
+  for (unsigned I = 0; I < Dims.size(); ++I) {
+    Lo[I] = Dims[I].Lower.evaluate(Env);
+    Hi[I] = Dims[I].Upper.evaluate(Env);
+    if (Lo[I] > Hi[I])
+      return;
+  }
+  std::vector<std::int64_t> Point = Lo;
+  while (true) {
+    Fn(Point);
+    // Lexicographic increment, last dimension fastest.
+    unsigned I = static_cast<unsigned>(Dims.size());
+    while (I-- > 0) {
+      if (Point[I] < Hi[I]) {
+        ++Point[I];
+        break;
+      }
+      Point[I] = Lo[I];
+      if (I == 0)
+        return;
+    }
+  }
+}
+
+BoxSet BoxSet::substituted(std::string_view Name,
+                           const AffineExpr &Replacement) const {
+  BoxSet Result = *this;
+  for (Dim &D : Result.Dims) {
+    D.Lower = D.Lower.substitute(Name, Replacement);
+    D.Upper = D.Upper.substitute(Name, Replacement);
+  }
+  return Result;
+}
+
+std::string BoxSet::toString() const {
+  std::ostringstream OS;
+  OS << "{ [";
+  for (unsigned I = 0; I < Dims.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Dims[I].Name;
+  }
+  OS << "] : ";
+  for (unsigned I = 0; I < Dims.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << Dims[I].Lower.toString() << " <= " << Dims[I].Name
+       << " <= " << Dims[I].Upper.toString();
+  }
+  OS << " }";
+  return OS.str();
+}

@@ -1,0 +1,123 @@
+//===- poly/BoxSet.h - Rectangular integer sets -----------------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A BoxSet is a rectangular integer set: for each named dimension an
+/// inclusive lower and upper bound, both affine in the symbolic size
+/// parameters (never in other iterators). Loop-chain stencil domains and
+/// every set produced by the paper's graph operations (shift, expand, fuse,
+/// tile) stay within this class of sets, which is why it can stand in for
+/// general ISL sets here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_POLY_BOXSET_H
+#define LCDFG_POLY_BOXSET_H
+
+#include "poly/AffineExpr.h"
+#include "support/Polynomial.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace poly {
+
+/// One dimension of a box: name plus inclusive affine bounds.
+struct Dim {
+  std::string Name;
+  AffineExpr Lower;
+  AffineExpr Upper; // inclusive
+
+  bool operator==(const Dim &RHS) const = default;
+};
+
+/// A rectangular integer set over named dimensions.
+class BoxSet {
+public:
+  BoxSet() = default;
+  explicit BoxSet(std::vector<Dim> Dims) : Dims(std::move(Dims)) {}
+
+  /// Convenience: builds { name in [lower, upper] } per entry.
+  static BoxSet
+  fromBounds(const std::vector<std::tuple<std::string, AffineExpr, AffineExpr>>
+                 &Bounds);
+
+  unsigned rank() const { return static_cast<unsigned>(Dims.size()); }
+  const std::vector<Dim> &dims() const { return Dims; }
+  const Dim &dim(unsigned I) const { return Dims[I]; }
+  Dim &dim(unsigned I) { return Dims[I]; }
+
+  /// Index of the dimension named \p Name, or nullopt.
+  std::optional<unsigned> dimIndex(std::string_view Name) const;
+
+  /// Returns a copy translated by \p Offsets (one per dimension).
+  BoxSet translated(const std::vector<std::int64_t> &Offsets) const;
+
+  /// Returns a copy with dimension \p I expanded by \p Lo below and \p Hi
+  /// above (both non-negative widths).
+  BoxSet expanded(unsigned I, std::int64_t Lo, std::int64_t Hi) const;
+
+  /// Intersects two boxes with identical dimension names. Bound comparisons
+  /// must be decidable under "all parameters >= 1"; aborts otherwise.
+  BoxSet intersect(const BoxSet &RHS) const;
+
+  /// Smallest box containing both (bounding box / convex-ish hull).
+  BoxSet hull(const BoxSet &RHS) const;
+
+  /// True when some dimension is provably empty (upper < lower for all
+  /// parameter values >= 1).
+  bool isProvablyEmpty() const;
+
+  /// Number of points as a polynomial in \p Symbol. Every bound must be
+  /// affine in \p Symbol only; substitute other parameters first.
+  Polynomial cardinality(std::string_view Symbol = "N") const;
+
+  /// Number of points for the concrete parameter binding \p Env. Empty
+  /// dimensions clamp to zero.
+  std::int64_t
+  numPoints(const std::map<std::string, std::int64_t, std::less<>> &Env) const;
+
+  /// True when \p Point (one coordinate per dim, in order) lies inside the
+  /// set under parameter binding \p Env.
+  bool
+  contains(const std::vector<std::int64_t> &Point,
+           const std::map<std::string, std::int64_t, std::less<>> &Env) const;
+
+  /// Calls \p Fn for every point in lexicographic order (first dim
+  /// outermost). Intended for tests and the interpreter at small sizes.
+  void forEachPoint(
+      const std::map<std::string, std::int64_t, std::less<>> &Env,
+      const std::function<void(const std::vector<std::int64_t> &)> &Fn) const;
+
+  /// Replaces parameter \p Name with \p Replacement in every bound.
+  BoxSet substituted(std::string_view Name, const AffineExpr &Replacement)
+      const;
+
+  bool operator==(const BoxSet &RHS) const = default;
+
+  /// Renders e.g. "{ [x, y] : 0 <= x <= N, 0 <= y <= N-1 }".
+  std::string toString() const;
+
+private:
+  std::vector<Dim> Dims;
+};
+
+/// Returns the symbolically larger of two affine bounds under params >= 1;
+/// aborts when the comparison is ambiguous.
+AffineExpr affineMax(const AffineExpr &A, const AffineExpr &B);
+
+/// Returns the symbolically smaller of two affine bounds under params >= 1;
+/// aborts when the comparison is ambiguous.
+AffineExpr affineMin(const AffineExpr &A, const AffineExpr &B);
+
+} // namespace poly
+} // namespace lcdfg
+
+#endif // LCDFG_POLY_BOXSET_H

@@ -1,0 +1,173 @@
+//===- poly/IntegerMap.cpp ------------------------------------------------===//
+
+#include "poly/IntegerMap.h"
+
+#include "support/Errors.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::poly;
+
+IntegerMap::IntegerMap(std::vector<std::string> InDims,
+                       std::vector<AffineExpr> OutExprs,
+                       std::vector<std::string> OutDims)
+    : InDims(std::move(InDims)), OutExprs(std::move(OutExprs)),
+      OutDims(std::move(OutDims)) {}
+
+IntegerMap IntegerMap::identity(const std::vector<std::string> &Dims) {
+  std::vector<AffineExpr> Exprs;
+  Exprs.reserve(Dims.size());
+  for (const std::string &D : Dims)
+    Exprs.push_back(AffineExpr::var(D));
+  return IntegerMap(Dims, std::move(Exprs), Dims);
+}
+
+IntegerMap IntegerMap::translation(const std::vector<std::string> &Dims,
+                                   const std::vector<std::int64_t> &Offsets) {
+  assert(Dims.size() == Offsets.size() && "arity mismatch");
+  std::vector<AffineExpr> Exprs;
+  Exprs.reserve(Dims.size());
+  for (unsigned I = 0; I < Dims.size(); ++I)
+    Exprs.push_back(AffineExpr::var(Dims[I]) + AffineExpr(Offsets[I]));
+  return IntegerMap(Dims, std::move(Exprs), Dims);
+}
+
+bool IntegerMap::isSeparable() const {
+  std::vector<bool> Used(InDims.size(), false);
+  for (const AffineExpr &E : OutExprs) {
+    unsigned NumVars = 0;
+    for (unsigned I = 0; I < InDims.size(); ++I) {
+      std::int64_t C = E.coeff(InDims[I]);
+      if (C == 0)
+        continue;
+      if (C != 1 || Used[I])
+        return false;
+      Used[I] = true;
+      ++NumVars;
+    }
+    if (NumVars > 1)
+      return false;
+  }
+  return true;
+}
+
+bool IntegerMap::isTranslation() const {
+  if (OutExprs.size() != InDims.size())
+    return false;
+  for (unsigned I = 0; I < InDims.size(); ++I) {
+    AffineExpr Diff = OutExprs[I] - AffineExpr::var(InDims[I]);
+    if (!Diff.isConstant())
+      return false;
+  }
+  return true;
+}
+
+std::vector<std::int64_t> IntegerMap::translationOffsets() const {
+  assert(isTranslation() && "not a translation");
+  std::vector<std::int64_t> Offsets;
+  Offsets.reserve(InDims.size());
+  for (unsigned I = 0; I < InDims.size(); ++I)
+    Offsets.push_back(
+        (OutExprs[I] - AffineExpr::var(InDims[I])).constant());
+  return Offsets;
+}
+
+std::vector<std::int64_t> IntegerMap::apply(
+    const std::vector<std::int64_t> &Point,
+    const std::map<std::string, std::int64_t, std::less<>> &Env) const {
+  assert(Point.size() == InDims.size() && "point arity mismatch");
+  std::map<std::string, std::int64_t, std::less<>> Full = Env;
+  for (unsigned I = 0; I < InDims.size(); ++I)
+    Full[InDims[I]] = Point[I];
+  std::vector<std::int64_t> Out;
+  Out.reserve(OutExprs.size());
+  for (const AffineExpr &E : OutExprs)
+    Out.push_back(E.evaluate(Full));
+  return Out;
+}
+
+BoxSet IntegerMap::apply(const BoxSet &Box) const {
+  if (!isSeparable())
+    reportFatalError("IntegerMap::apply: map is not separable: " + toString());
+  assert(Box.rank() == InDims.size() && "box arity mismatch");
+  std::vector<Dim> OutBounds;
+  OutBounds.reserve(OutExprs.size());
+  for (unsigned O = 0; O < OutExprs.size(); ++O) {
+    const AffineExpr &E = OutExprs[O];
+    std::string Name =
+        O < OutDims.size() && !OutDims[O].empty()
+            ? OutDims[O]
+            : "o" + std::to_string(O);
+    // Find the single input dim this output uses (if any).
+    AffineExpr Lower = E, Upper = E;
+    for (unsigned I = 0; I < InDims.size(); ++I) {
+      if (E.coeff(InDims[I]) == 0)
+        continue;
+      // Substituting the input dim's bounds gives the image interval since
+      // the coefficient is +1.
+      Lower = Lower.substitute(InDims[I], Box.dim(I).Lower);
+      Upper = Upper.substitute(InDims[I], Box.dim(I).Upper);
+      Name = O < OutDims.size() && !OutDims[O].empty() ? OutDims[O]
+                                                       : Box.dim(I).Name;
+    }
+    OutBounds.push_back(Dim{Name, Lower, Upper});
+  }
+  return BoxSet(std::move(OutBounds));
+}
+
+IntegerMap IntegerMap::compose(const IntegerMap &Other) const {
+  assert(OutExprs.size() == Other.InDims.size() &&
+         "composition arity mismatch");
+  std::vector<AffineExpr> Exprs;
+  Exprs.reserve(Other.OutExprs.size());
+  for (const AffineExpr &E : Other.OutExprs) {
+    AffineExpr Sub = E;
+    // Substitute all input dims of Other simultaneously: first rename to
+    // placeholders to avoid capture, then substitute.
+    std::vector<AffineExpr> Values(OutExprs.begin(), OutExprs.end());
+    AffineExpr Result(Sub.constant());
+    for (const auto &[Name, C] : Sub.coeffs()) {
+      bool IsInner = false;
+      for (unsigned I = 0; I < Other.InDims.size(); ++I) {
+        if (Name == Other.InDims[I]) {
+          Result += Values[I] * C;
+          IsInner = true;
+          break;
+        }
+      }
+      if (!IsInner)
+        Result += AffineExpr::var(Name) * C;
+    }
+    Exprs.push_back(Result);
+  }
+  return IntegerMap(InDims, std::move(Exprs), Other.OutDims);
+}
+
+IntegerMap IntegerMap::inverse() const {
+  if (!isTranslation())
+    reportFatalError("IntegerMap::inverse: only translations are invertible");
+  std::vector<std::int64_t> Offsets = translationOffsets();
+  for (std::int64_t &O : Offsets)
+    O = -O;
+  return translation(InDims, Offsets);
+}
+
+std::string IntegerMap::toString() const {
+  std::ostringstream OS;
+  OS << "{ [";
+  for (unsigned I = 0; I < InDims.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << InDims[I];
+  }
+  OS << "] -> [";
+  for (unsigned I = 0; I < OutExprs.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << OutExprs[I].toString();
+  }
+  OS << "] }";
+  return OS.str();
+}

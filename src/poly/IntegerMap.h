@@ -1,0 +1,84 @@
+//===- poly/IntegerMap.h - Affine maps between iteration spaces -*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine maps from an input iteration space to an output space, one affine
+/// expression per output dimension. Stencil data accesses are translations
+/// (x, y, z) -> (x + c0, y + c1, z + c2); graph transformations are shifts.
+/// Boxes are closed under application of such "separable" maps (each output
+/// expression mentions at most one input dimension with coefficient +1),
+/// which is all the paper's operations require.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_POLY_INTEGERMAP_H
+#define LCDFG_POLY_INTEGERMAP_H
+
+#include "poly/BoxSet.h"
+
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace poly {
+
+/// An affine map { [in dims] -> [out exprs] }.
+class IntegerMap {
+public:
+  IntegerMap() = default;
+  IntegerMap(std::vector<std::string> InDims, std::vector<AffineExpr> OutExprs,
+             std::vector<std::string> OutDims = {});
+
+  /// The identity map on \p Dims.
+  static IntegerMap identity(const std::vector<std::string> &Dims);
+
+  /// The translation map [d0, ..] -> [d0 + Offsets[0], ..].
+  static IntegerMap translation(const std::vector<std::string> &Dims,
+                                const std::vector<std::int64_t> &Offsets);
+
+  unsigned numInDims() const { return static_cast<unsigned>(InDims.size()); }
+  unsigned numOutDims() const {
+    return static_cast<unsigned>(OutExprs.size());
+  }
+  const std::vector<std::string> &inDims() const { return InDims; }
+  const std::vector<AffineExpr> &outExprs() const { return OutExprs; }
+
+  /// True when every output expression is `in_i + c` for distinct in_i.
+  bool isSeparable() const;
+
+  /// True when the map is a pure translation (identity plus offsets).
+  bool isTranslation() const;
+
+  /// For a translation, the constant offsets per dimension.
+  std::vector<std::int64_t> translationOffsets() const;
+
+  /// Applies to a point.
+  std::vector<std::int64_t>
+  apply(const std::vector<std::int64_t> &Point,
+        const std::map<std::string, std::int64_t, std::less<>> &Env) const;
+
+  /// Image of a box under a separable map; aborts if not separable.
+  BoxSet apply(const BoxSet &Box) const;
+
+  /// Composition Other(this(x)). Requires arities to match.
+  IntegerMap compose(const IntegerMap &Other) const;
+
+  /// Inverse of a translation.
+  IntegerMap inverse() const;
+
+  std::string toString() const;
+
+private:
+  std::vector<std::string> InDims;
+  std::vector<AffineExpr> OutExprs;
+  std::vector<std::string> OutDims; // optional names for output dims
+};
+
+} // namespace poly
+} // namespace lcdfg
+
+#endif // LCDFG_POLY_INTEGERMAP_H

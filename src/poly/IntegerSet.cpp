@@ -1,0 +1,68 @@
+//===- poly/IntegerSet.cpp ------------------------------------------------===//
+
+#include "poly/IntegerSet.h"
+
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::poly;
+
+bool IntegerSet::isEmpty() const {
+  for (const BoxSet &B : Boxes)
+    if (!B.isProvablyEmpty())
+      return false;
+  return true;
+}
+
+IntegerSet IntegerSet::unionWith(const IntegerSet &RHS) const {
+  IntegerSet Result = *this;
+  for (const BoxSet &B : RHS.Boxes)
+    Result.Boxes.push_back(B);
+  return Result;
+}
+
+IntegerSet IntegerSet::intersect(const BoxSet &Box) const {
+  IntegerSet Result;
+  for (const BoxSet &B : Boxes) {
+    BoxSet I = B.intersect(Box);
+    if (!I.isProvablyEmpty())
+      Result.Boxes.push_back(std::move(I));
+  }
+  return Result;
+}
+
+Polynomial IntegerSet::cardinality(std::string_view Symbol) const {
+  Polynomial P;
+  for (const BoxSet &B : Boxes)
+    P += B.cardinality(Symbol);
+  return P;
+}
+
+std::int64_t IntegerSet::numPoints(
+    const std::map<std::string, std::int64_t, std::less<>> &Env) const {
+  std::int64_t Count = 0;
+  for (const BoxSet &B : Boxes)
+    Count += B.numPoints(Env);
+  return Count;
+}
+
+bool IntegerSet::contains(
+    const std::vector<std::int64_t> &Point,
+    const std::map<std::string, std::int64_t, std::less<>> &Env) const {
+  for (const BoxSet &B : Boxes)
+    if (B.contains(Point, Env))
+      return true;
+  return false;
+}
+
+std::string IntegerSet::toString() const {
+  std::ostringstream OS;
+  for (unsigned I = 0; I < Boxes.size(); ++I) {
+    if (I)
+      OS << " u ";
+    OS << Boxes[I].toString();
+  }
+  if (Boxes.empty())
+    OS << "{ }";
+  return OS.str();
+}

@@ -1,0 +1,63 @@
+//===- poly/IntegerSet.h - Unions of rectangular sets -----------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An IntegerSet is a finite union of BoxSets over the same dimension names.
+/// Tiling decomposes a box domain into such a union; cardinality sums over
+/// disjuncts (callers keep disjuncts disjoint where that matters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_POLY_INTEGERSET_H
+#define LCDFG_POLY_INTEGERSET_H
+
+#include "poly/BoxSet.h"
+
+#include <vector>
+
+namespace lcdfg {
+namespace poly {
+
+/// A finite union of boxes.
+class IntegerSet {
+public:
+  IntegerSet() = default;
+  /*implicit*/ IntegerSet(BoxSet Box) { Boxes.push_back(std::move(Box)); }
+  explicit IntegerSet(std::vector<BoxSet> Boxes) : Boxes(std::move(Boxes)) {}
+
+  const std::vector<BoxSet> &boxes() const { return Boxes; }
+  bool isEmpty() const;
+  unsigned numBoxes() const { return static_cast<unsigned>(Boxes.size()); }
+
+  /// Appends the disjuncts of \p RHS.
+  IntegerSet unionWith(const IntegerSet &RHS) const;
+
+  /// Intersects each disjunct with \p Box, dropping provably empty results.
+  IntegerSet intersect(const BoxSet &Box) const;
+
+  /// Sum of disjunct cardinalities (exact when disjuncts are disjoint).
+  Polynomial cardinality(std::string_view Symbol = "N") const;
+
+  /// Sum of disjunct point counts under \p Env.
+  std::int64_t
+  numPoints(const std::map<std::string, std::int64_t, std::less<>> &Env) const;
+
+  /// True when any disjunct contains \p Point.
+  bool
+  contains(const std::vector<std::int64_t> &Point,
+           const std::map<std::string, std::int64_t, std::less<>> &Env) const;
+
+  std::string toString() const;
+
+private:
+  std::vector<BoxSet> Boxes;
+};
+
+} // namespace poly
+} // namespace lcdfg
+
+#endif // LCDFG_POLY_INTEGERSET_H

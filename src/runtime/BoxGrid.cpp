@@ -1,0 +1,78 @@
+//===- runtime/BoxGrid.cpp ------------------------------------------------===//
+
+#include "runtime/BoxGrid.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace lcdfg;
+using namespace lcdfg::rt;
+
+Box::Box(int N, int Ghost, int NumComp)
+    : N(N), Ghost(Ghost), NumComp(NumComp),
+      Data(static_cast<std::size_t>(NumComp) * padded() * padded() *
+               padded(),
+           0.0) {
+  assert(N > 0 && Ghost >= 0 && NumComp > 0 && "invalid box shape");
+}
+
+double *Box::origin(int C) {
+  std::int64_t Base = static_cast<std::int64_t>(C) * padded() * padded() *
+                      padded();
+  std::int64_t GhostOffset = Ghost * (strideZ() + strideY() + strideX());
+  return Data.data() + Base + GhostOffset;
+}
+
+const double *Box::origin(int C) const {
+  return const_cast<Box *>(this)->origin(C);
+}
+
+const double &Box::at(int C, int Z, int Y, int X) const {
+  assert(C >= 0 && C < NumComp && "component out of range");
+  assert(Z >= -Ghost && Z < N + Ghost && "z out of range");
+  assert(Y >= -Ghost && Y < N + Ghost && "y out of range");
+  assert(X >= -Ghost && X < N + Ghost && "x out of range");
+  return origin(C)[Z * strideZ() + Y * strideY() + X];
+}
+
+void Box::fillPseudoRandom(std::uint64_t Seed) {
+  // SplitMix64: deterministic, fast, good enough for workload data.
+  std::uint64_t State = Seed;
+  for (double &V : Data) {
+    State += 0x9e3779b97f4a7c15ull;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    Z ^= Z >> 31;
+    // Map to [0.5, 1.5) to keep values well-conditioned.
+    V = 0.5 + static_cast<double>(Z >> 11) * (1.0 / 9007199254740992.0);
+  }
+}
+
+void Box::copyInteriorFrom(const Box &Src) {
+  assert(N == Src.N && NumComp == Src.NumComp && "shape mismatch");
+  for (int C = 0; C < NumComp; ++C)
+    for (int Z = 0; Z < N; ++Z)
+      for (int Y = 0; Y < N; ++Y)
+        for (int X = 0; X < N; ++X)
+          at(C, Z, Y, X) = Src.at(C, Z, Y, X);
+}
+
+void Box::clear() { std::fill(Data.begin(), Data.end(), 0.0); }
+
+double rt::maxRelDiff(const Box &A, const Box &B) {
+  assert(A.size() == B.size() && A.numComponents() == B.numComponents() &&
+         "shape mismatch");
+  double Max = 0.0;
+  for (int C = 0; C < A.numComponents(); ++C)
+    for (int Z = 0; Z < A.size(); ++Z)
+      for (int Y = 0; Y < A.size(); ++Y)
+        for (int X = 0; X < A.size(); ++X) {
+          double VA = A.at(C, Z, Y, X), VB = B.at(C, Z, Y, X);
+          double Denom = std::fmax(std::fabs(VA), std::fabs(VB));
+          if (Denom < 1e-300)
+            continue;
+          Max = std::fmax(Max, std::fabs(VA - VB) / Denom);
+        }
+  return Max;
+}

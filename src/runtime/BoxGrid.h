@@ -1,0 +1,83 @@
+//===- runtime/BoxGrid.h - Boxes, ghost cells, components -------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data substrate of the MiniFluxDiv benchmark (Section 2.1): the
+/// domain is decomposed into independent boxes; each box holds a vector of
+/// components per 3D cell and is padded with a layer of ghost cells two
+/// deep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_RUNTIME_BOXGRID_H
+#define LCDFG_RUNTIME_BOXGRID_H
+
+#include <cstdint>
+#include <vector>
+
+namespace lcdfg {
+namespace rt {
+
+/// A 3D box of cells with ghost padding, storing several components
+/// contiguously (component-major).
+class Box {
+public:
+  /// Creates a zero-filled box of \p N^3 interior cells with \p Ghost ghost
+  /// layers and \p NumComp components.
+  Box(int N, int Ghost, int NumComp);
+
+  int size() const { return N; }
+  int ghost() const { return Ghost; }
+  int numComponents() const { return NumComp; }
+
+  /// Padded extent per dimension.
+  int padded() const { return N + 2 * Ghost; }
+
+  /// Strides for raw-pointer iteration: x is contiguous.
+  std::int64_t strideX() const { return 1; }
+  std::int64_t strideY() const { return padded(); }
+  std::int64_t strideZ() const {
+    return static_cast<std::int64_t>(padded()) * padded();
+  }
+
+  /// Pointer to interior origin (0,0,0) of component \p C; ghost cells lie
+  /// at negative offsets.
+  double *origin(int C);
+  const double *origin(int C) const;
+
+  /// Element access; indices range over [-Ghost, N+Ghost).
+  double &at(int C, int Z, int Y, int X) {
+    return const_cast<double &>(
+        static_cast<const Box *>(this)->at(C, Z, Y, X));
+  }
+  const double &at(int C, int Z, int Y, int X) const;
+
+  /// Fills every cell (ghosts included) with a deterministic pseudo-random
+  /// value derived from \p Seed.
+  void fillPseudoRandom(std::uint64_t Seed);
+
+  /// Copies the interior cells of \p Src into this box.
+  void copyInteriorFrom(const Box &Src);
+
+  /// Zero-fills the whole box.
+  void clear();
+
+private:
+  int N;
+  int Ghost;
+  int NumComp;
+  std::vector<double> Data;
+};
+
+/// Maximum relative difference between the interiors of two boxes; used to
+/// verify that all schedule variants compute the same result.
+double maxRelDiff(const Box &A, const Box &B);
+
+} // namespace rt
+} // namespace lcdfg
+
+#endif // LCDFG_RUNTIME_BOXGRID_H

@@ -1,0 +1,68 @@
+//===- runtime/GhostExchange.cpp ------------------------------------------===//
+
+#include "runtime/GhostExchange.h"
+
+#include "runtime/Parallel.h"
+#include "support/Errors.h"
+
+#include <cassert>
+
+using namespace lcdfg;
+using namespace lcdfg::rt;
+
+namespace {
+
+/// Maps a global (per-box-relative) coordinate into (neighbor offset,
+/// local coordinate).
+inline void splitCoord(int Coord, int N, int &BoxOffset, int &Local) {
+  if (Coord < 0) {
+    BoxOffset = -1;
+    Local = Coord + N;
+  } else if (Coord >= N) {
+    BoxOffset = 1;
+    Local = Coord - N;
+  } else {
+    BoxOffset = 0;
+    Local = Coord;
+  }
+}
+
+} // namespace
+
+void rt::exchangeGhosts(std::vector<Box> &Boxes, const GridLayout &Layout,
+                        int Threads) {
+  if (static_cast<int>(Boxes.size()) != Layout.numBoxes())
+    reportFatalError("exchangeGhosts: box count does not match layout");
+  if (Boxes.empty())
+    return;
+  const int N = Boxes.front().size();
+  const int G = Boxes.front().ghost();
+  const int NumComp = Boxes.front().numComponents();
+  assert(G <= N && "ghost depth deeper than a neighboring box interior");
+
+  parallelFor(Layout.numBoxes(), Threads, [&](int Index) {
+    int BZ = Index / (Layout.By * Layout.Bx);
+    int BY = (Index / Layout.Bx) % Layout.By;
+    int BX = Index % Layout.Bx;
+    Box &Dst = Boxes[static_cast<std::size_t>(Index)];
+
+    for (int C = 0; C < NumComp; ++C)
+      for (int Z = -G; Z < N + G; ++Z)
+        for (int Y = -G; Y < N + G; ++Y)
+          for (int X = -G; X < N + G; ++X) {
+            bool Interior = Z >= 0 && Z < N && Y >= 0 && Y < N && X >= 0 &&
+                            X < N;
+            if (Interior)
+              continue;
+            int DZ, DY, DX, LZ, LY, LX;
+            splitCoord(Z, N, DZ, LZ);
+            splitCoord(Y, N, DY, LY);
+            splitCoord(X, N, DX, LX);
+            const Box &Src = Boxes[static_cast<std::size_t>(Layout.index(
+                GridLayout::wrap(BZ + DZ, Layout.Bz),
+                GridLayout::wrap(BY + DY, Layout.By),
+                GridLayout::wrap(BX + DX, Layout.Bx)))];
+            Dst.at(C, Z, Y, X) = Src.at(C, LZ, LY, LX);
+          }
+  });
+}

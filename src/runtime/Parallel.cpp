@@ -1,0 +1,21 @@
+//===- runtime/Parallel.cpp -----------------------------------------------===//
+
+#include "runtime/Parallel.h"
+
+#include <omp.h>
+
+using namespace lcdfg;
+
+void rt::parallelFor(int Count, int Threads,
+                     const std::function<void(int)> &Fn) {
+  if (Threads <= 1) {
+    for (int I = 0; I < Count; ++I)
+      Fn(I);
+    return;
+  }
+#pragma omp parallel for num_threads(Threads) schedule(static)
+  for (int I = 0; I < Count; ++I)
+    Fn(I);
+}
+
+int rt::hardwareThreads() { return omp_get_max_threads(); }

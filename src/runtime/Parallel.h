@@ -1,0 +1,33 @@
+//===- runtime/Parallel.h - Thread-count-controlled parallel for -*- C++-*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel iteration over boxes (or tiles) with an explicit thread count,
+/// mirroring the "per thread parallelism over the boxes" setup of
+/// Section 5.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_RUNTIME_PARALLEL_H
+#define LCDFG_RUNTIME_PARALLEL_H
+
+#include <functional>
+
+namespace lcdfg {
+namespace rt {
+
+/// Runs Fn(I) for I in [0, Count) on \p Threads OpenMP threads with a
+/// static schedule. Threads <= 1 runs serially.
+void parallelFor(int Count, int Threads, const std::function<void(int)> &Fn);
+
+/// The hardware thread count visible to this process.
+int hardwareThreads();
+
+} // namespace rt
+} // namespace lcdfg
+
+#endif // LCDFG_RUNTIME_PARALLEL_H

@@ -1,0 +1,126 @@
+//===- storage/LivenessAllocator.cpp --------------------------------------===//
+
+#include "storage/LivenessAllocator.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::storage;
+using graph::Graph;
+using graph::InvalidNode;
+using graph::NodeId;
+
+namespace {
+
+struct Lifetime {
+  NodeId Value = InvalidNode;
+  int BirthRow = 0; // row of the producing statement node
+  int DeathRow = 0; // row of the last reader
+};
+
+struct TableEntry {
+  Polynomial Capacity;
+  bool Active = false;
+};
+
+/// True when A's capacity accommodates B (A >= B asymptotically or equal).
+bool accommodates(const Polynomial &Capacity, const Polynomial &Need) {
+  return !Capacity.asymptoticallyLess(Need);
+}
+
+} // namespace
+
+Allocation storage::allocateSpaces(const Graph &G) {
+  Allocation Result;
+
+  // Collect lifetimes of all live temporaries that are actually read.
+  std::vector<Lifetime> Lifetimes;
+  for (NodeId V = 0; V < G.numValueNodes(); ++V) {
+    const graph::ValueNode &Value = G.value(V);
+    if (Value.Dead || Value.Persistent)
+      continue;
+    NodeId Producer = G.producerOf(V);
+    if (Producer == InvalidNode)
+      continue;
+    auto Readers = G.readersOf(V);
+    if (Readers.empty())
+      continue;
+    Lifetime L;
+    L.Value = V;
+    L.BirthRow = G.stmt(Producer).Row;
+    L.DeathRow = L.BirthRow;
+    for (const graph::Edge *E : Readers)
+      L.DeathRow = std::max(L.DeathRow, G.stmt(E->To).Row);
+    Lifetimes.push_back(L);
+    Result.SsaTotal += Value.Size;
+  }
+
+  // Reverse execution order: walk rows from last to first. At each row,
+  // first assign spaces to values whose last read happens here (they become
+  // live, looking backward), then release values written here.
+  int MaxRow = G.maxRow();
+  std::vector<TableEntry> Table;
+  for (int Row = MaxRow; Row >= 0; --Row) {
+    for (const Lifetime &L : Lifetimes) {
+      if (L.DeathRow != Row)
+        continue;
+      const Polynomial &Need = G.value(L.Value).Size;
+      // Find the smallest inactive space that can accommodate the value.
+      int Best = -1;
+      for (int I = 0; I < static_cast<int>(Table.size()); ++I) {
+        if (Table[I].Active || !accommodates(Table[I].Capacity, Need))
+          continue;
+        if (Best < 0 ||
+            Table[I].Capacity.asymptoticallyLess(Table[Best].Capacity))
+          Best = I;
+      }
+      if (Best < 0) {
+        // Expand the largest inactive space, or add a new one.
+        for (int I = 0; I < static_cast<int>(Table.size()); ++I) {
+          if (Table[I].Active)
+            continue;
+          if (Best < 0 ||
+              Table[Best].Capacity.asymptoticallyLess(Table[I].Capacity))
+            Best = I;
+        }
+        if (Best >= 0) {
+          Table[Best].Capacity = Need;
+        } else {
+          Table.push_back(TableEntry{Need, false});
+          Best = static_cast<int>(Table.size() - 1);
+        }
+      }
+      Table[Best].Active = true;
+      Result.ValueToSpace[G.value(L.Value).Array] =
+          static_cast<unsigned>(Best);
+    }
+    for (const Lifetime &L : Lifetimes) {
+      if (L.BirthRow != Row)
+        continue;
+      auto It = Result.ValueToSpace.find(G.value(L.Value).Array);
+      if (It != Result.ValueToSpace.end())
+        Table[It->second].Active = false;
+    }
+  }
+
+  for (unsigned I = 0; I < Table.size(); ++I) {
+    Result.Spaces.push_back(Space{I, Table[I].Capacity});
+    Result.Total += Table[I].Capacity;
+  }
+  return Result;
+}
+
+std::string Allocation::toString() const {
+  std::ostringstream OS;
+  OS << "spaces:\n";
+  for (const Space &S : Spaces)
+    OS << "  ptr" << S.PointerId << " capacity " << S.Capacity.toString()
+       << "\n";
+  OS << "assignments:\n";
+  for (const auto &[Array, Id] : ValueToSpace)
+    OS << "  " << Array << " -> ptr" << Id << "\n";
+  OS << "total " << Total.toString() << " (single-assignment "
+     << SsaTotal.toString() << ")\n";
+  return OS.str();
+}

@@ -1,0 +1,59 @@
+//===- storage/LivenessAllocator.h - Whole-graph space reuse ----*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static liveness analysis of Section 4.4 that assigns temporary value
+/// sets to a small table of shared spaces. The graph is processed in reverse
+/// execution order; a table tracks spaces with their capacity and an active
+/// flag. A value node is assigned to an inactive space of sufficient
+/// capacity, or an inactive smaller space is expanded, or a new space is
+/// created; when the node writing the value is visited the space becomes
+/// inactive again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_STORAGE_LIVENESSALLOCATOR_H
+#define LCDFG_STORAGE_LIVENESSALLOCATOR_H
+
+#include "graph/Graph.h"
+#include "support/Polynomial.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace storage {
+
+/// One entry of the allocator's space table.
+struct Space {
+  unsigned PointerId = 0;
+  Polynomial Capacity;
+};
+
+/// Result of the liveness-based allocation.
+struct Allocation {
+  /// Array name -> space id.
+  std::map<std::string, unsigned> ValueToSpace;
+  std::vector<Space> Spaces;
+  /// Total bytes-in-elements of the shared allocation.
+  Polynomial Total;
+  /// Total under static single assignment (every temporary gets its own
+  /// buffer of its current size) for comparison.
+  Polynomial SsaTotal;
+
+  std::string toString() const;
+};
+
+/// Runs the allocation over all temporary values of \p G (internalized or
+/// not), using their current (possibly reduced) sizes.
+Allocation allocateSpaces(const graph::Graph &G);
+
+} // namespace storage
+} // namespace lcdfg
+
+#endif // LCDFG_STORAGE_LIVENESSALLOCATOR_H

@@ -1,0 +1,109 @@
+//===- storage/ReuseDistance.cpp ------------------------------------------===//
+
+#include "storage/ReuseDistance.h"
+
+#include "support/Errors.h"
+
+#include <cassert>
+
+using namespace lcdfg;
+using namespace lcdfg::storage;
+using graph::Graph;
+using graph::NodeId;
+
+std::vector<Polynomial> storage::domainStrides(const poly::BoxSet &Domain,
+                                               std::string_view Symbol) {
+  unsigned Rank = Domain.rank();
+  std::vector<Polynomial> Strides(Rank, Polynomial(1));
+  for (unsigned D = Rank; D-- > 0;) {
+    if (D + 1 < Rank) {
+      const poly::Dim &Inner = Domain.dim(D + 1);
+      Polynomial Extent =
+          (Inner.Upper - Inner.Lower + poly::AffineExpr(1))
+              .toPolynomial(Symbol);
+      Strides[D] = Strides[D + 1] * Extent;
+    }
+  }
+  return Strides;
+}
+
+Polynomial storage::reducedSize(const Graph &G, NodeId ValueId,
+                                std::string_view Symbol) {
+  const graph::ValueNode &Value = G.value(ValueId);
+  assert(Value.Internalized && "reducedSize requires an internalized value");
+  NodeId Producer = G.producerOf(ValueId);
+  assert(Producer != graph::InvalidNode && "internalized value needs writer");
+  const graph::StmtNode &Node = G.stmt(Producer);
+
+  // Locate the member nest that writes this value.
+  int WriterIdx = -1;
+  for (std::size_t I = 0; I < Node.Nests.size(); ++I)
+    if (G.chain().nest(Node.Nests[I]).Write.Array == Value.Array)
+      WriterIdx = static_cast<int>(I);
+  if (WriterIdx < 0)
+    reportFatalError("reducedSize: no member writes " + Value.Array);
+  const ir::LoopNest &WNest = G.chain().nest(Node.Nests[WriterIdx]);
+  const std::vector<std::int64_t> &WOff = WNest.Write.Offsets.front();
+  const std::vector<std::int64_t> &WShift = Node.Shifts[WriterIdx];
+
+  unsigned Rank = Node.Domain.rank();
+  // Strides follow the node's execution order (interchange permutes it):
+  // the innermost executed dimension has stride one.
+  std::vector<unsigned> Order = Node.executionOrder();
+  std::vector<Polynomial> Strides(Rank, Polynomial(1));
+  {
+    Polynomial Acc(1);
+    for (unsigned K = Rank; K-- > 0;) {
+      unsigned D = Order[K];
+      Strides[D] = Acc;
+      const poly::Dim &Dim = Node.Domain.dim(D);
+      Acc *= (Dim.Upper - Dim.Lower + poly::AffineExpr(1))
+                 .toPolynomial(Symbol);
+    }
+  }
+
+  // Maximum linearized lifetime over all consuming reads inside the node.
+  Polynomial MaxLifetime(0);
+  bool Any = false;
+  for (std::size_t CI = 0; CI < Node.Nests.size(); ++CI) {
+    const ir::LoopNest &CNest = G.chain().nest(Node.Nests[CI]);
+    for (const ir::Access &R : CNest.Reads) {
+      if (R.Array != Value.Array)
+        continue;
+      for (const auto &ROff : R.Offsets) {
+        // Element v[k] is produced at fused time k - WOff + WShift and
+        // consumed at k - ROff + CShift; the lifetime vector is the
+        // difference of those times.
+        Polynomial Lifetime(0);
+        for (unsigned D = 0; D < Rank; ++D) {
+          std::int64_t Steps =
+              (WOff[D] - ROff[D]) + (Node.Shifts[CI][D] - WShift[D]);
+          Lifetime += Strides[D] * Polynomial(Steps);
+        }
+        MaxLifetime = Any ? Polynomial::asymptoticMax(MaxLifetime, Lifetime)
+                          : Lifetime;
+        Any = true;
+      }
+    }
+  }
+  if (!Any)
+    return Polynomial(1);
+  Polynomial Size = MaxLifetime + Polynomial(1);
+  // A provably non-positive lifetime still needs one element.
+  if (Size.isConstant() && Size.coeff(0) < 1)
+    return Polynomial(1);
+  return Size;
+}
+
+std::map<std::string, Polynomial>
+storage::reduceStorage(Graph &G, std::string_view Symbol) {
+  std::map<std::string, Polynomial> Reduced;
+  for (NodeId V = 0; V < G.numValueNodes(); ++V) {
+    graph::ValueNode &Value = G.value(V);
+    if (Value.Dead || !Value.Internalized)
+      continue;
+    Value.Size = reducedSize(G, V, Symbol);
+    Reduced.emplace(Value.Array, Value.Size);
+  }
+  return Reduced;
+}

@@ -1,0 +1,52 @@
+//===- storage/ReuseDistance.h - Buffer sizing after fusion -----*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Temporary-storage minimization within fused statement nodes
+/// (Section 4.4). For a value internalized by producer-consumer fusion, the
+/// reuse distance between the production of an element and its last
+/// consumption in the fused schedule bounds the number of live elements:
+/// a distance of 1 with a single read reduces the value set to one scalar;
+/// a stencil read in the second-innermost dimension needs a buffer on the
+/// order of the innermost extent (the paper's 2N example for fusing Dy with
+/// Fy1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_STORAGE_REUSEDISTANCE_H
+#define LCDFG_STORAGE_REUSEDISTANCE_H
+
+#include "graph/Graph.h"
+#include "support/Polynomial.h"
+
+#include <map>
+#include <string>
+
+namespace lcdfg {
+namespace storage {
+
+/// Computes the reduced buffer size (in elements) for internalized value
+/// \p ValueId of graph \p G: one plus the maximum linearized reuse distance
+/// over all consuming reads inside the fused node.
+Polynomial reducedSize(const graph::Graph &G, graph::NodeId ValueId,
+                       std::string_view Symbol = "N");
+
+/// Applies reuse-distance sizing to every internalized value in \p G,
+/// updating ValueNode::Size in place. Returns array name -> reduced size.
+std::map<std::string, Polynomial> reduceStorage(graph::Graph &G,
+                                                std::string_view Symbol = "N");
+
+/// The linearization strides of a fused iteration space: Strides[d] is the
+/// number of elements skipped by one step of dimension d (innermost dim has
+/// stride 1).
+std::vector<Polynomial> domainStrides(const poly::BoxSet &Domain,
+                                      std::string_view Symbol = "N");
+
+} // namespace storage
+} // namespace lcdfg
+
+#endif // LCDFG_STORAGE_REUSEDISTANCE_H

@@ -1,0 +1,215 @@
+//===- storage/StorageMap.cpp ---------------------------------------------===//
+
+#include "storage/StorageMap.h"
+
+#include "support/Errors.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::storage;
+using graph::Graph;
+using graph::InvalidNode;
+using graph::NodeId;
+
+std::string StorageMap::toString(std::string_view Symbol) const {
+  std::ostringstream OS;
+  OS << Array << " -> space" << SpaceId << " [";
+  OS << (Kind == MapKind::Direct ? "direct" : "modulo");
+  OS << ", size " << Size.toString(Symbol);
+  if (Persistent)
+    OS << ", persistent";
+  OS << "]";
+  return OS.str();
+}
+
+StoragePlan StoragePlan::build(const Graph &G, bool UseAllocation) {
+  StoragePlan Plan;
+
+  Allocation Alloc;
+  if (UseAllocation)
+    Alloc = allocateSpaces(G);
+
+  // Temporaries first: their spaces come from the liveness allocation (or
+  // are private under single assignment).
+  unsigned NextSpace = 0;
+  if (UseAllocation) {
+    for (const Space &S : Alloc.Spaces)
+      Plan.SpaceSizes.push_back(S.Capacity);
+    NextSpace = static_cast<unsigned>(Plan.SpaceSizes.size());
+  }
+
+  for (NodeId V = 0; V < G.numValueNodes(); ++V) {
+    const graph::ValueNode &Value = G.value(V);
+    if (Value.Dead)
+      continue;
+    const ir::ArrayInfo &Info = G.chain().array(Value.Array);
+    if (!Info.Extent)
+      reportFatalError("storage plan: array without extent: " + Value.Array);
+
+    StorageMap M;
+    M.Array = Value.Array;
+    M.Extent = *Info.Extent;
+    M.Persistent = Value.Persistent;
+    if (Value.Persistent) {
+      M.Kind = MapKind::Direct;
+      M.Size = Value.OriginalSize;
+      M.SpaceId = NextSpace++;
+      Plan.SpaceSizes.push_back(M.Size);
+    } else {
+      M.Kind = Value.Internalized ? MapKind::Modulo : MapKind::Direct;
+      M.Size = Value.Size;
+      if (Value.Internalized) {
+        NodeId Producer = G.producerOf(V);
+        if (Producer != InvalidNode)
+          M.ExecOrder = G.stmt(Producer).DimOrder;
+      }
+      auto It = Alloc.ValueToSpace.find(Value.Array);
+      if (UseAllocation && It != Alloc.ValueToSpace.end()) {
+        M.SpaceId = It->second;
+      } else {
+        M.SpaceId = NextSpace++;
+        Plan.SpaceSizes.push_back(M.Size);
+      }
+    }
+    Plan.Maps.emplace(M.Array, std::move(M));
+  }
+  return Plan;
+}
+
+const StorageMap &StoragePlan::map(std::string_view Array) const {
+  auto It = Maps.find(Array);
+  if (It == Maps.end())
+    reportFatalError("storage plan: no map for array " + std::string(Array));
+  return It->second;
+}
+
+bool StoragePlan::hasMap(std::string_view Array) const {
+  return Maps.find(Array) != Maps.end();
+}
+
+Polynomial StoragePlan::temporaryFootprint() const {
+  // Sum capacities of spaces that hold at least one temporary.
+  std::vector<bool> IsTemp(SpaceSizes.size(), false);
+  for (const auto &[Name, M] : Maps) {
+    (void)Name;
+    if (!M.Persistent)
+      IsTemp[M.SpaceId] = true;
+  }
+  Polynomial Total;
+  for (std::size_t I = 0; I < SpaceSizes.size(); ++I)
+    if (IsTemp[I])
+      Total += SpaceSizes[I];
+  return Total;
+}
+
+std::string StoragePlan::toString(std::string_view Symbol) const {
+  std::ostringstream OS;
+  for (const auto &[Name, M] : Maps) {
+    (void)Name;
+    OS << M.toString(Symbol) << "\n";
+  }
+  OS << "temporary footprint: " << temporaryFootprint().toString(Symbol)
+     << " elements\n";
+  return OS.str();
+}
+
+ConcreteStorage::ConcreteStorage(
+    const StoragePlan &Plan,
+    const std::map<std::string, std::int64_t, std::less<>> &Env) {
+  std::size_t NumSpaces = Plan.spaceSizes().size();
+  Spaces.resize(NumSpaces);
+  std::vector<std::int64_t> SpaceElems(NumSpaces, 0);
+  for (std::size_t I = 0; I < NumSpaces; ++I)
+    SpaceElems[I] = Plan.spaceSizes()[I].evaluate(
+        Env.count("N") ? Env.find("N")->second : 1);
+
+  for (const auto &[Name, M] : Plan.maps()) {
+    ArrayLayout L;
+    L.Map = &M;
+    L.Space = M.SpaceId;
+    unsigned Rank = M.Extent.rank();
+    L.Lowers.resize(Rank);
+    L.Strides.assign(Rank, 1);
+    std::vector<std::int64_t> Extents(Rank);
+    for (unsigned D = 0; D < Rank; ++D) {
+      L.Lowers[D] = M.Extent.dim(D).Lower.evaluate(Env);
+      Extents[D] =
+          M.Extent.dim(D).Upper.evaluate(Env) - L.Lowers[D] + 1;
+      if (Extents[D] < 0)
+        Extents[D] = 0;
+    }
+    // Strides follow the producing loop's execution order (relevant for
+    // modulo buffers after interchange); the natural order otherwise.
+    std::vector<unsigned> Order = M.ExecOrder;
+    if (Order.empty()) {
+      Order.resize(Rank);
+      for (unsigned D = 0; D < Rank; ++D)
+        Order[D] = D;
+    }
+    std::int64_t Acc = 1;
+    for (unsigned K = Rank; K-- > 0;) {
+      L.Strides[Order[K]] = Acc;
+      Acc *= Extents[Order[K]];
+    }
+    L.Size = M.Size.evaluate(Env.count("N") ? Env.find("N")->second : 1);
+    if (L.Size < 1)
+      L.Size = 1;
+    // Ensure the space is large enough (capacities may have been expanded
+    // by the allocator; direct maps need the full extent product).
+    std::int64_t Needed =
+        M.Kind == MapKind::Direct
+            ? (Rank ? L.Strides[0] * Extents[0] : 1)
+            : L.Size;
+    SpaceElems[L.Space] = std::max(SpaceElems[L.Space], Needed);
+    Layouts.emplace(Name, std::move(L));
+  }
+  for (std::size_t I = 0; I < NumSpaces; ++I)
+    Spaces[I].assign(static_cast<std::size_t>(std::max<std::int64_t>(
+                         SpaceElems[I], 1)),
+                     0.0);
+}
+
+const ConcreteStorage::ArrayLayout &
+ConcreteStorage::layout(std::string_view Array) const {
+  auto It = Layouts.find(Array);
+  if (It == Layouts.end())
+    reportFatalError("concrete storage: unknown array " + std::string(Array));
+  return It->second;
+}
+
+std::size_t
+ConcreteStorage::indexOf(std::string_view Array,
+                         const std::vector<std::int64_t> &Point) const {
+  const ArrayLayout &L = layout(Array);
+  assert(Point.size() == L.Lowers.size() && "point arity mismatch");
+  std::int64_t Linear = 0;
+  for (std::size_t D = 0; D < Point.size(); ++D)
+    Linear += (Point[D] - L.Lowers[D]) * L.Strides[D];
+  if (L.Map->Kind == MapKind::Modulo) {
+    Linear %= L.Size;
+    if (Linear < 0)
+      Linear += L.Size;
+  }
+  assert(Linear >= 0 && "negative storage index");
+  return static_cast<std::size_t>(Linear);
+}
+
+double &ConcreteStorage::at(std::string_view Array,
+                            const std::vector<std::int64_t> &Point) {
+  const ArrayLayout &L = layout(Array);
+  std::size_t Index = indexOf(Array, Point);
+  std::vector<double> &Buffer = Spaces[L.Space];
+  assert(Index < Buffer.size() && "storage index out of bounds");
+  return Buffer[Index];
+}
+
+void ConcreteStorage::clear() {
+  for (std::vector<double> &S : Spaces)
+    std::fill(S.begin(), S.end(), 0.0);
+}
+
+std::vector<double> &ConcreteStorage::spaceOf(std::string_view Array) {
+  return Spaces[layout(Array).Space];
+}

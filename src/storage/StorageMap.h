@@ -1,0 +1,129 @@
+//===- storage/StorageMap.h - Value-set to memory mappings ------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage mappings from value-set elements to memory locations
+/// (Section 4.4). Standalone value nodes use a one-to-one (direct) map from
+/// the writing iterator to locations; values internalized by producer-
+/// consumer fusion use a modulo map over a buffer sized by reuse distance
+/// (the `*(temp + x&1)` mapping of Figure 1). All maps are relative: the
+/// base address comes from the liveness-allocated space table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_STORAGE_STORAGEMAP_H
+#define LCDFG_STORAGE_STORAGEMAP_H
+
+#include "graph/Graph.h"
+#include "storage/LivenessAllocator.h"
+#include "support/Polynomial.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace storage {
+
+/// How a value set's elements map to locations within its space.
+enum class MapKind {
+  Direct, ///< one-to-one over the array extent
+  Modulo  ///< circular buffer of reuse-distance size
+};
+
+/// The storage mapping for one array.
+struct StorageMap {
+  std::string Array;
+  MapKind Kind = MapKind::Direct;
+  /// Index space of the array (used for Direct linearization and for
+  /// Modulo stride computation).
+  poly::BoxSet Extent;
+  /// For Modulo maps: the producing node's loop execution order (extent
+  /// dimension indices, outermost first; empty = natural). The circular
+  /// buffer must be linearized in execution order or interchange would
+  /// wrap live values onto each other.
+  std::vector<unsigned> ExecOrder;
+  /// Element count of the backing buffer.
+  Polynomial Size;
+  /// Space the buffer lives in. Persistent arrays and each space from the
+  /// liveness allocator get distinct ids.
+  unsigned SpaceId = 0;
+  bool Persistent = false;
+
+  /// Renders e.g. "VAL_1(x,y) -> temp2[( (y-0)*(N) + (x-0) ) mod 2]".
+  std::string toString(std::string_view Symbol = "N") const;
+};
+
+/// The whole-graph storage plan: one map per live array plus the space
+/// table.
+class StoragePlan {
+public:
+  /// Builds the plan for \p G. Call storage::reduceStorage first when
+  /// reduced mappings are wanted; with \p UseAllocation false every
+  /// temporary receives a private space (single-assignment layout).
+  static StoragePlan build(const graph::Graph &G, bool UseAllocation = true);
+
+  const StorageMap &map(std::string_view Array) const;
+  bool hasMap(std::string_view Array) const;
+  const std::map<std::string, StorageMap, std::less<>> &maps() const {
+    return Maps;
+  }
+  /// Capacity (in elements) of each space.
+  const std::vector<Polynomial> &spaceSizes() const { return SpaceSizes; }
+
+  /// Total elements allocated for temporaries.
+  Polynomial temporaryFootprint() const;
+
+  std::string toString(std::string_view Symbol = "N") const;
+
+private:
+  std::map<std::string, StorageMap, std::less<>> Maps;
+  std::vector<Polynomial> SpaceSizes;
+};
+
+/// A concrete instantiation of a StoragePlan for a parameter binding: real
+/// buffers plus (array, point) -> double& resolution. Used by the schedule
+/// interpreter.
+class ConcreteStorage {
+public:
+  ConcreteStorage(const StoragePlan &Plan,
+                  const std::map<std::string, std::int64_t, std::less<>> &Env);
+
+  /// Reference to the element of \p Array at \p Point.
+  double &at(std::string_view Array, const std::vector<std::int64_t> &Point);
+
+  /// Zero-fills every buffer.
+  void clear();
+
+  /// Raw access to an array's backing space (for initializing inputs and
+  /// reading outputs). Direct-mapped arrays only.
+  std::vector<double> &spaceOf(std::string_view Array);
+
+  /// Linearized index of \p Point within \p Array's space.
+  std::size_t indexOf(std::string_view Array,
+                      const std::vector<std::int64_t> &Point) const;
+
+private:
+  struct ArrayLayout {
+    const StorageMap *Map = nullptr;
+    std::vector<std::int64_t> Lowers;
+    std::vector<std::int64_t> Strides;
+    std::int64_t Size = 0;
+    unsigned Space = 0;
+  };
+
+  const ArrayLayout &layout(std::string_view Array) const;
+
+  std::map<std::string, ArrayLayout, std::less<>> Layouts;
+  std::vector<std::vector<double>> Spaces;
+};
+
+} // namespace storage
+} // namespace lcdfg
+
+#endif // LCDFG_STORAGE_STORAGEMAP_H

@@ -1,0 +1,20 @@
+//===- support/Errors.cpp -------------------------------------------------===//
+
+#include "support/Errors.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace lcdfg;
+
+void lcdfg::reportFatalError(std::string_view Msg) {
+  std::fprintf(stderr, "lcdfg fatal error: %.*s\n",
+               static_cast<int>(Msg.size()), Msg.data());
+  std::abort();
+}
+
+void lcdfg::unreachableInternal(const char *Msg, const char *File,
+                                unsigned Line) {
+  std::fprintf(stderr, "lcdfg unreachable at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

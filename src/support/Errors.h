@@ -1,0 +1,34 @@
+//===- support/Errors.h - Fatal error reporting -----------------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fatal-error and unreachable helpers. The library does not use
+/// exceptions; unrecoverable conditions abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_SUPPORT_ERRORS_H
+#define LCDFG_SUPPORT_ERRORS_H
+
+#include <string_view>
+
+namespace lcdfg {
+
+/// Prints \p Msg to stderr and aborts. Used for conditions that indicate a
+/// programming error or an unsupported input that cannot be recovered from.
+[[noreturn]] void reportFatalError(std::string_view Msg);
+
+/// Marks a point in code that should never be reached.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace lcdfg
+
+#define LCDFG_UNREACHABLE(msg)                                                 \
+  ::lcdfg::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // LCDFG_SUPPORT_ERRORS_H

@@ -1,0 +1,132 @@
+//===- support/Polynomial.cpp ---------------------------------------------===//
+
+#include "support/Polynomial.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace lcdfg;
+
+Polynomial::Polynomial(std::int64_t Constant) {
+  if (Constant != 0)
+    Coeffs.push_back(Constant);
+}
+
+Polynomial Polynomial::term(std::int64_t Coeff, unsigned Degree) {
+  Polynomial P;
+  if (Coeff == 0)
+    return P;
+  P.Coeffs.assign(Degree + 1, 0);
+  P.Coeffs[Degree] = Coeff;
+  return P;
+}
+
+Polynomial Polynomial::symbol() { return term(1, 1); }
+
+std::int64_t Polynomial::coeff(unsigned Degree) const {
+  return Degree < Coeffs.size() ? Coeffs[Degree] : 0;
+}
+
+unsigned Polynomial::degree() const {
+  return Coeffs.empty() ? 0 : static_cast<unsigned>(Coeffs.size() - 1);
+}
+
+std::int64_t Polynomial::evaluate(std::int64_t N) const {
+  std::int64_t Result = 0;
+  for (auto It = Coeffs.rbegin(), E = Coeffs.rend(); It != E; ++It)
+    Result = Result * N + *It;
+  return Result;
+}
+
+void Polynomial::trim() {
+  while (!Coeffs.empty() && Coeffs.back() == 0)
+    Coeffs.pop_back();
+}
+
+Polynomial Polynomial::operator+(const Polynomial &RHS) const {
+  Polynomial Result = *this;
+  Result += RHS;
+  return Result;
+}
+
+Polynomial &Polynomial::operator+=(const Polynomial &RHS) {
+  if (Coeffs.size() < RHS.Coeffs.size())
+    Coeffs.resize(RHS.Coeffs.size(), 0);
+  for (std::size_t I = 0; I < RHS.Coeffs.size(); ++I)
+    Coeffs[I] += RHS.Coeffs[I];
+  trim();
+  return *this;
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial Result = *this;
+  for (auto &C : Result.Coeffs)
+    C = -C;
+  return Result;
+}
+
+Polynomial Polynomial::operator-(const Polynomial &RHS) const {
+  return *this + (-RHS);
+}
+
+Polynomial &Polynomial::operator-=(const Polynomial &RHS) {
+  *this += -RHS;
+  return *this;
+}
+
+Polynomial Polynomial::operator*(const Polynomial &RHS) const {
+  if (Coeffs.empty() || RHS.Coeffs.empty())
+    return Polynomial();
+  Polynomial Result;
+  Result.Coeffs.assign(Coeffs.size() + RHS.Coeffs.size() - 1, 0);
+  for (std::size_t I = 0; I < Coeffs.size(); ++I)
+    for (std::size_t J = 0; J < RHS.Coeffs.size(); ++J)
+      Result.Coeffs[I + J] += Coeffs[I] * RHS.Coeffs[J];
+  Result.trim();
+  return Result;
+}
+
+Polynomial &Polynomial::operator*=(const Polynomial &RHS) {
+  *this = *this * RHS;
+  return *this;
+}
+
+bool Polynomial::asymptoticallyLess(const Polynomial &RHS) const {
+  // Compare the difference's leading coefficient.
+  Polynomial Diff = RHS - *this;
+  if (Diff.Coeffs.empty())
+    return false;
+  return Diff.Coeffs.back() > 0;
+}
+
+Polynomial Polynomial::asymptoticMax(const Polynomial &A, const Polynomial &B) {
+  return A.asymptoticallyLess(B) ? B : A;
+}
+
+std::string Polynomial::toString(std::string_view Symbol) const {
+  if (Coeffs.empty())
+    return "0";
+  std::ostringstream OS;
+  bool First = true;
+  for (std::size_t I = Coeffs.size(); I-- > 0;) {
+    std::int64_t C = Coeffs[I];
+    if (C == 0)
+      continue;
+    if (!First)
+      OS << (C > 0 ? "+" : "-");
+    else if (C < 0)
+      OS << "-";
+    std::int64_t Abs = C < 0 ? -C : C;
+    if (I == 0) {
+      OS << Abs;
+    } else {
+      if (Abs != 1)
+        OS << Abs;
+      OS << Symbol;
+      if (I > 1)
+        OS << "^" << I;
+    }
+    First = false;
+  }
+  return OS.str();
+}

@@ -1,0 +1,87 @@
+//===- support/Polynomial.h - Symbolic cardinality polynomials --*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Univariate integer polynomials in the box-size parameter N. The paper
+/// labels value nodes with symbolic cardinalities such as N^2+4N and the cost
+/// model sums such terms (e.g. S_R = 30N^2+56N in Figure 3). This class
+/// provides exact arithmetic on those labels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_SUPPORT_POLYNOMIAL_H
+#define LCDFG_SUPPORT_POLYNOMIAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+
+/// An integer polynomial in a single symbolic parameter (canonically "N").
+///
+/// Coefficients are stored dense, lowest degree first. The zero polynomial
+/// has an empty coefficient vector. All arithmetic is exact over int64.
+class Polynomial {
+public:
+  /// Constructs the zero polynomial.
+  Polynomial() = default;
+
+  /// Constructs a constant polynomial.
+  /*implicit*/ Polynomial(std::int64_t Constant);
+
+  /// Returns c * N^degree.
+  static Polynomial term(std::int64_t Coeff, unsigned Degree);
+
+  /// Returns the polynomial N.
+  static Polynomial symbol();
+
+  /// Returns the coefficient of N^Degree (0 when absent).
+  std::int64_t coeff(unsigned Degree) const;
+
+  /// Degree of the polynomial; the zero polynomial has degree 0.
+  unsigned degree() const;
+
+  bool isZero() const { return Coeffs.empty(); }
+
+  /// True when the polynomial is a constant (degree 0), including zero.
+  bool isConstant() const { return Coeffs.size() <= 1; }
+
+  /// Evaluates at a concrete parameter value.
+  std::int64_t evaluate(std::int64_t N) const;
+
+  Polynomial operator+(const Polynomial &RHS) const;
+  Polynomial operator-(const Polynomial &RHS) const;
+  Polynomial operator*(const Polynomial &RHS) const;
+  Polynomial operator-() const;
+  Polynomial &operator+=(const Polynomial &RHS);
+  Polynomial &operator-=(const Polynomial &RHS);
+  Polynomial &operator*=(const Polynomial &RHS);
+
+  bool operator==(const Polynomial &RHS) const { return Coeffs == RHS.Coeffs; }
+  bool operator!=(const Polynomial &RHS) const { return !(*this == RHS); }
+
+  /// Asymptotic comparison: true when this < RHS for all sufficiently large
+  /// N. Equal polynomials compare false both ways.
+  bool asymptoticallyLess(const Polynomial &RHS) const;
+
+  /// Pointwise maximum does not exist for polynomials in general; this
+  /// returns the asymptotically larger of the two (ties return *this).
+  static Polynomial asymptoticMax(const Polynomial &A, const Polynomial &B);
+
+  /// Renders e.g. "30N^2+56N", "2N", "N^2+4N+1", "0".
+  std::string toString(std::string_view Symbol = "N") const;
+
+private:
+  void trim();
+
+  std::vector<std::int64_t> Coeffs;
+};
+
+} // namespace lcdfg
+
+#endif // LCDFG_SUPPORT_POLYNOMIAL_H

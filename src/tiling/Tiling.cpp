@@ -1,0 +1,206 @@
+//===- tiling/Tiling.cpp --------------------------------------------------===//
+
+#include "tiling/Tiling.h"
+
+#include "support/Errors.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::tiling;
+
+std::vector<poly::BoxSet>
+tiling::classicTiles(const poly::BoxSet &Domain,
+                     const std::vector<std::int64_t> &TileSizes,
+                     const ParamEnv &Env) {
+  unsigned Rank = Domain.rank();
+  assert(TileSizes.size() == Rank && "tile size arity mismatch");
+  std::vector<std::int64_t> Lo(Rank), Hi(Rank);
+  for (unsigned D = 0; D < Rank; ++D) {
+    Lo[D] = Domain.dim(D).Lower.evaluate(Env);
+    Hi[D] = Domain.dim(D).Upper.evaluate(Env);
+    if (Lo[D] > Hi[D])
+      return {};
+  }
+
+  std::vector<poly::BoxSet> Tiles;
+  // Iterate tile origins dimension by dimension.
+  std::vector<std::int64_t> Origin = Lo;
+  while (true) {
+    std::vector<poly::Dim> Dims(Rank);
+    for (unsigned D = 0; D < Rank; ++D) {
+      std::int64_t Size = TileSizes[D] > 0 ? TileSizes[D] : Hi[D] - Lo[D] + 1;
+      Dims[D] = poly::Dim{Domain.dim(D).Name, poly::AffineExpr(Origin[D]),
+                          poly::AffineExpr(std::min(Origin[D] + Size - 1,
+                                                    Hi[D]))};
+    }
+    Tiles.push_back(poly::BoxSet(std::move(Dims)));
+
+    // Advance origin (last dimension fastest).
+    unsigned D = Rank;
+    bool Done = true;
+    while (D-- > 0) {
+      std::int64_t Size = TileSizes[D] > 0 ? TileSizes[D] : Hi[D] - Lo[D] + 1;
+      Origin[D] += Size;
+      if (Origin[D] <= Hi[D]) {
+        Done = false;
+        break;
+      }
+      Origin[D] = Lo[D];
+      if (D == 0)
+        break;
+    }
+    if (Done)
+      break;
+  }
+  return Tiles;
+}
+
+double ChainTiling::redundancy() const {
+  std::int64_t Executed = 0, Required = 0;
+  for (const auto &[Nest, Points] : ExecutedPoints) {
+    (void)Nest;
+    Executed += Points;
+  }
+  for (const auto &[Nest, Points] : RequiredPoints) {
+    (void)Nest;
+    Required += Points;
+  }
+  return Required == 0 ? 1.0
+                       : static_cast<double>(Executed) /
+                             static_cast<double>(Required);
+}
+
+ChainTiling tiling::overlappedTiling(const ir::LoopChain &Chain,
+                                     const std::vector<std::int64_t>
+                                         &TileSizes,
+                                     const ParamEnv &Env) {
+  if (Chain.numNests() == 0)
+    reportFatalError("overlappedTiling: empty chain");
+  unsigned Last = Chain.numNests() - 1;
+  unsigned Rank = Chain.nest(Last).Domain.rank();
+
+  // Terminal nests — those whose outputs nothing in the chain reads — all
+  // seed the tiling: a chain like MiniFluxDiv has one terminal per
+  // direction (Dx, Dy, Dz), each of which must execute every iteration
+  // exactly once across the tiles.
+  std::vector<unsigned> Terminals;
+  for (unsigned I = 0; I < Chain.numNests(); ++I)
+    if (Chain.readersOf(Chain.nest(I).Write.Array).empty())
+      Terminals.push_back(I);
+  if (Terminals.empty())
+    Terminals.push_back(Last);
+
+  ChainTiling Result;
+  for (unsigned I = 0; I < Chain.numNests(); ++I)
+    Result.RequiredPoints[I] = Chain.nest(I).Domain.numPoints(Env);
+
+  // Concretized clip box for a nest's own domain.
+  auto ConcreteDomain = [&](unsigned NestId) {
+    std::vector<std::tuple<std::string, poly::AffineExpr, poly::AffineExpr>>
+        Bounds;
+    const poly::BoxSet &D = Chain.nest(NestId).Domain;
+    for (unsigned R = 0; R < Rank; ++R)
+      Bounds.emplace_back(D.dim(R).Name,
+                          poly::AffineExpr(D.dim(R).Lower.evaluate(Env)),
+                          poly::AffineExpr(D.dim(R).Upper.evaluate(Env)));
+    return poly::BoxSet::fromBounds(Bounds);
+  };
+
+  // Tile the hull of the terminal domains so every terminal is covered
+  // even when their extents differ.
+  poly::BoxSet TileRegion = ConcreteDomain(Terminals.front());
+  for (unsigned T : Terminals)
+    TileRegion = TileRegion.hull(ConcreteDomain(T));
+
+  for (const poly::BoxSet &Seed : classicTiles(TileRegion, TileSizes, Env)) {
+    OverlappedTile Tile;
+    Tile.Seed = Seed;
+    // Every terminal executes this tile's slice of its own domain.
+    for (unsigned T : Terminals) {
+      poly::BoxSet Slice = Seed.intersect(ConcreteDomain(T));
+      if (!Slice.isProvablyEmpty())
+        Tile.NestDomains[T] = std::move(Slice);
+    }
+
+    // Walk the chain backward: a producer must cover every element its
+    // consumers read, translated back through the write offset.
+    for (unsigned P = Chain.numNests() - 1; P-- > 0;) {
+      const ir::LoopNest &PNest = Chain.nest(P);
+      const std::string &Written = PNest.Write.Array;
+      const std::vector<std::int64_t> &WOff = PNest.Write.Offsets.front();
+
+      std::optional<poly::BoxSet> Needed;
+      for (unsigned C = P + 1; C < Chain.numNests(); ++C) {
+        auto CIt = Tile.NestDomains.find(C);
+        if (CIt == Tile.NestDomains.end())
+          continue;
+        const ir::LoopNest &CNest = Chain.nest(C);
+        for (const ir::Access &R : CNest.Reads) {
+          if (R.Array != Written)
+            continue;
+          std::vector<std::int64_t> MinOff = R.minOffsets();
+          std::vector<std::int64_t> MaxOff = R.maxOffsets();
+          // Elements read: [C.lo + minOff, C.hi + maxOff]; producer
+          // iterations: subtract the write offset.
+          std::vector<poly::Dim> Dims(Rank);
+          for (unsigned D = 0; D < Rank; ++D) {
+            const poly::Dim &CD = CIt->second.dim(D);
+            Dims[D] = poly::Dim{
+                CD.Name, CD.Lower + poly::AffineExpr(MinOff[D] - WOff[D]),
+                CD.Upper + poly::AffineExpr(MaxOff[D] - WOff[D])};
+          }
+          poly::BoxSet Box(std::move(Dims));
+          Needed = Needed ? Needed->hull(Box) : Box;
+        }
+      }
+      if (!Needed)
+        continue;
+      // Clip to the full nest domain (boundary tiles).
+      poly::BoxSet Clipped = Needed->intersect(
+          // Concretize the nest domain bounds so affine comparisons are
+          // decidable for boundary tiles.
+          poly::BoxSet::fromBounds([&] {
+            std::vector<std::tuple<std::string, poly::AffineExpr,
+                                   poly::AffineExpr>>
+                Bounds;
+            for (unsigned D = 0; D < Rank; ++D) {
+              const poly::Dim &PD = PNest.Domain.dim(D);
+              Bounds.emplace_back(PD.Name,
+                                  poly::AffineExpr(PD.Lower.evaluate(Env)),
+                                  poly::AffineExpr(PD.Upper.evaluate(Env)));
+            }
+            return Bounds;
+          }()));
+      if (!Clipped.isProvablyEmpty())
+        Tile.NestDomains[P] = std::move(Clipped);
+    }
+
+    for (const auto &[Nest, Domain] : Tile.NestDomains)
+      Result.ExecutedPoints[Nest] += Domain.numPoints(Env);
+    Result.Tiles.push_back(std::move(Tile));
+  }
+  return Result;
+}
+
+std::string tiling::renderTiling1D(const ir::LoopChain &Chain,
+                                   const ChainTiling &T, const ParamEnv &Env) {
+  std::ostringstream OS;
+  for (std::size_t TI = 0; TI < T.Tiles.size(); ++TI) {
+    OS << "tile " << TI << ":\n";
+    for (unsigned N = 0; N < Chain.numNests(); ++N) {
+      auto It = T.Tiles[TI].NestDomains.find(N);
+      if (It == T.Tiles[TI].NestDomains.end())
+        continue;
+      OS << "  " << Chain.nest(N).Name << ":";
+      It->second.forEachPoint(Env,
+                              [&](const std::vector<std::int64_t> &Point) {
+                                OS << " " << Point.front();
+                              });
+      OS << "\n";
+    }
+  }
+  return OS.str();
+}

@@ -1,0 +1,88 @@
+//===- tiling/Tiling.h - Classic and overlapped tiling ----------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiling transformations over loop chains (Section 4.3, Figure 5). Classic
+/// tiling assigns each iteration to exactly one tile and needs barriers
+/// between dependent statement sets. Overlapped tiling expands producer
+/// statement sets per tile so tiles execute independently, at the price of
+/// redundant computation. Two intra-tile schedules are supported:
+///
+///  * fusion of tiles (Figure 5c, the Halide/PolyMage shape): each statement
+///    set runs to completion over its expanded tile domain, keeping
+///    vectorizable inner loops and full-tile temporaries;
+///  * fusion within tiles (Figure 5f, this paper's contribution): the
+///    shifted, fused schedule runs inside each tile, shrinking temporaries
+///    to the reuse distance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_TILING_TILING_H
+#define LCDFG_TILING_TILING_H
+
+#include "ir/LoopChain.h"
+#include "poly/IntegerSet.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace tiling {
+
+/// Environment binding symbolic parameters to concrete values.
+using ParamEnv = std::map<std::string, std::int64_t, std::less<>>;
+
+/// Decomposes \p Domain into disjoint rectangular tiles of \p TileSizes
+/// (one entry per dimension; 0 means "do not tile this dimension"). Bounds
+/// are concrete under \p Env; the final tile in a dimension may be partial.
+std::vector<poly::BoxSet> classicTiles(const poly::BoxSet &Domain,
+                                       const std::vector<std::int64_t>
+                                           &TileSizes,
+                                       const ParamEnv &Env);
+
+/// One overlapped tile: the seed tile of the final consumer plus the
+/// expanded iteration domain of every nest in the chain.
+struct OverlappedTile {
+  poly::BoxSet Seed;
+  /// Nest id -> expanded (and clipped) domain the tile must execute.
+  std::map<unsigned, poly::BoxSet> NestDomains;
+};
+
+/// Result of an overlapped tiling of a whole chain.
+struct ChainTiling {
+  std::vector<OverlappedTile> Tiles;
+
+  /// Total iterations executed per nest across all tiles.
+  std::map<unsigned, std::int64_t> ExecutedPoints;
+  /// Iterations in the untiled nest domains.
+  std::map<unsigned, std::int64_t> RequiredPoints;
+
+  /// Redundant-computation ratio: executed / required over all nests.
+  double redundancy() const;
+};
+
+/// Computes the overlapped tiling of \p Chain: the domain of the *last*
+/// nest is decomposed with \p TileSizes, and every earlier nest's domain is
+/// expanded backward through the read stencils so each tile is
+/// self-contained (Figure 5(c)/(f) share this decomposition; they differ in
+/// the intra-tile schedule). Nest domains are clipped to the original
+/// domains.
+ChainTiling overlappedTiling(const ir::LoopChain &Chain,
+                             const std::vector<std::int64_t> &TileSizes,
+                             const ParamEnv &Env);
+
+/// Renders a 1D chain tiling in the style of Figure 5: one line per nest
+/// per tile, listing the executed iterations.
+std::string renderTiling1D(const ir::LoopChain &Chain, const ChainTiling &T,
+                           const ParamEnv &Env);
+
+} // namespace tiling
+} // namespace lcdfg
+
+#endif // LCDFG_TILING_TILING_H

@@ -1,0 +1,200 @@
+//===- tiling/Wavefront.cpp -----------------------------------------------===//
+
+#include "tiling/Wavefront.h"
+
+#include "support/Errors.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace lcdfg;
+using namespace lcdfg::tiling;
+using graph::Graph;
+using graph::NodeId;
+
+namespace {
+
+/// Collects the fused-space dependence distance vectors of \p Node: for a
+/// producer member writing A and a consumer member reading A, the distance
+/// from the producing to the consuming fused iteration is
+/// (consumerShift - readOffset) - (producerShift - writeOffset).
+std::vector<std::vector<std::int64_t>>
+dependenceDistances(const Graph &G, const graph::StmtNode &Node) {
+  unsigned Rank = Node.Domain.rank();
+  std::set<std::vector<std::int64_t>> Distances;
+  for (std::size_t P = 0; P < Node.Nests.size(); ++P) {
+    const ir::LoopNest &PNest = G.chain().nest(Node.Nests[P]);
+    const std::vector<std::int64_t> &WOff = PNest.Write.Offsets.front();
+    for (std::size_t C = 0; C < Node.Nests.size(); ++C) {
+      const ir::LoopNest &CNest = G.chain().nest(Node.Nests[C]);
+      for (const ir::Access &R : CNest.Reads) {
+        if (R.Array != PNest.Write.Array)
+          continue;
+        for (const auto &ROff : R.Offsets) {
+          std::vector<std::int64_t> D(Rank);
+          bool NonZero = false;
+          for (unsigned K = 0; K < Rank; ++K) {
+            D[K] = (Node.Shifts[C][K] - ROff[K]) -
+                   (Node.Shifts[P][K] - WOff[K]);
+            NonZero |= D[K] != 0;
+          }
+          if (NonZero)
+            Distances.insert(std::move(D));
+        }
+      }
+    }
+  }
+  return {Distances.begin(), Distances.end()};
+}
+
+} // namespace
+
+WavefrontPlan tiling::wavefrontTiling(const Graph &G, NodeId Stmt,
+                                      const std::vector<std::int64_t>
+                                          &TileSizes,
+                                      const ParamEnv &Env) {
+  const graph::StmtNode &Node = G.stmt(Stmt);
+  unsigned Rank = Node.Domain.rank();
+  assert(TileSizes.size() == Rank && "tile size arity mismatch");
+  if (!Node.DimOrder.empty())
+    reportFatalError("wavefrontTiling: interchange the node after tiling "
+                     "decisions, not before (DimOrder must be natural)");
+
+  WavefrontPlan Plan;
+  Plan.Tiles = classicTiles(Node.Domain, TileSizes, Env);
+
+  // Tile-grid shape (for index arithmetic).
+  std::vector<std::int64_t> Lo(Rank), Extent(Rank), GridDim(Rank, 1);
+  for (unsigned D = 0; D < Rank; ++D) {
+    Lo[D] = Node.Domain.dim(D).Lower.evaluate(Env);
+    Extent[D] = Node.Domain.dim(D).Upper.evaluate(Env) - Lo[D] + 1;
+    std::int64_t T = TileSizes[D] > 0 ? TileSizes[D] : Extent[D];
+    GridDim[D] = (Extent[D] + T - 1) / T;
+  }
+
+  // Dependence distances must stay within a single tile so tile-level
+  // dependences connect only adjacent tiles.
+  std::vector<std::vector<std::int64_t>> Distances =
+      dependenceDistances(G, Node);
+  for (const auto &D : Distances)
+    for (unsigned K = 0; K < Rank; ++K) {
+      std::int64_t T = TileSizes[K] > 0 ? TileSizes[K] : Extent[K];
+      if (std::abs(D[K]) > T)
+        reportFatalError(
+            "wavefrontTiling: dependence distance exceeds the tile size "
+            "in dimension " +
+            Node.Domain.dim(K).Name);
+    }
+  std::set<std::vector<int>> Signs;
+  for (const auto &D : Distances) {
+    std::vector<int> S(Rank);
+    bool NonZero = false;
+    for (unsigned K = 0; K < Rank; ++K) {
+      S[K] = D[K] > 0 ? 1 : D[K] < 0 ? -1 : 0;
+      NonZero |= S[K] != 0;
+    }
+    if (NonZero)
+      Signs.insert(std::move(S));
+  }
+  Plan.DepVectors.assign(Signs.begin(), Signs.end());
+
+  // Level the tile grid by longest path. classicTiles enumerates tiles in
+  // lexicographic grid order and dependence vectors are lexicographically
+  // positive, so a single pass in tile order reaches a fixed point.
+  std::vector<int> Level(Plan.Tiles.size(), 0);
+  auto GridIndex = [&](const std::vector<std::int64_t> &Coord) {
+    std::int64_t Index = 0;
+    for (unsigned D = 0; D < Rank; ++D)
+      Index = Index * GridDim[D] + Coord[D];
+    return Index;
+  };
+  std::vector<std::int64_t> Coord(Rank, 0);
+  for (std::size_t T = 0; T < Plan.Tiles.size(); ++T) {
+    // Propagate to dependents.
+    for (const std::vector<int> &V : Plan.DepVectors) {
+      std::vector<std::int64_t> Next(Rank);
+      bool InGrid = true;
+      for (unsigned D = 0; D < Rank; ++D) {
+        Next[D] = Coord[D] + V[D];
+        InGrid &= Next[D] >= 0 && Next[D] < GridDim[D];
+      }
+      if (InGrid) {
+        std::int64_t NI = GridIndex(Next);
+        Level[static_cast<std::size_t>(NI)] =
+            std::max(Level[static_cast<std::size_t>(NI)],
+                     Level[T] + 1);
+      }
+    }
+    // Advance lexicographic tile coordinate.
+    for (unsigned D = Rank; D-- > 0;) {
+      if (++Coord[D] < GridDim[D])
+        break;
+      Coord[D] = 0;
+    }
+  }
+
+  int MaxLevel = 0;
+  for (int L : Level)
+    MaxLevel = std::max(MaxLevel, L);
+  Plan.Fronts.assign(static_cast<std::size_t>(MaxLevel) + 1, {});
+  for (std::size_t T = 0; T < Plan.Tiles.size(); ++T)
+    Plan.Fronts[static_cast<std::size_t>(Level[T])].push_back(
+        static_cast<unsigned>(T));
+  return Plan;
+}
+
+void tiling::executeWavefront(const Graph &G, NodeId Stmt,
+                              const WavefrontPlan &Plan,
+                              const codegen::KernelRegistry &Kernels,
+                              storage::ConcreteStorage &Store,
+                              const ParamEnv &Env,
+                              bool ReverseWithinFront) {
+  const graph::StmtNode &Node = G.stmt(Stmt);
+  unsigned Rank = Node.Domain.rank();
+  std::vector<double> Reads;
+  std::vector<std::int64_t> Orig(Rank), Where(Rank);
+
+  auto RunTile = [&](unsigned TileIdx) {
+    const poly::BoxSet &Tile = Plan.Tiles[TileIdx];
+    for (std::size_t M = 0; M < Node.Nests.size(); ++M) {
+      const ir::LoopNest &Nest = G.chain().nest(Node.Nests[M]);
+      const codegen::KernelRegistry::Kernel &Kernel =
+          Kernels.get(Nest.KernelId);
+      poly::BoxSet Domain =
+          Nest.Domain.translated(Node.Shifts[M])
+              .substituted("N", poly::AffineExpr(Env.at("N")));
+      // Intersect the shifted member domain with the tile; both are
+      // concrete after substitution.
+      poly::BoxSet Slice = Domain.intersect(Tile);
+      if (Slice.isProvablyEmpty())
+        continue;
+      Slice.forEachPoint(Env, [&](const std::vector<std::int64_t> &Point) {
+        for (unsigned D = 0; D < Rank; ++D)
+          Orig[D] = Point[D] - Node.Shifts[M][D];
+        Reads.clear();
+        for (const ir::Access &R : Nest.Reads)
+          for (const auto &Off : R.Offsets) {
+            for (unsigned D = 0; D < Rank; ++D)
+              Where[D] = Orig[D] + Off[D];
+            Reads.push_back(Store.at(R.Array, Where));
+          }
+        for (unsigned D = 0; D < Rank; ++D)
+          Where[D] = Orig[D] + Nest.Write.Offsets.front()[D];
+        double &Target = Store.at(Nest.Write.Array, Where);
+        Target = Kernel(Reads, Target);
+      });
+    }
+  };
+
+  for (const std::vector<unsigned> &Front : Plan.Fronts) {
+    if (ReverseWithinFront) {
+      for (auto It = Front.rbegin(); It != Front.rend(); ++It)
+        RunTile(*It);
+    } else {
+      for (unsigned T : Front)
+        RunTile(T);
+    }
+  }
+}

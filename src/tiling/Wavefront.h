@@ -1,0 +1,82 @@
+//===- tiling/Wavefront.h - Wavefront execution of fused tiles --*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic (non-overlapped) tiling of a *fused* statement node creates
+/// dependences between tiles: Figure 5(e) shows the 1D case, where they
+/// force serial execution. The loop-chain toolchain's answer (Bertolacci
+/// et al.) is wavefront scheduling: tiles are levelled by their dependence
+/// distances, and every tile within a level (a front) can execute in
+/// parallel. This module derives the inter-tile dependence vectors from
+/// the fused node's shifts and access offsets, levels the tile grid, and
+/// executes the fronts — giving the classic-tiling alternative to the
+/// overlapped tiling of Section 4.3 without redundant computation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_TILING_WAVEFRONT_H
+#define LCDFG_TILING_WAVEFRONT_H
+
+#include "codegen/Interpreter.h"
+#include "graph/Graph.h"
+#include "storage/StorageMap.h"
+#include "tiling/Tiling.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace lcdfg {
+namespace tiling {
+
+/// A wavefront plan for one fused statement node.
+struct WavefrontPlan {
+  /// Disjoint tiles of the fused iteration space (concrete bounds).
+  std::vector<poly::BoxSet> Tiles;
+  /// Tile-grid dependence vectors (one entry per dimension, in
+  /// {-1, 0, +1}); each is lexicographically positive.
+  std::vector<std::vector<int>> DepVectors;
+  /// Tile indices grouped by dependence level: every tile in a front may
+  /// execute concurrently once the previous fronts completed.
+  std::vector<std::vector<unsigned>> Fronts;
+
+  /// True when every front holds a single tile — the serialized execution
+  /// of Figure 5(e).
+  bool isSerial() const {
+    for (const auto &F : Fronts)
+      if (F.size() > 1)
+        return false;
+    return true;
+  }
+  /// Width of the widest front (the available tile parallelism).
+  std::size_t maxParallelism() const {
+    std::size_t Max = 0;
+    for (const auto &F : Fronts)
+      Max = std::max(Max, F.size());
+    return Max;
+  }
+};
+
+/// Builds the wavefront plan for fused statement node \p Stmt of \p G,
+/// tiling its domain with \p TileSizes (0 = do not tile that dimension).
+/// Every dependence distance must fit within one tile (tile sizes at least
+/// the stencil extents); aborts otherwise.
+WavefrontPlan wavefrontTiling(const graph::Graph &G, graph::NodeId Stmt,
+                              const std::vector<std::int64_t> &TileSizes,
+                              const ParamEnv &Env);
+
+/// Executes the fused node front by front (tiles within a front run in an
+/// arbitrary order — pass \p ReverseWithinFront to stress independence).
+void executeWavefront(const graph::Graph &G, graph::NodeId Stmt,
+                      const WavefrontPlan &Plan,
+                      const codegen::KernelRegistry &Kernels,
+                      storage::ConcreteStorage &Store, const ParamEnv &Env,
+                      bool ReverseWithinFront = false);
+
+} // namespace tiling
+} // namespace lcdfg
+
+#endif // LCDFG_TILING_WAVEFRONT_H

@@ -1,0 +1,92 @@
+//===- tests/codegen/CPrinterTest.cpp -------------------------------------===//
+
+#include "codegen/CPrinter.h"
+
+#include "codegen/Generator.h"
+#include "graph/GraphBuilder.h"
+#include "graph/Transforms.h"
+#include "parser/PragmaParser.h"
+#include "storage/ReuseDistance.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using namespace lcdfg::codegen;
+using namespace lcdfg::graph;
+
+namespace {
+
+const char *ChainSource = R"(
+#pragma omplc for domain(0:N, 0:N-1) with (x, y) \
+    write A{(x,y)} read IN{(x-1,y),(x,y)}
+S1: A(x,y) = f(IN);
+#pragma omplc for domain(0:N-1, 0:N-1) with (x, y) \
+    write OUT{(x,y)} read A{(x,y),(x+1,y)}
+S2: OUT(x,y) = g(A);
+)";
+
+} // namespace
+
+TEST(CPrinter, SymbolicFormWithoutPlan) {
+  auto R = parser::parseLoopChain(ChainSource);
+  ASSERT_TRUE(R) << R.Error;
+  Graph G = buildGraph(*R.Chain);
+  std::string Code = printC(G, *generate(G));
+  // Loops, indices, and callee names all render.
+  EXPECT_NE(Code.find("for (int y = 0; y <= N-1; ++y)"),
+            std::string::npos);
+  EXPECT_NE(Code.find("A(y, x) = f_S1(IN(y, x-1), IN(y, x));"),
+            std::string::npos);
+  EXPECT_NE(Code.find("OUT(y, x) = f_S2(A(y, x), A(y, x+1));"),
+            std::string::npos);
+}
+
+TEST(CPrinter, IndentationTracksNesting) {
+  auto R = parser::parseLoopChain(ChainSource);
+  ASSERT_TRUE(R) << R.Error;
+  Graph G = buildGraph(*R.Chain);
+  PrintOptions Options;
+  Options.Indent = 4;
+  std::string Code = printC(G, *generate(G), Options);
+  EXPECT_NE(Code.find("\n    for (int x"), std::string::npos);
+  EXPECT_NE(Code.find("\n        A(y, x)"), std::string::npos);
+}
+
+TEST(CPrinter, GuardsRenderBoundsOfShiftedMembers) {
+  auto R = parser::parseLoopChain(ChainSource);
+  ASSERT_TRUE(R) << R.Error;
+  Graph G = buildGraph(*R.Chain);
+  ASSERT_TRUE(fuseProducerConsumer(G, G.findStmt("S1"), G.findStmt("S2")));
+  std::string Code = printC(G, *generate(G));
+  EXPECT_NE(Code.find("if (0 <= y && y <= N-1 && 1 <= x && x <= N)"),
+            std::string::npos)
+      << Code;
+  // The shifted consumer writes at x-1.
+  EXPECT_NE(Code.find("OUT(y, x-1)"), std::string::npos);
+}
+
+TEST(CPrinter, ModuloPlanRewritesTemporaries) {
+  auto R = parser::parseLoopChain(ChainSource);
+  ASSERT_TRUE(R) << R.Error;
+  Graph G = buildGraph(*R.Chain);
+  ASSERT_TRUE(fuseProducerConsumer(G, G.findStmt("S1"), G.findStmt("S2")));
+  storage::reduceStorage(G);
+  storage::StoragePlan Plan = storage::StoragePlan::build(G);
+  PrintOptions Options;
+  Options.Plan = &Plan;
+  std::string Code = printC(G, *generate(G), Options);
+  // A collapsed to a two-element modulo buffer; IN/OUT stay symbolic.
+  EXPECT_NE(Code.find("% (2)"), std::string::npos) << Code;
+  EXPECT_NE(Code.find("IN(y, x)"), std::string::npos);
+  EXPECT_NE(Code.find("OUT(y, x-1)"), std::string::npos);
+}
+
+TEST(CPrinter, StatementCountsSurviveLowering) {
+  auto R = parser::parseLoopChain(ChainSource);
+  ASSERT_TRUE(R) << R.Error;
+  Graph G = buildGraph(*R.Chain);
+  AstPtr Root = generate(G);
+  EXPECT_EQ(Root->countStatements(), 2u);
+  ASSERT_TRUE(fuseProducerConsumer(G, G.findStmt("S1"), G.findStmt("S2")));
+  EXPECT_EQ(generate(G)->countStatements(), 2u);
+}

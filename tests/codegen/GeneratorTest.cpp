@@ -1,0 +1,83 @@
+//===- tests/codegen/GeneratorTest.cpp ------------------------------------===//
+
+#include "codegen/Generator.h"
+
+#include "codegen/CPrinter.h"
+#include "graph/GraphBuilder.h"
+#include "graph/Transforms.h"
+#include "minifluxdiv/Spec.h"
+#include "storage/ReuseDistance.h"
+#include "storage/StorageMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using namespace lcdfg::codegen;
+using namespace lcdfg::graph;
+
+TEST(Generator, SeriesGraphLowersToOneNestPerStatement) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  AstPtr Root = generate(G);
+  ASSERT_EQ(Root->Kind, AstKind::Block);
+  EXPECT_EQ(Root->Children.size(), 24u);
+  EXPECT_EQ(Root->countStatements(), 24u);
+  // Each child is a 2-deep loop nest.
+  const AstNode &First = *Root->Children.front();
+  ASSERT_EQ(First.Kind, AstKind::Loop);
+  EXPECT_EQ(First.Iter, "y");
+  ASSERT_EQ(First.Children.size(), 1u);
+  EXPECT_EQ(First.Children[0]->Kind, AstKind::Loop);
+  EXPECT_EQ(First.Children[0]->Iter, "x");
+}
+
+TEST(Generator, FusedNodeGetsGuardsForShiftedMembers) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  ASSERT_TRUE(fuseProducerConsumer(G, G.findStmt("Fx2_rho"),
+                                   G.findStmt("Dx_rho")));
+  AstPtr Node = generateStmtNode(G, G.findStmt("Fx2_rho+Dx_rho"));
+  // Two statements, at least one guarded (the shifted Dx).
+  EXPECT_EQ(Node->countStatements(), 2u);
+  std::string Code = printC(G, *Node);
+  EXPECT_NE(Code.find("if ("), std::string::npos);
+  EXPECT_NE(Code.find("f_Dx_rho"), std::string::npos);
+  EXPECT_NE(Code.find("f_Fx2_rho"), std::string::npos);
+}
+
+TEST(Generator, PrinterShowsShiftedIndices) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  ASSERT_TRUE(fuseProducerConsumer(G, G.findStmt("Fx2_rho"),
+                                   G.findStmt("Dx_rho")));
+  std::string Code = printC(G, *generate(G));
+  // The shifted Dx instance writes out_rho at x-1.
+  EXPECT_NE(Code.find("out_rho(y, x-1)"), std::string::npos);
+}
+
+TEST(Generator, PrinterAppliesModuloStorageMaps) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  mfd::applyFuseWithinDirections(G);
+  storage::reduceStorage(G);
+  storage::StoragePlan Plan = storage::StoragePlan::build(G);
+  PrintOptions Options;
+  Options.Plan = &Plan;
+  std::string Code = printC(G, *generate(G), Options);
+  // Internalized buffers print as modulo-mapped spaces (Figure 1's
+  // optimized code).
+  EXPECT_NE(Code.find("% (2)"), std::string::npos);
+  EXPECT_NE(Code.find("% (N+1)"), std::string::npos);
+  EXPECT_NE(Code.find("space"), std::string::npos);
+  // Persistent arrays keep symbolic multi-dimensional form.
+  EXPECT_NE(Code.find("in_rho("), std::string::npos);
+}
+
+TEST(Generator, LoopBoundsComeFromTheDomain) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  std::string Code = printC(G, *generate(G));
+  EXPECT_NE(Code.find("for (int x = 0; x <= N; ++x)"), std::string::npos);
+  EXPECT_NE(Code.find("for (int y = 0; y <= N-1; ++y)"),
+            std::string::npos);
+}

@@ -1,0 +1,71 @@
+//===- tests/codegen/IsccExportTest.cpp -----------------------------------===//
+
+#include "codegen/IsccExport.h"
+
+#include "graph/GraphBuilder.h"
+#include "graph/Transforms.h"
+#include "minifluxdiv/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+
+TEST(IsccExport, SeriesScheduleEmitsDomainsAndMaps) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  std::string Script = codegen::exportIscc(G);
+  // One named domain per statement set.
+  EXPECT_NE(Script.find("D_Fx1_rho := [N] -> { Fx1_rho[y, x] : 0 <= y <= "
+                        "N-1 and 0 <= x <= N };"),
+            std::string::npos)
+      << Script;
+  // Schedule maps carry (row, col, iterators, member).
+  EXPECT_NE(Script.find("S_Fx1_rho := [N] -> { Fx1_rho[y, x] -> [1, 0, y, "
+                        "x, 0] };"),
+            std::string::npos)
+      << Script;
+  // The final codegen call unions every scheduled domain.
+  EXPECT_NE(Script.find("codegen("), std::string::npos);
+  EXPECT_NE(Script.find("(S_Dy_e * D_Dy_e)"), std::string::npos);
+}
+
+TEST(IsccExport, FusionShowsUpAsShiftedSchedules) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  ASSERT_TRUE(fuseProducerConsumer(G, G.findStmt("Fx2_rho"),
+                                   G.findStmt("Dx_rho")));
+  std::string Script = codegen::exportIscc(G);
+  // Both members share row/col; the consumer is shifted by +1 in x and
+  // ordered second within the point.
+  EXPECT_NE(Script.find("S_Fx2_rho := [N] -> { Fx2_rho[y, x] -> [3, 0, y, "
+                        "x, 0] };"),
+            std::string::npos)
+      << Script;
+  EXPECT_NE(Script.find("S_Dx_rho := [N] -> { Dx_rho[y, x] -> [3, 0, y, x "
+                        "+ 1, 1] };"),
+            std::string::npos)
+      << Script;
+}
+
+TEST(IsccExport, AccessRelationsUnionStencilPoints) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  std::string Script = codegen::exportIscc(G);
+  EXPECT_NE(Script.find("R_Dx_rho_1 := [N] -> { Dx_rho[y, x] -> "
+                        "F2x_rho[y, x]; Dx_rho[y, x] -> F2x_rho[y, x + 1] "
+                        "};"),
+            std::string::npos)
+      << Script;
+  EXPECT_NE(Script.find("W_Fx1_u_0"), std::string::npos);
+}
+
+TEST(IsccExport, AccessesCanBeOmitted) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  codegen::IsccOptions Options;
+  Options.IncludeAccesses = false;
+  std::string Script = codegen::exportIscc(G, Options);
+  EXPECT_EQ(Script.find("R_Dx_rho_1"), std::string::npos);
+  EXPECT_NE(Script.find("codegen("), std::string::npos);
+}

@@ -1,0 +1,128 @@
+//===- tests/common/RandomChain.h - Random loop chain generator -*- C++ -*-===//
+//
+// Test-only helper: generates random but well-formed loop chains for
+// property testing. Well-formed means every read of a temporary lies
+// inside its producer's write footprint (true dataflow), which the
+// generator guarantees with trapezoidal domains: nest k's domain is
+// expanded by (numNests - k) cells on every side, and temporaries are
+// read at offsets of at most one, so each consumer's footprint sits
+// strictly inside its producer's.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_TESTS_COMMON_RANDOMCHAIN_H
+#define LCDFG_TESTS_COMMON_RANDOMCHAIN_H
+
+#include "codegen/Interpreter.h"
+#include "ir/LoopChain.h"
+
+#include <cstdint>
+#include <random>
+#include <set>
+
+namespace lcdfg {
+namespace testutil {
+
+struct RandomChainOptions {
+  unsigned Rank = 2;        // 1..3
+  unsigned NumNests = 6;    // chain length
+  unsigned NumInputs = 2;   // persistent input arrays
+  unsigned MaxReads = 3;    // accesses per nest
+  unsigned MaxPoints = 3;   // stencil points per access
+  std::uint64_t Seed = 1;
+};
+
+/// Dimension names by loop order for the given rank.
+inline std::vector<std::string> dimNames(unsigned Rank) {
+  static const char *Names3[] = {"z", "y", "x"};
+  std::vector<std::string> Names;
+  for (unsigned D = 3 - Rank; D < 3; ++D)
+    Names.emplace_back(Names3[D]);
+  return Names;
+}
+
+inline ir::LoopChain randomChain(const RandomChainOptions &Options) {
+  std::mt19937_64 Rng(Options.Seed);
+  auto Pick = [&](int Lo, int Hi) {
+    return static_cast<int>(Lo + Rng() % (Hi - Lo + 1));
+  };
+
+  ir::LoopChain Chain("random" + std::to_string(Options.Seed), "fuse");
+  poly::AffineExpr N = poly::AffineExpr::var("N");
+  std::vector<std::string> Dims = dimNames(Options.Rank);
+
+  auto DomainFor = [&](unsigned NestIdx) {
+    std::int64_t Expand =
+        static_cast<std::int64_t>(Options.NumNests - NestIdx);
+    std::vector<poly::Dim> Bounds;
+    for (const std::string &Name : Dims)
+      Bounds.push_back(poly::Dim{Name, poly::AffineExpr(-Expand),
+                                 N - poly::AffineExpr(1 - Expand)});
+    return poly::BoxSet(std::move(Bounds));
+  };
+
+  std::vector<std::string> Sources;
+  for (unsigned I = 0; I < Options.NumInputs; ++I)
+    Sources.push_back("in" + std::to_string(I));
+
+  for (unsigned K = 0; K < Options.NumNests; ++K) {
+    ir::LoopNest Nest;
+    Nest.Name = "S" + std::to_string(K);
+    Nest.Domain = DomainFor(K);
+    Nest.Write =
+        ir::Access{"tmp" + std::to_string(K),
+                   {std::vector<std::int64_t>(Options.Rank, 0)}};
+
+    unsigned NumReads = 1 + Rng() % Options.MaxReads;
+    std::set<std::string> Used;
+    for (unsigned R = 0; R < NumReads; ++R) {
+      const std::string &Array =
+          Sources[Rng() % Sources.size()];
+      if (!Used.insert(Array).second)
+        continue; // one access per array per nest
+      bool IsInput = Array.rfind("in", 0) == 0;
+      int Span = IsInput ? 2 : 1;
+      ir::Access A;
+      A.Array = Array;
+      unsigned NumPoints = 1 + Rng() % Options.MaxPoints;
+      std::set<std::vector<std::int64_t>> Points;
+      for (unsigned P = 0; P < NumPoints; ++P) {
+        std::vector<std::int64_t> Off(Options.Rank);
+        for (unsigned D = 0; D < Options.Rank; ++D)
+          Off[D] = Pick(-Span, Span);
+        Points.insert(std::move(Off));
+      }
+      A.Offsets.assign(Points.begin(), Points.end());
+      Nest.Reads.push_back(std::move(A));
+    }
+    Chain.addNest(std::move(Nest));
+    Sources.push_back("tmp" + std::to_string(K));
+  }
+  Chain.finalize();
+  return Chain;
+}
+
+/// Registers one generic kernel per nest: a deterministic weighted sum of
+/// the reads (plus a per-nest constant), so transformed executions are
+/// bitwise comparable.
+inline void registerGenericKernels(ir::LoopChain &Chain,
+                                   codegen::KernelRegistry &Kernels) {
+  for (unsigned I = 0; I < Chain.numNests(); ++I) {
+    double Bias = 0.125 + 0.03125 * static_cast<double>(I);
+    Chain.nest(I).KernelId =
+        Kernels.add([Bias](const std::vector<double> &R, double) {
+          double V = Bias;
+          double W = 0.25;
+          for (double X : R) {
+            V += W * X;
+            W *= 0.75;
+          }
+          return V;
+        });
+  }
+}
+
+} // namespace testutil
+} // namespace lcdfg
+
+#endif // LCDFG_TESTS_COMMON_RANDOMCHAIN_H

@@ -1,0 +1,132 @@
+//===- tests/graph/FigureCostsTest.cpp ------------------------------------===//
+//
+// Reproduces the cost-model figures of the paper (Figures 3, 7, 8, 9) for
+// the 2D MiniFluxDiv graphs. Our mechanical model matches the paper's
+// per-row structure; where the paper's printed totals disagree with its own
+// row sums (see EXPERIMENTS.md) we assert our exact values and the
+// preserved ordering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/CostModel.h"
+#include "graph/GraphBuilder.h"
+#include "graph/Transforms.h"
+#include "minifluxdiv/Spec.h"
+#include "storage/ReuseDistance.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+
+namespace {
+
+struct Fixture {
+  ir::LoopChain Chain;
+  Graph G;
+  Fixture() : Chain(mfd::buildChain2D()), G(buildGraph(Chain)) {}
+};
+
+} // namespace
+
+TEST(FigureCosts, Figure3SeriesOfLoops) {
+  Fixture F;
+  CostReport Cost = computeCost(F.G);
+  EXPECT_EQ(Cost.TotalRead.toString(), "30N^2+54N");
+  EXPECT_EQ(Cost.MaxStreams, 2u);
+}
+
+TEST(FigureCosts, Figure7FuseAmongDirections) {
+  Fixture F;
+  mfd::applyFuseAmongDirections(F.G);
+  F.G.verify();
+  CostReport Cost = computeCost(F.G);
+  // Row 0: every input streamed once -> 4*(N^2+4N).
+  EXPECT_EQ(Cost.RowRead.at(0).toString(), "4N^2+16N");
+  // Row 1: the fourteen partial-flux edges of Figure 7.
+  EXPECT_EQ(Cost.RowRead.at(1).toString(), "14N^2+14N");
+  // Row 2: eight complete-flux value sets streamed once each.
+  EXPECT_EQ(Cost.RowRead.at(2).toString(), "8N^2+8N");
+  EXPECT_EQ(Cost.TotalRead.toString(), "26N^2+38N");
+  EXPECT_EQ(Cost.MaxStreams, 2u);
+}
+
+TEST(FigureCosts, Figure8FuseWithinDirections) {
+  Fixture F;
+  mfd::applyFuseWithinDirections(F.G);
+  storage::reduceStorage(F.G);
+  CostReport Cost = computeCost(F.G);
+  // Row 0: inputs read by both directions -> 8*(N^2+4N).
+  EXPECT_EQ(Cost.RowRead.at(0).toString(), "8N^2+32N");
+  // Velocity partial-flux rows: 4*(N^2+N) each (Figure 8).
+  EXPECT_EQ(Cost.RowRead.at(1).toString(), "4N^2+4N");
+  EXPECT_EQ(Cost.RowRead.at(3).toString(), "4N^2+4N");
+  // Fused x row internals: 3 scalars + 4 two-element buffers = 11
+  // (Figure 8's "11").
+  EXPECT_EQ(Cost.RowRead.at(2).toString(), "11");
+  // Fused y row internals: 3 scalars + 4 (N+1)-buffers = 4N+7 (the paper
+  // prints 4N+3; see EXPERIMENTS.md).
+  EXPECT_EQ(Cost.RowRead.at(4).toString(), "4N+7");
+  EXPECT_EQ(Cost.TotalRead.toString(), "16N^2+44N+18");
+  EXPECT_EQ(Cost.MaxStreams, 2u);
+}
+
+TEST(FigureCosts, Figure9FuseAllLevels) {
+  Fixture F;
+  mfd::applyFuseAllLevels(F.G);
+  storage::reduceStorage(F.G);
+  CostReport Cost = computeCost(F.G);
+  // Row 0: 6 input streams (velocities twice) -> 6*(N^2+4N), Figure 9.
+  EXPECT_EQ(Cost.RowRead.at(0).toString(), "6N^2+24N");
+  // Row 1: both velocity fluxes feed four statement sets each ->
+  // 8*(N^2+N), Figure 9.
+  EXPECT_EQ(Cost.RowRead.at(1).toString(), "8N^2+8N");
+  // Row 2: internals 4N+22 — the y-direction buffers span a row of the
+  // *merged* iteration space (length N+2 each); the paper prints 4N+11
+  // (see EXPERIMENTS.md).
+  EXPECT_EQ(Cost.RowRead.at(2).toString(), "4N+22");
+  EXPECT_EQ(Cost.TotalRead.toString(), "14N^2+36N+22");
+  EXPECT_EQ(Cost.MaxStreams, 2u);
+}
+
+TEST(FigureCosts, VariantOrderingMatchesPaper) {
+  // S_R(series) > S_R(fuse among) > S_R(fuse within) > S_R(fuse all) — the
+  // ordering that drives the performance ranking for large boxes.
+  Fixture Series;
+  Fixture Among;
+  mfd::applyFuseAmongDirections(Among.G);
+  Fixture Within;
+  mfd::applyFuseWithinDirections(Within.G);
+  storage::reduceStorage(Within.G);
+  Fixture All;
+  mfd::applyFuseAllLevels(All.G);
+  storage::reduceStorage(All.G);
+
+  Polynomial SSeries = computeCost(Series.G).TotalRead;
+  Polynomial SAmong = computeCost(Among.G).TotalRead;
+  Polynomial SWithin = computeCost(Within.G).TotalRead;
+  Polynomial SAll = computeCost(All.G).TotalRead;
+
+  EXPECT_TRUE(SAmong.asymptoticallyLess(SSeries));
+  EXPECT_TRUE(SWithin.asymptoticallyLess(SAmong));
+  EXPECT_TRUE(SAll.asymptoticallyLess(SWithin));
+  // Also pointwise at the paper's box sizes.
+  for (std::int64_t N : {16, 128}) {
+    EXPECT_GT(SSeries.evaluate(N), SAmong.evaluate(N));
+    EXPECT_GT(SAmong.evaluate(N), SWithin.evaluate(N));
+    EXPECT_GT(SWithin.evaluate(N), SAll.evaluate(N));
+  }
+}
+
+TEST(FigureCosts, StorageReductionDrivesTheGap) {
+  // Without storage reduction the fused-within schedule reads as much as
+  // the series schedule: the fusion alone does not shrink S_R; the
+  // reuse-distance mapping does (Section 5.3's message).
+  Fixture F;
+  mfd::applyFuseWithinDirections(F.G);
+  CostReport Before = computeCost(F.G);
+  EXPECT_EQ(Before.TotalRead.toString(), "30N^2+54N");
+  storage::reduceStorage(F.G);
+  CostReport After = computeCost(F.G);
+  EXPECT_EQ(After.TotalRead.toString(), "16N^2+44N+18");
+}

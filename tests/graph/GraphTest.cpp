@@ -1,0 +1,124 @@
+//===- tests/graph/GraphTest.cpp ------------------------------------------===//
+
+#include "graph/Graph.h"
+
+#include "graph/DotExport.h"
+#include "graph/GraphBuilder.h"
+#include "minifluxdiv/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+
+namespace {
+
+Graph buildMfd2D() {
+  static ir::LoopChain Chain = mfd::buildChain2D();
+  return buildGraph(Chain);
+}
+
+} // namespace
+
+TEST(Graph, RowGroupLabel) {
+  EXPECT_EQ(rowGroupLabel("Fx1_rho"), "Fx1");
+  EXPECT_EQ(rowGroupLabel("Dx_u"), "Dx");
+  EXPECT_EQ(rowGroupLabel("plain"), "plain");
+  EXPECT_EQ(rowGroupLabel("_x"), "_x");
+}
+
+TEST(Graph, BuildShapeMatchesFigure3) {
+  Graph G = buildMfd2D();
+  // 24 statement nodes, 4 inputs + 16 temporaries + 4 outputs.
+  EXPECT_EQ(G.numStmtNodes(), 24u);
+  EXPECT_EQ(G.numValueNodes(), 24u);
+  // Six rows of statement nodes: Fx1, Fx2, Dx, Fy1, Fy2, Dy.
+  EXPECT_EQ(G.maxRow(), 6);
+  // Four statement nodes per row (one per component).
+  for (NodeId S = 0; S < G.numStmtNodes(); ++S)
+    EXPECT_GE(G.stmt(S).Row, 1);
+}
+
+TEST(Graph, InputSizesUseFirstReaderFootprint) {
+  Graph G = buildMfd2D();
+  NodeId In = G.findValue("in_rho");
+  ASSERT_NE(In, InvalidNode);
+  EXPECT_EQ(G.value(In).Size.toString(), "N^2+4N");
+  EXPECT_TRUE(G.value(In).Persistent);
+  EXPECT_EQ(G.value(In).Row, 0);
+}
+
+TEST(Graph, EdgesAndDegrees) {
+  Graph G = buildMfd2D();
+  // The x velocity partial flux feeds every component's complete flux.
+  NodeId F1xU = G.findValue("F1x_u");
+  ASSERT_NE(F1xU, InvalidNode);
+  EXPECT_EQ(G.outDegree(F1xU), 4u);
+  // A non-velocity partial flux feeds only its own component.
+  EXPECT_EQ(G.outDegree(G.findValue("F1x_rho")), 1u);
+  // Inputs are read by both direction's partial fluxes.
+  EXPECT_EQ(G.outDegree(G.findValue("in_e")), 2u);
+  // Outputs are never read.
+  EXPECT_EQ(G.outDegree(G.findValue("out_rho")), 0u);
+}
+
+TEST(Graph, ProducersAndSchedule) {
+  Graph G = buildMfd2D();
+  NodeId F2 = G.findValue("F2x_v");
+  NodeId Producer = G.producerOf(F2);
+  ASSERT_NE(Producer, InvalidNode);
+  EXPECT_EQ(G.stmt(Producer).Label, "Fx2_v");
+  // Inputs have no producer.
+  EXPECT_EQ(G.producerOf(G.findValue("in_u")), InvalidNode);
+
+  std::vector<NodeId> Order = G.scheduleOrder();
+  ASSERT_EQ(Order.size(), 24u);
+  // Schedule is row-major: rows never decrease.
+  for (std::size_t I = 1; I < Order.size(); ++I)
+    EXPECT_LE(G.stmt(Order[I - 1]).Row, G.stmt(Order[I]).Row);
+  EXPECT_EQ(G.stmt(Order.front()).Label, "Fx1_rho");
+  EXPECT_EQ(G.stmt(Order.back()).Label, "Dy_e");
+}
+
+TEST(Graph, StmtOfNest) {
+  Graph G = buildMfd2D();
+  for (unsigned I = 0; I < G.chain().numNests(); ++I) {
+    NodeId S = G.stmtOfNest(I);
+    ASSERT_NE(S, InvalidNode);
+    EXPECT_EQ(G.stmt(S).Label, G.chain().nest(I).Name);
+  }
+}
+
+TEST(Graph, DotExportContainsConventions) {
+  Graph G = buildMfd2D();
+  std::string Dot = toDot(G, {true, "figure3"});
+  EXPECT_NE(Dot.find("digraph M2DFG"), std::string::npos);
+  EXPECT_NE(Dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(Dot.find("shape=invtriangle"), std::string::npos);
+  EXPECT_NE(Dot.find("fillcolor=gray80"), std::string::npos);
+  EXPECT_NE(Dot.find("N^2+4N"), std::string::npos);
+  EXPECT_NE(Dot.find("S_R ="), std::string::npos);
+  EXPECT_NE(Dot.find("figure3"), std::string::npos);
+}
+
+TEST(Graph, TextDump) {
+  Graph G = buildMfd2D();
+  std::string Text = toText(G);
+  EXPECT_NE(Text.find("row 0:"), std::string::npos);
+  EXPECT_NE(Text.find("<Fx1_rho>"), std::string::npos);
+  EXPECT_NE(Text.find("[in_rho N^2+4N]"), std::string::npos);
+}
+
+TEST(Graph, VerifyPassesOnBuild) {
+  Graph G = buildMfd2D();
+  G.verify(); // aborts on violation
+  SUCCEED();
+}
+
+TEST(Graph, UngroupedBuildGivesOneRowPerNest) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  BuildOptions Options;
+  Options.GroupRowsByNamePrefix = false;
+  Graph G = buildGraph(Chain, Options);
+  EXPECT_EQ(G.maxRow(), 24);
+}

@@ -1,0 +1,129 @@
+//===- tests/ir/LoopChainTest.cpp -----------------------------------------===//
+
+#include "ir/LoopChain.h"
+
+#include "minifluxdiv/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using poly::AffineExpr;
+using poly::BoxSet;
+using poly::Dim;
+
+namespace {
+
+/// The three-nest running example of Figure 1.
+ir::LoopChain figure1Chain() {
+  ir::LoopChain Chain("fig1", "fuse");
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet Faces({Dim{"y", AffineExpr(0), N - AffineExpr(1)},
+                Dim{"x", AffineExpr(0), N}});
+  BoxSet Cells({Dim{"y", AffineExpr(0), N - AffineExpr(1)},
+                Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+
+  ir::LoopNest S1;
+  S1.Name = "S1";
+  S1.Domain = Faces;
+  S1.Write = ir::Access{"VAL_1", {{0, 0}}};
+  S1.Reads = {ir::Access{"VAL_0", {{0, 0}}}};
+  Chain.addNest(S1);
+
+  ir::LoopNest S2;
+  S2.Name = "S2";
+  S2.Domain = Faces;
+  S2.Write = ir::Access{"VAL_2", {{0, 0}}};
+  S2.Reads = {ir::Access{"VAL_1", {{0, 0}}}};
+  Chain.addNest(S2);
+
+  ir::LoopNest S3;
+  S3.Name = "S3";
+  S3.Domain = Cells;
+  S3.Write = ir::Access{"VAL_3", {{0, 0}}};
+  S3.Reads = {ir::Access{"VAL_2", {{0, 0}, {0, 1}}}};
+  Chain.addNest(S3);
+
+  Chain.finalize();
+  return Chain;
+}
+
+} // namespace
+
+TEST(LoopChain, AccessOffsets) {
+  ir::Access A{"V", {{0, -2}, {0, 1}, {1, 0}}};
+  EXPECT_EQ(A.minOffsets(), (std::vector<std::int64_t>{0, -2}));
+  EXPECT_EQ(A.maxOffsets(), (std::vector<std::int64_t>{1, 1}));
+  EXPECT_EQ(A.toString(), "V{(0,-2),(0,1),(1,0)}");
+}
+
+TEST(LoopChain, StorageClassification) {
+  ir::LoopChain Chain = figure1Chain();
+  EXPECT_EQ(Chain.array("VAL_0").Kind, ir::StorageKind::PersistentInput);
+  EXPECT_EQ(Chain.array("VAL_1").Kind, ir::StorageKind::Temporary);
+  EXPECT_EQ(Chain.array("VAL_2").Kind, ir::StorageKind::Temporary);
+  EXPECT_EQ(Chain.array("VAL_3").Kind, ir::StorageKind::PersistentOutput);
+}
+
+TEST(LoopChain, ExplicitDeclarationWins) {
+  ir::LoopChain Chain("decl");
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet Cells({Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+  // VAL_1 would be classified temporary; declare it persistent.
+  Chain.declareArray(
+      ir::ArrayInfo{"VAL_1", ir::StorageKind::PersistentOutput, {}});
+  ir::LoopNest A;
+  A.Name = "A";
+  A.Domain = Cells;
+  A.Write = ir::Access{"VAL_1", {{0}}};
+  A.Reads = {ir::Access{"VAL_0", {{0}}}};
+  Chain.addNest(A);
+  ir::LoopNest B;
+  B.Name = "B";
+  B.Domain = Cells;
+  B.Write = ir::Access{"VAL_2", {{0}}};
+  B.Reads = {ir::Access{"VAL_1", {{0}}}};
+  Chain.addNest(B);
+  Chain.finalize();
+  EXPECT_EQ(Chain.array("VAL_1").Kind, ir::StorageKind::PersistentOutput);
+}
+
+TEST(LoopChain, FootprintsAndExtents) {
+  ir::LoopChain Chain = figure1Chain();
+  // VAL_2 is written over the faces and read over [0, N+1] in x.
+  EXPECT_EQ(Chain.valueSize("VAL_2").toString(), "N^2+N");
+  // The stencil read of S3 widens the inferred extent only if it exceeds
+  // the write footprint; here read hull is x in [0, N], same as the write.
+  const ir::LoopNest &S3 = Chain.nest(2);
+  poly::BoxSet FP = S3.readFootprint(0);
+  EXPECT_EQ(FP.dim(1).Lower.toString(), "0");
+  EXPECT_EQ(FP.dim(1).Upper.toString(), "N");
+  EXPECT_EQ(Chain.valueSize("VAL_3").toString(), "N^2");
+}
+
+TEST(LoopChain, WriterAndReaders) {
+  ir::LoopChain Chain = figure1Chain();
+  EXPECT_EQ(Chain.writerOf("VAL_1"), 0u);
+  EXPECT_EQ(Chain.writerOf("VAL_2"), 1u);
+  EXPECT_FALSE(Chain.writerOf("VAL_0").has_value());
+  EXPECT_EQ(Chain.readersOf("VAL_2"), (std::vector<unsigned>{2}));
+  EXPECT_TRUE(Chain.readersOf("VAL_3").empty());
+}
+
+TEST(LoopChain, MiniFluxDiv2DShape) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  // 2 directions x 3 stages x 4 components = 24 nests (Section 5.2).
+  EXPECT_EQ(Chain.numNests(), 24u);
+  EXPECT_EQ(Chain.array("in_rho").Kind, ir::StorageKind::PersistentInput);
+  EXPECT_EQ(Chain.array("out_e").Kind, ir::StorageKind::PersistentOutput);
+  EXPECT_EQ(Chain.array("F1x_u").Kind, ir::StorageKind::Temporary);
+  EXPECT_EQ(Chain.valueSize("F1x_u").toString(), "N^2+N");
+  EXPECT_EQ(Chain.valueSize("out_rho").toString(), "N^2");
+}
+
+TEST(LoopChain, MiniFluxDiv3DShape) {
+  ir::LoopChain Chain = mfd::buildChain3D();
+  // 3 directions x 3 stages x 5 components = 45 nests.
+  EXPECT_EQ(Chain.numNests(), 45u);
+  EXPECT_EQ(Chain.valueSize("F1x_u").toString(), "N^3+N^2");
+  EXPECT_EQ(Chain.valueSize("out_rho").toString(), "N^3");
+}

@@ -1,0 +1,112 @@
+//===- tests/minifluxdiv/SpecGraphTest.cpp --------------------------------===//
+
+#include "minifluxdiv/Spec.h"
+
+#include "graph/CostModel.h"
+#include "graph/GraphBuilder.h"
+#include "storage/LivenessAllocator.h"
+#include "storage/ReuseDistance.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+
+TEST(SpecGraph, FuseAmongLayout) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  mfd::applyFuseAmongDirections(G);
+  // Figure 7: three statement rows (fused F1, the F2s, fused D).
+  EXPECT_EQ(G.maxRow(), 3);
+  unsigned Live = 0;
+  for (NodeId S = 0; S < G.numStmtNodes(); ++S)
+    Live += G.stmt(S).Dead ? 0 : 1;
+  // 4 fused F1 + 8 F2 + 4 fused D.
+  EXPECT_EQ(Live, 16u);
+  // No storage-reduction opportunities: nothing internalized (the paper
+  // implemented only the SA version of this schedule).
+  for (NodeId V = 0; V < G.numValueNodes(); ++V)
+    EXPECT_FALSE(G.value(V).Internalized);
+}
+
+TEST(SpecGraph, FuseWithinLayout) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  mfd::applyFuseWithinDirections(G);
+  // Figure 8: velocity F1, fused x row, velocity F1, fused y row.
+  EXPECT_EQ(G.maxRow(), 4);
+  NodeId VelX = G.findStmt("Fx1_u");
+  ASSERT_NE(VelX, InvalidNode);
+  EXPECT_EQ(G.stmt(VelX).Row, 1);
+  NodeId VelY = G.findStmt("Fy1_v");
+  ASSERT_NE(VelY, InvalidNode);
+  EXPECT_EQ(G.stmt(VelY).Row, 3);
+  // Internalized: F1 and F2 of non-velocity statements, per direction.
+  EXPECT_TRUE(G.value(G.findValue("F1x_rho")).Internalized);
+  EXPECT_TRUE(G.value(G.findValue("F2x_u")).Internalized);
+  EXPECT_FALSE(G.value(G.findValue("F1x_u")).Internalized);
+}
+
+TEST(SpecGraph, FuseAllLayout) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  mfd::applyFuseAllLevels(G);
+  // Figure 9: velocity fluxes in row 1, one big fused node in row 2.
+  EXPECT_EQ(G.maxRow(), 2);
+  unsigned Live = 0;
+  NodeId Big = InvalidNode;
+  for (NodeId S = 0; S < G.numStmtNodes(); ++S) {
+    if (G.stmt(S).Dead)
+      continue;
+    ++Live;
+    if (G.stmt(S).Row == 2)
+      Big = S;
+  }
+  EXPECT_EQ(Live, 3u); // Fx1_u, Fy1_v, and the big node
+  ASSERT_NE(Big, InvalidNode);
+  // The big node contains the remaining 22 statement sets.
+  EXPECT_EQ(G.stmt(Big).Nests.size(), 22u);
+}
+
+TEST(SpecGraph, FuseAll3DWorksToo) {
+  ir::LoopChain Chain = mfd::buildChain3D();
+  Graph G = buildGraph(Chain);
+  mfd::applyFuseAllLevels(G);
+  storage::reduceStorage(G);
+  G.verify();
+  // 3 velocity nodes plus the big fused node.
+  unsigned Live = 0;
+  for (NodeId S = 0; S < G.numStmtNodes(); ++S)
+    Live += G.stmt(S).Dead ? 0 : 1;
+  EXPECT_EQ(Live, 4u);
+  // The z-direction complete flux needs a plane buffer.
+  Polynomial F2z = G.value(G.findValue("F2z_e")).Size;
+  EXPECT_EQ(F2z.degree(), 2u);
+  // x stays two scalars.
+  EXPECT_EQ(G.value(G.findValue("F2x_e")).Size.toString(), "2");
+}
+
+TEST(SpecGraph, AllocatorPairsWellWithFuseAll) {
+  ir::LoopChain Chain = mfd::buildChain3D();
+  Graph G = buildGraph(Chain);
+  mfd::applyFuseAllLevels(G);
+  storage::reduceStorage(G);
+  storage::Allocation A = storage::allocateSpaces(G);
+  // Dominant storage: the three velocity face arrays (N^3 + N^2 each).
+  EXPECT_EQ(A.Total.degree(), 3u);
+  EXPECT_EQ(A.Total.coeff(3), 3);
+  // With only two schedule rows left there is nothing to time-multiplex:
+  // the shared-space total equals the single-assignment total, which the
+  // reuse-distance reduction already shrank from 30 N^3-sized arrays.
+  EXPECT_FALSE(A.SsaTotal.asymptoticallyLess(A.Total));
+}
+
+TEST(SpecGraph, CostsScaleFrom2DTo3D) {
+  ir::LoopChain Chain = mfd::buildChain3D();
+  Graph G = buildGraph(Chain);
+  CostReport Cost = computeCost(G);
+  // Series of loops in 3D: inputs (N^3+4N^2) read twice... 10 components
+  // of structure aside, the leading term is cubic and S_c stays 2.
+  EXPECT_EQ(Cost.TotalRead.degree(), 3u);
+  EXPECT_EQ(Cost.MaxStreams, 2u);
+}

@@ -1,0 +1,158 @@
+//===- tests/minifluxdiv/VariantsTest.cpp ---------------------------------===//
+
+#include "minifluxdiv/Variants.h"
+
+#include "baselines/HalideStyle.h"
+#include "baselines/PolyMageStyle.h"
+#include "minifluxdiv/Verify.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using namespace lcdfg::mfd;
+
+TEST(Variants, Naming) {
+  EXPECT_STREQ(variantName(Variant::SeriesSA), "series-SA");
+  EXPECT_STREQ(variantName(Variant::OverlapWithinTiles),
+               "overlap-fusionWithinTiles");
+  EXPECT_EQ(allVariants().size(), 9u);
+}
+
+TEST(Variants, ProblemScaling) {
+  Problem Small = Problem::smallBoxes(1 << 20);
+  EXPECT_EQ(Small.BoxSize, 16);
+  EXPECT_EQ(Small.NumBoxes, 256);
+  EXPECT_EQ(Small.totalCells(), 1L << 20);
+  Problem Large = Problem::largeBoxes(1 << 20, 64);
+  EXPECT_EQ(Large.BoxSize, 64);
+  EXPECT_EQ(Large.NumBoxes, 4);
+  // Degenerate request still yields one box.
+  EXPECT_EQ(Problem::largeBoxes(1, 64).NumBoxes, 1);
+}
+
+TEST(Variants, TemporaryElementsOrdering) {
+  // The storage ranking the paper's Figure 10 relies on: SA > reduced,
+  // and the tiled fuse-all variant is smallest.
+  for (int N : {16, 64}) {
+    EXPECT_GT(temporaryElements(Variant::SeriesSA, N),
+              temporaryElements(Variant::SeriesReduced, N));
+    EXPECT_GT(temporaryElements(Variant::FuseAllSA, N),
+              temporaryElements(Variant::FuseAllReduced, N));
+    EXPECT_GT(temporaryElements(Variant::FuseWithinSA, N),
+              temporaryElements(Variant::FuseWithinReduced, N));
+    EXPECT_GT(temporaryElements(Variant::FuseAllReduced, N),
+              temporaryElements(Variant::OverlapWithinTiles, N));
+    EXPECT_GT(temporaryElements(Variant::OverlapOfTiles, N),
+              temporaryElements(Variant::OverlapWithinTiles, N));
+  }
+}
+
+using VariantAndSize = std::tuple<Variant, int>;
+
+class VariantCorrectness
+    : public ::testing::TestWithParam<VariantAndSize> {};
+
+TEST_P(VariantCorrectness, MatchesReference) {
+  auto [V, Size] = GetParam();
+  // Sizes cover even, odd, prime, and non-power-of-two boxes: partial
+  // tiles, prologue paths, and carry-buffer wrap-arounds all trigger.
+  Problem P;
+  P.BoxSize = Size;
+  P.NumBoxes = Size <= 8 ? 2 : 1;
+  // The fused variants apply the three direction updates in one rounding
+  // where the series applies three; against near-cancelling outputs the
+  // relative deviation reaches a few 1e-12, so this sweep allows 1e-10.
+  VerifyResult R = verifyVariant(V, P, 1e-10, 0xabcd + Size);
+  EXPECT_TRUE(R.Pass) << variantName(R.V) << " N=" << Size
+                      << " max rel diff " << R.MaxRelDiff;
+}
+
+static std::string
+variantSizeName(const ::testing::TestParamInfo<VariantAndSize> &Info) {
+  std::string Name = variantName(std::get<0>(Info.param));
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name + "_N" + std::to_string(std::get<1>(Info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, VariantCorrectness,
+                         ::testing::Combine(
+                             ::testing::ValuesIn(allVariants()),
+                             ::testing::Values(5, 8, 11, 13, 20)),
+                         variantSizeName);
+
+TEST(Variants, MultiThreadedRunsMatchSerial) {
+  Problem P;
+  P.BoxSize = 8;
+  P.NumBoxes = 8;
+  std::vector<rt::Box> In = makeInputs(P, 99);
+  std::vector<rt::Box> Serial = makeOutputs(P);
+  std::vector<rt::Box> Parallel = makeOutputs(P);
+  RunConfig One, Four;
+  One.Threads = 1;
+  Four.Threads = 4;
+  runVariant(Variant::FuseAllReduced, In, Serial, One);
+  runVariant(Variant::FuseAllReduced, In, Parallel, Four);
+  for (int B = 0; B < P.NumBoxes; ++B)
+    EXPECT_EQ(rt::maxRelDiff(Serial[B], Parallel[B]), 0.0);
+}
+
+TEST(Variants, TileSizeSweepStaysCorrect) {
+  Problem P;
+  P.BoxSize = 12;
+  P.NumBoxes = 1;
+  std::vector<rt::Box> In = makeInputs(P, 5);
+  std::vector<rt::Box> Ref = makeOutputs(P);
+  RunConfig Cfg;
+  runVariant(Variant::SeriesReduced, In, Ref, Cfg);
+  for (int T : {2, 3, 5, 12, 16}) {
+    std::vector<rt::Box> Got = makeOutputs(P);
+    RunConfig Tiled;
+    Tiled.TileSize = T;
+    runVariant(Variant::OverlapWithinTiles, In, Got, Tiled);
+    EXPECT_LE(rt::maxRelDiff(Ref[0], Got[0]), 1e-12) << "tile " << T;
+    std::vector<rt::Box> Got2 = makeOutputs(P);
+    runVariant(Variant::OverlapOfTiles, In, Got2, Tiled);
+    EXPECT_LE(rt::maxRelDiff(Ref[0], Got2[0]), 1e-12) << "tile " << T;
+  }
+}
+
+TEST(Baselines, HalideStyleMatchesReference) {
+  Problem P;
+  P.BoxSize = 10;
+  P.NumBoxes = 2;
+  std::vector<rt::Box> In = makeInputs(P, 123);
+  std::vector<rt::Box> Ref = makeOutputs(P);
+  std::vector<rt::Box> Got = makeOutputs(P);
+  RunConfig Cfg;
+  runVariant(Variant::SeriesReduced, In, Ref, Cfg);
+  baselines::runHalideStyle(In, Got, /*Threads=*/2);
+  for (int B = 0; B < P.NumBoxes; ++B)
+    EXPECT_LE(rt::maxRelDiff(Ref[B], Got[B]), 1e-12);
+}
+
+TEST(Baselines, PolyMageStyleMatchesReference) {
+  Problem P;
+  P.BoxSize = 10;
+  P.NumBoxes = 2;
+  std::vector<rt::Box> In = makeInputs(P, 321);
+  std::vector<rt::Box> Ref = makeOutputs(P);
+  std::vector<rt::Box> Got = makeOutputs(P);
+  RunConfig Cfg;
+  runVariant(Variant::SeriesReduced, In, Ref, Cfg);
+  baselines::runPolyMageStyle(In, Got, /*Threads=*/2);
+  for (int B = 0; B < P.NumBoxes; ++B)
+    EXPECT_LE(rt::maxRelDiff(Ref[B], Got[B]), 1e-12);
+}
+
+TEST(Verify, AllVariantsReport) {
+  Problem P;
+  P.BoxSize = 8;
+  P.NumBoxes = 1;
+  std::string Report;
+  EXPECT_TRUE(verifyAll(P, Report));
+  EXPECT_NE(Report.find("series-SA"), std::string::npos);
+  EXPECT_NE(Report.find("PASS"), std::string::npos);
+  EXPECT_EQ(Report.find("FAIL"), std::string::npos);
+}

@@ -1,0 +1,77 @@
+//===- tests/parser/PragmaRoundTripTest.cpp -------------------------------===//
+//
+// Property: printPragmas followed by parseLoopChain reproduces the chain —
+// domains, accesses, classifications, and extents.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parser/PragmaPrinter.h"
+
+#include "godunov/GodunovGraph.h"
+#include "minifluxdiv/Spec.h"
+#include "parser/PragmaParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+
+namespace {
+
+void expectSameChain(const ir::LoopChain &A, const ir::LoopChain &B) {
+  ASSERT_EQ(A.numNests(), B.numNests());
+  for (unsigned I = 0; I < A.numNests(); ++I) {
+    const ir::LoopNest &NA = A.nest(I);
+    const ir::LoopNest &NB = B.nest(I);
+    EXPECT_EQ(NA.Name, NB.Name) << "nest " << I;
+    EXPECT_EQ(NA.Domain, NB.Domain) << "nest " << NA.Name;
+    EXPECT_EQ(NA.Write.Array, NB.Write.Array);
+    EXPECT_EQ(NA.Write.Offsets, NB.Write.Offsets);
+    ASSERT_EQ(NA.Reads.size(), NB.Reads.size()) << "nest " << NA.Name;
+    for (std::size_t R = 0; R < NA.Reads.size(); ++R) {
+      EXPECT_EQ(NA.Reads[R].Array, NB.Reads[R].Array);
+      EXPECT_EQ(NA.Reads[R].Offsets, NB.Reads[R].Offsets)
+          << NA.Name << " read " << R;
+    }
+  }
+  for (const std::string &Name : A.arrayNames()) {
+    ASSERT_TRUE(B.hasArray(Name)) << Name;
+    EXPECT_EQ(A.array(Name).Kind, B.array(Name).Kind) << Name;
+    EXPECT_EQ(A.valueSize(Name), B.valueSize(Name)) << Name;
+  }
+}
+
+void roundTrip(const ir::LoopChain &Chain) {
+  std::string Text = parser::printPragmas(Chain);
+  parser::ParseResult R = parser::parseLoopChain(Text);
+  ASSERT_TRUE(R) << R.Error << " at line " << R.Line << "\n" << Text;
+  expectSameChain(Chain, *R.Chain);
+}
+
+} // namespace
+
+TEST(PragmaRoundTrip, MiniFluxDiv2D) { roundTrip(mfd::buildChain2D()); }
+
+TEST(PragmaRoundTrip, MiniFluxDiv3D) { roundTrip(mfd::buildChain3D()); }
+
+TEST(PragmaRoundTrip, ComputeWHalf) {
+  roundTrip(gdnv::buildComputeWHalfChain());
+}
+
+TEST(PragmaRoundTrip, PrintedTextLooksLikeThePaper) {
+  std::string Text = parser::printPragmas(mfd::buildChain2D());
+  EXPECT_NE(Text.find("#pragma omplc parallel(fuse)"), std::string::npos);
+  EXPECT_NE(Text.find("#pragma omplc for domain("), std::string::npos);
+  EXPECT_NE(Text.find("with (x, y)"), std::string::npos);
+  EXPECT_NE(Text.find("read in_rho{(x-2,y),(x-1,y),(x,y),(x+1,y)}"),
+            std::string::npos);
+  EXPECT_NE(Text.find("write F1x_rho{(x,y)}"), std::string::npos);
+}
+
+TEST(PragmaRoundTrip, DoubleRoundTripIsStable) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  std::string Once = parser::printPragmas(Chain);
+  parser::ParseResult R = parser::parseLoopChain(Once);
+  ASSERT_TRUE(R);
+  std::string Twice = parser::printPragmas(*R.Chain);
+  EXPECT_EQ(Once, Twice);
+}

@@ -1,0 +1,144 @@
+//===- tests/poly/BoxSetTest.cpp ------------------------------------------===//
+
+#include "poly/BoxSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using poly::AffineExpr;
+using poly::BoxSet;
+using poly::Dim;
+
+namespace {
+
+AffineExpr N() { return AffineExpr::var("N"); }
+
+BoxSet cells2D() {
+  return BoxSet({Dim{"y", AffineExpr(0), N() - AffineExpr(1)},
+                 Dim{"x", AffineExpr(0), N() - AffineExpr(1)}});
+}
+
+BoxSet xFaces2D() {
+  return BoxSet({Dim{"y", AffineExpr(0), N() - AffineExpr(1)},
+                 Dim{"x", AffineExpr(0), N()}});
+}
+
+std::map<std::string, std::int64_t, std::less<>> env(std::int64_t V) {
+  return {{"N", V}};
+}
+
+} // namespace
+
+TEST(BoxSet, CardinalityMatchesPaperLabels) {
+  // Figure 3: N^2 cells, N^2+N faces, N^2+4N inputs (x footprint).
+  EXPECT_EQ(cells2D().cardinality().toString(), "N^2");
+  EXPECT_EQ(xFaces2D().cardinality().toString(), "N^2+N");
+  BoxSet InputFootprint({Dim{"y", AffineExpr(0), N() - AffineExpr(1)},
+                         Dim{"x", AffineExpr(-2), N() + AffineExpr(1)}});
+  EXPECT_EQ(InputFootprint.cardinality().toString(), "N^2+4N");
+}
+
+TEST(BoxSet, NumPointsAgreesWithCardinality) {
+  for (std::int64_t V : {1, 4, 16}) {
+    EXPECT_EQ(cells2D().numPoints(env(V)), cells2D().cardinality().evaluate(V));
+    EXPECT_EQ(xFaces2D().numPoints(env(V)),
+              xFaces2D().cardinality().evaluate(V));
+  }
+}
+
+TEST(BoxSet, Translation) {
+  BoxSet T = cells2D().translated({1, -2});
+  EXPECT_EQ(T.dim(0).Lower.toString(), "1");
+  EXPECT_EQ(T.dim(0).Upper.toString(), "N");
+  EXPECT_EQ(T.dim(1).Lower.toString(), "-2");
+  // Translation preserves cardinality.
+  EXPECT_EQ(T.cardinality(), cells2D().cardinality());
+}
+
+TEST(BoxSet, Expansion) {
+  BoxSet E = cells2D().expanded(1, 2, 1);
+  EXPECT_EQ(E.dim(1).Lower.toString(), "-2");
+  EXPECT_EQ(E.dim(1).Upper.toString(), "N");
+  EXPECT_EQ(E.cardinality().toString(), "N^2+3N");
+}
+
+TEST(BoxSet, IntersectAndHull) {
+  BoxSet A = cells2D();
+  BoxSet B = cells2D().translated({0, 1});
+  BoxSet I = A.intersect(B);
+  EXPECT_EQ(I.dim(1).Lower.toString(), "1");
+  EXPECT_EQ(I.dim(1).Upper.toString(), "N-1");
+  BoxSet H = A.hull(B);
+  EXPECT_EQ(H.dim(1).Lower.toString(), "0");
+  EXPECT_EQ(H.dim(1).Upper.toString(), "N");
+}
+
+TEST(BoxSet, EmptyDetection) {
+  BoxSet Empty({Dim{"x", AffineExpr(5), AffineExpr(2)}});
+  EXPECT_TRUE(Empty.isProvablyEmpty());
+  EXPECT_FALSE(cells2D().isProvablyEmpty());
+  EXPECT_EQ(Empty.numPoints({}), 0);
+}
+
+TEST(BoxSet, ContainsAndEnumerate) {
+  auto E = env(4);
+  EXPECT_TRUE(cells2D().contains({0, 0}, E));
+  EXPECT_TRUE(cells2D().contains({3, 3}, E));
+  EXPECT_FALSE(cells2D().contains({4, 0}, E));
+  EXPECT_FALSE(cells2D().contains({0, -1}, E));
+
+  // Lexicographic enumeration: first dim outermost, last fastest.
+  std::vector<std::vector<std::int64_t>> Points;
+  BoxSet Small({Dim{"y", AffineExpr(0), AffineExpr(1)},
+                Dim{"x", AffineExpr(0), AffineExpr(1)}});
+  Small.forEachPoint({}, [&](const std::vector<std::int64_t> &P) {
+    Points.push_back(P);
+  });
+  ASSERT_EQ(Points.size(), 4u);
+  EXPECT_EQ(Points[0], (std::vector<std::int64_t>{0, 0}));
+  EXPECT_EQ(Points[1], (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(Points[2], (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(Points[3], (std::vector<std::int64_t>{1, 1}));
+}
+
+TEST(BoxSet, Substitution) {
+  BoxSet S = cells2D().substituted("N", AffineExpr(8));
+  EXPECT_EQ(S.dim(0).Upper.toString(), "7");
+  EXPECT_EQ(S.numPoints({}), 64);
+}
+
+TEST(BoxSet, AffineMinMax) {
+  AffineExpr Zero(0), One(1);
+  EXPECT_EQ(poly::affineMax(Zero, One).toString(), "1");
+  EXPECT_EQ(poly::affineMin(Zero, One).toString(), "0");
+  EXPECT_EQ(poly::affineMax(N(), One).toString(), "N");
+  EXPECT_EQ(poly::affineMin(N() - AffineExpr(1), N()).toString(), "N-1");
+}
+
+TEST(BoxSet, DimIndexLookup) {
+  BoxSet B = cells2D();
+  EXPECT_EQ(B.dimIndex("y"), 0u);
+  EXPECT_EQ(B.dimIndex("x"), 1u);
+  EXPECT_FALSE(B.dimIndex("z").has_value());
+}
+
+class BoxCardinalityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxCardinalityProperty, EnumerationMatchesFormula) {
+  int V = GetParam();
+  auto E = env(V);
+  for (const BoxSet &B :
+       {cells2D(), xFaces2D(), cells2D().expanded(0, 1, 2),
+        cells2D().translated({-2, 3})}) {
+    std::int64_t Count = 0;
+    B.forEachPoint(E, [&](const std::vector<std::int64_t> &P) {
+      ++Count;
+      EXPECT_TRUE(B.contains(P, E));
+    });
+    EXPECT_EQ(Count, B.cardinality().evaluate(V));
+    EXPECT_EQ(Count, B.numPoints(E));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BoxCardinalityProperty,
+                         ::testing::Values(1, 2, 3, 5, 8));

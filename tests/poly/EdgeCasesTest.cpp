@@ -1,0 +1,115 @@
+//===- tests/poly/EdgeCasesTest.cpp ---------------------------------------===//
+//
+// Corner cases and failure paths of the polyhedral substrate: ambiguous
+// bound comparisons, non-separable maps, stray variables, and structural
+// properties (hull contains its arguments; intersection is contained in
+// both).
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/BoxSet.h"
+#include "poly/IntegerMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using poly::AffineExpr;
+using poly::BoxSet;
+using poly::Dim;
+using poly::IntegerMap;
+
+TEST(PolyEdgeCases, AmbiguousBoundComparisonAborts) {
+  // N - 2 vs 0 flips sign between N = 1 and N = 3.
+  AffineExpr N = AffineExpr::var("N");
+  EXPECT_DEATH(poly::affineMax(N - AffineExpr(2), AffineExpr(0)),
+               "ambiguous bound comparison");
+}
+
+TEST(PolyEdgeCases, TwoParameterComparisons) {
+  // M vs N is undecidable; M + N vs N is fine.
+  AffineExpr M = AffineExpr::var("M"), N = AffineExpr::var("N");
+  EXPECT_DEATH(poly::affineMax(M, N), "ambiguous");
+  EXPECT_EQ(poly::affineMax(M + N, N).toString(), "M+N");
+  EXPECT_EQ(poly::affineMin(M + N, N).toString(), "N");
+}
+
+TEST(PolyEdgeCases, ToPolynomialRejectsStrayVariables) {
+  AffineExpr E = AffineExpr::var("x") + AffineExpr::var("N");
+  EXPECT_DEATH(E.toPolynomial("N"), "stray variable");
+}
+
+TEST(PolyEdgeCases, NonSeparableMapApplyAborts) {
+  IntegerMap Bad({"x", "y"},
+                 {AffineExpr::var("x") + AffineExpr::var("y")});
+  BoxSet Box({Dim{"x", AffineExpr(0), AffineExpr(3)},
+              Dim{"y", AffineExpr(0), AffineExpr(3)}});
+  EXPECT_DEATH(Bad.apply(Box), "not separable");
+}
+
+TEST(PolyEdgeCases, InverseOfNonTranslationAborts) {
+  IntegerMap Proj({"y", "x"}, {AffineExpr::var("x")});
+  EXPECT_DEATH(Proj.inverse(), "only translations");
+}
+
+TEST(PolyEdgeCases, HullContainsBothArguments) {
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet A({Dim{"x", AffineExpr(0), N}});
+  BoxSet B({Dim{"x", AffineExpr(-3), N - AffineExpr(2)}});
+  BoxSet H = A.hull(B);
+  std::map<std::string, std::int64_t, std::less<>> Env{{"N", 7}};
+  A.forEachPoint(Env, [&](const std::vector<std::int64_t> &P) {
+    EXPECT_TRUE(H.contains(P, Env));
+  });
+  B.forEachPoint(Env, [&](const std::vector<std::int64_t> &P) {
+    EXPECT_TRUE(H.contains(P, Env));
+  });
+}
+
+TEST(PolyEdgeCases, IntersectionContainedInBoth) {
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet A({Dim{"x", AffineExpr(0), N}});
+  BoxSet B({Dim{"x", AffineExpr(2), N + AffineExpr(5)}});
+  BoxSet I = A.intersect(B);
+  std::map<std::string, std::int64_t, std::less<>> Env{{"N", 6}};
+  I.forEachPoint(Env, [&](const std::vector<std::int64_t> &P) {
+    EXPECT_TRUE(A.contains(P, Env));
+    EXPECT_TRUE(B.contains(P, Env));
+  });
+  EXPECT_EQ(I.numPoints(Env), A.numPoints(Env) + B.numPoints(Env) -
+                                  A.hull(B).numPoints(Env));
+}
+
+TEST(PolyEdgeCases, EmptyEnumerationAndCardinality) {
+  BoxSet Empty({Dim{"x", AffineExpr(3), AffineExpr(1)}});
+  int Count = 0;
+  Empty.forEachPoint({}, [&](const std::vector<std::int64_t> &) {
+    ++Count;
+  });
+  EXPECT_EQ(Count, 0);
+  EXPECT_EQ(Empty.numPoints({}), 0);
+  // Symbolic cardinality of an empty constant box is negative — callers
+  // guard with isProvablyEmpty, which reports it.
+  EXPECT_TRUE(Empty.isProvablyEmpty());
+}
+
+TEST(PolyEdgeCases, ZeroDimensionalBox) {
+  BoxSet Point(std::vector<Dim>{});
+  EXPECT_EQ(Point.rank(), 0u);
+  EXPECT_EQ(Point.cardinality().toString(), "1");
+  int Count = 0;
+  Point.forEachPoint({}, [&](const std::vector<std::int64_t> &P) {
+    EXPECT_TRUE(P.empty());
+    ++Count;
+  });
+  EXPECT_EQ(Count, 1);
+}
+
+TEST(PolyEdgeCases, TranslationRoundTripOnPoints) {
+  IntegerMap T = IntegerMap::translation({"y", "x"}, {5, -3});
+  IntegerMap Inv = T.inverse();
+  for (std::int64_t Y : {-2, 0, 7})
+    for (std::int64_t X : {-1, 0, 4}) {
+      auto Image = T.apply({Y, X}, {});
+      EXPECT_EQ(Inv.apply(Image, {}), (std::vector<std::int64_t>{Y, X}));
+    }
+}

@@ -1,0 +1,80 @@
+//===- tests/poly/IntegerMapTest.cpp --------------------------------------===//
+
+#include "poly/IntegerMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using poly::AffineExpr;
+using poly::BoxSet;
+using poly::Dim;
+using poly::IntegerMap;
+
+TEST(IntegerMap, IdentityAndTranslation) {
+  IntegerMap Id = IntegerMap::identity({"y", "x"});
+  EXPECT_TRUE(Id.isTranslation());
+  EXPECT_TRUE(Id.isSeparable());
+  EXPECT_EQ(Id.translationOffsets(), (std::vector<std::int64_t>{0, 0}));
+
+  IntegerMap T = IntegerMap::translation({"y", "x"}, {1, -2});
+  EXPECT_TRUE(T.isTranslation());
+  EXPECT_EQ(T.translationOffsets(), (std::vector<std::int64_t>{1, -2}));
+  EXPECT_EQ(T.toString(), "{ [y, x] -> [y+1, x-2] }");
+}
+
+TEST(IntegerMap, ApplyToPoint) {
+  IntegerMap T = IntegerMap::translation({"y", "x"}, {1, -2});
+  EXPECT_EQ(T.apply({5, 5}, {}), (std::vector<std::int64_t>{6, 3}));
+}
+
+TEST(IntegerMap, ApplyToBox) {
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet Cells({Dim{"y", AffineExpr(0), N - AffineExpr(1)},
+                Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+  IntegerMap T = IntegerMap::translation({"y", "x"}, {0, 2});
+  BoxSet Image = T.apply(Cells);
+  EXPECT_EQ(Image.dim(1).Lower.toString(), "2");
+  EXPECT_EQ(Image.dim(1).Upper.toString(), "N+1");
+  EXPECT_EQ(Image.cardinality(), Cells.cardinality());
+}
+
+TEST(IntegerMap, ComposeTranslations) {
+  IntegerMap A = IntegerMap::translation({"x"}, {3});
+  IntegerMap B = IntegerMap::translation({"x"}, {-1});
+  IntegerMap C = A.compose(B);
+  EXPECT_TRUE(C.isTranslation());
+  EXPECT_EQ(C.translationOffsets(), (std::vector<std::int64_t>{2}));
+}
+
+TEST(IntegerMap, Inverse) {
+  IntegerMap T = IntegerMap::translation({"y", "x"}, {1, -2});
+  IntegerMap Inv = T.inverse();
+  EXPECT_EQ(Inv.translationOffsets(), (std::vector<std::int64_t>{-1, 2}));
+  IntegerMap Round = T.compose(Inv);
+  EXPECT_EQ(Round.translationOffsets(), (std::vector<std::int64_t>{0, 0}));
+}
+
+TEST(IntegerMap, SeparabilityDetection) {
+  // [x, y] -> [x + y] is not separable (two input dims in one output).
+  IntegerMap Bad({"x", "y"},
+                 {AffineExpr::var("x") + AffineExpr::var("y")});
+  EXPECT_FALSE(Bad.isSeparable());
+  // [x] -> [2x] is not separable (coefficient != 1).
+  IntegerMap Scaled({"x"}, {AffineExpr::var("x") * 2});
+  EXPECT_FALSE(Scaled.isSeparable());
+  // A projection [y, x] -> [x] is separable.
+  IntegerMap Proj({"y", "x"}, {AffineExpr::var("x")});
+  EXPECT_TRUE(Proj.isSeparable());
+  EXPECT_FALSE(Proj.isTranslation());
+}
+
+TEST(IntegerMap, ProjectionApply) {
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet Cells({Dim{"y", AffineExpr(1), N},
+                Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+  IntegerMap Proj({"y", "x"}, {AffineExpr::var("x")});
+  BoxSet Image = Proj.apply(Cells);
+  ASSERT_EQ(Image.rank(), 1u);
+  EXPECT_EQ(Image.dim(0).Lower.toString(), "0");
+  EXPECT_EQ(Image.dim(0).Upper.toString(), "N-1");
+}

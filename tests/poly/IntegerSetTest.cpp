@@ -1,0 +1,60 @@
+//===- tests/poly/IntegerSetTest.cpp --------------------------------------===//
+
+#include "poly/IntegerSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using poly::AffineExpr;
+using poly::BoxSet;
+using poly::Dim;
+using poly::IntegerSet;
+
+namespace {
+
+BoxSet interval(std::int64_t Lo, std::int64_t Hi) {
+  return BoxSet({Dim{"x", AffineExpr(Lo), AffineExpr(Hi)}});
+}
+
+} // namespace
+
+TEST(IntegerSet, EmptyAndUnion) {
+  IntegerSet Empty;
+  EXPECT_TRUE(Empty.isEmpty());
+  EXPECT_EQ(Empty.numBoxes(), 0u);
+  EXPECT_EQ(Empty.toString(), "{ }");
+
+  IntegerSet A(interval(0, 3));
+  IntegerSet B(interval(10, 12));
+  IntegerSet U = A.unionWith(B);
+  EXPECT_EQ(U.numBoxes(), 2u);
+  EXPECT_FALSE(U.isEmpty());
+  EXPECT_EQ(U.cardinality().toString(), "7");
+}
+
+TEST(IntegerSet, Intersection) {
+  IntegerSet U = IntegerSet(interval(0, 3)).unionWith(interval(10, 12));
+  IntegerSet I = U.intersect(interval(2, 11));
+  EXPECT_EQ(I.numBoxes(), 2u);
+  EXPECT_EQ(I.numPoints({}), 2 + 2);
+  // Disjoint clip drops boxes entirely.
+  IntegerSet None = U.intersect(interval(5, 8));
+  EXPECT_TRUE(None.isEmpty());
+}
+
+TEST(IntegerSet, Contains) {
+  IntegerSet U = IntegerSet(interval(0, 3)).unionWith(interval(10, 12));
+  EXPECT_TRUE(U.contains({0}, {}));
+  EXPECT_TRUE(U.contains({11}, {}));
+  EXPECT_FALSE(U.contains({5}, {}));
+}
+
+TEST(IntegerSet, SymbolicCardinality) {
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet Cells({Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+  BoxSet Faces({Dim{"x", AffineExpr(0), N}});
+  IntegerSet U = IntegerSet(Cells).unionWith(Faces);
+  // Cardinality sums disjuncts (callers keep them disjoint when it
+  // matters).
+  EXPECT_EQ(U.cardinality().toString(), "2N+1");
+}

@@ -1,0 +1,96 @@
+//===- tests/runtime/BoxGridTest.cpp --------------------------------------===//
+
+#include "runtime/BoxGrid.h"
+
+#include "runtime/Parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+using namespace lcdfg;
+using rt::Box;
+
+TEST(Box, ShapeAndStrides) {
+  Box B(8, 2, 5);
+  EXPECT_EQ(B.size(), 8);
+  EXPECT_EQ(B.ghost(), 2);
+  EXPECT_EQ(B.numComponents(), 5);
+  EXPECT_EQ(B.padded(), 12);
+  EXPECT_EQ(B.strideX(), 1);
+  EXPECT_EQ(B.strideY(), 12);
+  EXPECT_EQ(B.strideZ(), 144);
+}
+
+TEST(Box, GhostAccess) {
+  Box B(4, 2, 2);
+  B.at(0, -2, -2, -2) = 1.0;
+  B.at(1, 5, 5, 5) = 2.0;
+  B.at(0, 0, 0, 0) = 3.0;
+  EXPECT_EQ(B.at(0, -2, -2, -2), 1.0);
+  EXPECT_EQ(B.at(1, 5, 5, 5), 2.0);
+  EXPECT_EQ(B.at(0, 0, 0, 0), 3.0);
+  // Distinct components do not alias.
+  EXPECT_EQ(B.at(1, 0, 0, 0), 0.0);
+}
+
+TEST(Box, OriginPointerMatchesAt) {
+  Box B(4, 2, 3);
+  B.at(2, 1, 2, 3) = 7.5;
+  const double *P = B.origin(2);
+  EXPECT_EQ(P[1 * B.strideZ() + 2 * B.strideY() + 3], 7.5);
+  B.at(2, -1, 0, -2) = 8.5;
+  EXPECT_EQ(P[-1 * B.strideZ() + 0 * B.strideY() - 2], 8.5);
+}
+
+TEST(Box, PseudoRandomFillIsDeterministicAndConditioned) {
+  Box A(4, 2, 2), B(4, 2, 2);
+  A.fillPseudoRandom(42);
+  B.fillPseudoRandom(42);
+  EXPECT_EQ(rt::maxRelDiff(A, B), 0.0);
+  Box C(4, 2, 2);
+  C.fillPseudoRandom(43);
+  EXPECT_GT(rt::maxRelDiff(A, C), 0.0);
+  // Values live in [0.5, 1.5): no cancellation-hostile zeros.
+  for (int Z = -2; Z < 6; ++Z)
+    for (int Y = -2; Y < 6; ++Y)
+      for (int X = -2; X < 6; ++X) {
+        EXPECT_GE(A.at(0, Z, Y, X), 0.5);
+        EXPECT_LT(A.at(0, Z, Y, X), 1.5);
+      }
+}
+
+TEST(Box, CopyInteriorLeavesGhostsAlone) {
+  Box Src(4, 2, 1), Dst(4, 2, 1);
+  Src.fillPseudoRandom(7);
+  Dst.fillPseudoRandom(9);
+  double Ghost = Dst.at(0, -1, 0, 0);
+  Dst.copyInteriorFrom(Src);
+  EXPECT_EQ(Dst.at(0, 0, 0, 0), Src.at(0, 0, 0, 0));
+  EXPECT_EQ(Dst.at(0, 3, 3, 3), Src.at(0, 3, 3, 3));
+  EXPECT_EQ(Dst.at(0, -1, 0, 0), Ghost);
+}
+
+TEST(Box, MaxRelDiffDetectsSingleElement) {
+  Box A(4, 2, 1), B(4, 2, 1);
+  A.fillPseudoRandom(1);
+  B.copyInteriorFrom(A);
+  // Interiors match even though ghosts differ.
+  EXPECT_EQ(rt::maxRelDiff(A, B), 0.0);
+  B.at(0, 2, 2, 2) *= 1.0 + 1e-6;
+  EXPECT_NEAR(rt::maxRelDiff(A, B), 1e-6, 1e-8);
+}
+
+TEST(Parallel, CoversAllIndices) {
+  std::vector<std::atomic<int>> Hits(64);
+  rt::parallelFor(64, 4, [&](int I) { ++Hits[I]; });
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(Hits[I].load(), 1);
+  rt::parallelFor(64, 1, [&](int I) { ++Hits[I]; });
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(Hits[I].load(), 2);
+}
+
+TEST(Parallel, HardwareThreadsPositive) {
+  EXPECT_GE(rt::hardwareThreads(), 1);
+}

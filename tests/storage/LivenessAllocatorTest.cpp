@@ -1,0 +1,110 @@
+//===- tests/storage/LivenessAllocatorTest.cpp ----------------------------===//
+
+#include "storage/LivenessAllocator.h"
+
+#include "graph/GraphBuilder.h"
+#include "minifluxdiv/Spec.h"
+#include "storage/ReuseDistance.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+using storage::Allocation;
+
+namespace {
+
+/// Birth/death rows of a temporary for overlap checking.
+struct Life {
+  int Birth;
+  int Death;
+};
+
+std::map<std::string, Life> lifetimes(const Graph &G) {
+  std::map<std::string, Life> L;
+  for (NodeId V = 0; V < G.numValueNodes(); ++V) {
+    const ValueNode &Value = G.value(V);
+    if (Value.Dead || Value.Persistent)
+      continue;
+    NodeId P = G.producerOf(V);
+    if (P == InvalidNode || G.readersOf(V).empty())
+      continue;
+    Life Entry{G.stmt(P).Row, G.stmt(P).Row};
+    for (const Edge *E : G.readersOf(V))
+      Entry.Death = std::max(Entry.Death, G.stmt(E->To).Row);
+    L[Value.Array] = Entry;
+  }
+  return L;
+}
+
+} // namespace
+
+TEST(LivenessAllocator, ReusesSpacesAcrossDirections) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  Allocation A = storage::allocateSpaces(G);
+  // 16 temporaries exist; the x and y direction temporaries have disjoint
+  // lifetimes, so at most ~half as many spaces are needed.
+  EXPECT_EQ(A.ValueToSpace.size(), 16u);
+  EXPECT_LE(A.Spaces.size(), 8u);
+  EXPECT_TRUE(A.Total.asymptoticallyLess(A.SsaTotal));
+}
+
+TEST(LivenessAllocator, NoOverlappingLiveRangesShareASpace) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  Allocation A = storage::allocateSpaces(G);
+  auto L = lifetimes(G);
+  for (const auto &[NameA, SpaceA] : A.ValueToSpace)
+    for (const auto &[NameB, SpaceB] : A.ValueToSpace) {
+      if (NameA >= NameB || SpaceA != SpaceB)
+        continue;
+      const Life &LA = L.at(NameA), &LB = L.at(NameB);
+      // A value is live from its producing row through its last reading
+      // row; the allocator is conservative, so co-tenants must have
+      // strictly disjoint ranges.
+      bool Disjoint = LA.Death < LB.Birth || LB.Death < LA.Birth;
+      EXPECT_TRUE(Disjoint) << NameA << " [" << LA.Birth << "," << LA.Death
+                            << "] and " << NameB << " [" << LB.Birth << ","
+                            << LB.Death << "] share space " << SpaceA;
+    }
+}
+
+TEST(LivenessAllocator, SpacesAccommodateTheirValues) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  Allocation A = storage::allocateSpaces(G);
+  for (const auto &[Name, Space] : A.ValueToSpace) {
+    const Polynomial &Size = G.value(G.findValue(Name)).Size;
+    EXPECT_FALSE(A.Spaces[Space].Capacity.asymptoticallyLess(Size))
+        << Name << " does not fit its space";
+  }
+}
+
+TEST(LivenessAllocator, ReducedGraphShrinksTotals) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph Plain = buildGraph(Chain);
+  Allocation PlainAlloc = storage::allocateSpaces(Plain);
+
+  ir::LoopChain Chain2 = mfd::buildChain2D();
+  Graph Fused = buildGraph(Chain2);
+  mfd::applyFuseAllLevels(Fused);
+  storage::reduceStorage(Fused);
+  Allocation FusedAlloc = storage::allocateSpaces(Fused);
+
+  EXPECT_TRUE(FusedAlloc.Total.asymptoticallyLess(PlainAlloc.Total));
+  // The fused chain needs only the velocity arrays (O(N^2)) plus O(N)
+  // buffers: degree 2 total, versus the series' many N^2 arrays.
+  EXPECT_EQ(FusedAlloc.Total.degree(), 2u);
+  EXPECT_LE(FusedAlloc.Total.coeff(2), 2);
+}
+
+TEST(LivenessAllocator, ReportRendering) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  Allocation A = storage::allocateSpaces(G);
+  std::string Text = A.toString();
+  EXPECT_NE(Text.find("spaces:"), std::string::npos);
+  EXPECT_NE(Text.find("->"), std::string::npos);
+  EXPECT_NE(Text.find("single-assignment"), std::string::npos);
+}

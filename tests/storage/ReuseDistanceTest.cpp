@@ -1,0 +1,92 @@
+//===- tests/storage/ReuseDistanceTest.cpp --------------------------------===//
+
+#include "storage/ReuseDistance.h"
+
+#include "graph/GraphBuilder.h"
+#include "graph/Transforms.h"
+#include "minifluxdiv/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+
+TEST(ReuseDistance, DomainStrides) {
+  poly::AffineExpr N = poly::AffineExpr::var("N");
+  poly::BoxSet Domain({poly::Dim{"z", poly::AffineExpr(0), N},
+                       poly::Dim{"y", poly::AffineExpr(0),
+                                 N - poly::AffineExpr(1)},
+                       poly::Dim{"x", poly::AffineExpr(0), N}});
+  std::vector<Polynomial> S = storage::domainStrides(Domain);
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[2].toString(), "1");
+  EXPECT_EQ(S[1].toString(), "N+1"); // extent of x
+  EXPECT_EQ(S[0].toString(), "N^2+N");
+}
+
+namespace {
+
+struct Fused {
+  ir::LoopChain Chain;
+  Graph G;
+  Fused() : Chain(mfd::buildChain2D()), G(buildGraph(Chain)) {
+    mfd::applyFuseWithinDirections(G);
+  }
+};
+
+} // namespace
+
+TEST(ReuseDistance, PointwiseConsumerCollapsesToScalar) {
+  Fused F;
+  // F1x_rho is consumed at distance 0 inside the fused node: one scalar
+  // (the paper's single-scalar example in Section 4.4).
+  NodeId V = F.G.findValue("F1x_rho");
+  ASSERT_TRUE(F.G.value(V).Internalized);
+  EXPECT_EQ(storage::reducedSize(F.G, V).toString(), "1");
+}
+
+TEST(ReuseDistance, UnitStencilNeedsTwoValues) {
+  Fused F;
+  // Dx reads F2x at x and x+1: two values must be maintained (the Figure 1
+  // storage mapping *(temp + x&1)).
+  NodeId V = F.G.findValue("F2x_rho");
+  ASSERT_TRUE(F.G.value(V).Internalized);
+  EXPECT_EQ(storage::reducedSize(F.G, V).toString(), "2");
+}
+
+TEST(ReuseDistance, OuterDimensionStencilNeedsPencilBuffer) {
+  Fused F;
+  // Dy reads F2y at y and y+1; the reuse distance is the x extent, so the
+  // buffer holds N+1 values (the paper's Section 4.4 discussion sizes this
+  // class of buffer at O(N)).
+  NodeId V = F.G.findValue("F2y_e");
+  ASSERT_TRUE(F.G.value(V).Internalized);
+  EXPECT_EQ(storage::reducedSize(F.G, V).toString(), "N+1");
+}
+
+TEST(ReuseDistance, ReduceStorageUpdatesGraph) {
+  Fused F;
+  auto Reduced = storage::reduceStorage(F.G);
+  EXPECT_EQ(Reduced.at("F1x_rho").toString(), "1");
+  EXPECT_EQ(Reduced.at("F2x_u").toString(), "2");
+  EXPECT_EQ(Reduced.at("F2y_v").toString(), "N+1");
+  EXPECT_EQ(F.G.value(F.G.findValue("F2x_u")).Size.toString(), "2");
+  // Non-internalized values keep their original sizes.
+  NodeId Vel = F.G.findValue("F1x_u");
+  EXPECT_FALSE(F.G.value(Vel).Internalized);
+  EXPECT_EQ(F.G.value(Vel).Size.toString(), "N^2+N");
+}
+
+TEST(ReuseDistance, ThreeDimensionalPlaneBuffer) {
+  ir::LoopChain Chain = mfd::buildChain3D();
+  Graph G = buildGraph(Chain);
+  mfd::applyFuseWithinDirections(G);
+  // Dz reads F2z at z and z+1 in a (z, y, x) nest: the reuse distance is a
+  // full N x N plane, so the buffer holds N^2 + 1 elements.
+  NodeId V = G.findValue("F2z_rho");
+  ASSERT_NE(V, InvalidNode);
+  ASSERT_TRUE(G.value(V).Internalized);
+  Polynomial Size = storage::reducedSize(G, V);
+  EXPECT_EQ(Size.degree(), 2u);
+  EXPECT_EQ(Size.evaluate(16), 16 * 16 + 1);
+}

@@ -1,0 +1,111 @@
+//===- tests/storage/StorageMapTest.cpp -----------------------------------===//
+
+#include "storage/StorageMap.h"
+
+#include "graph/GraphBuilder.h"
+#include "graph/Transforms.h"
+#include "minifluxdiv/Spec.h"
+#include "storage/ReuseDistance.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+using namespace lcdfg::graph;
+using storage::ConcreteStorage;
+using storage::MapKind;
+using storage::StoragePlan;
+
+namespace {
+
+struct Fused {
+  ir::LoopChain Chain;
+  Graph G;
+  Fused() : Chain(mfd::buildChain2D()), G(buildGraph(Chain)) {
+    mfd::applyFuseWithinDirections(G);
+    storage::reduceStorage(G);
+  }
+};
+
+std::map<std::string, std::int64_t, std::less<>> env(std::int64_t N) {
+  return {{"N", N}};
+}
+
+} // namespace
+
+TEST(StorageMap, KindsFollowInternalization) {
+  Fused F;
+  StoragePlan Plan = StoragePlan::build(F.G);
+  EXPECT_EQ(Plan.map("in_rho").Kind, MapKind::Direct);
+  EXPECT_TRUE(Plan.map("in_rho").Persistent);
+  EXPECT_EQ(Plan.map("F1x_u").Kind, MapKind::Direct);
+  EXPECT_FALSE(Plan.map("F1x_u").Persistent);
+  EXPECT_EQ(Plan.map("F2x_rho").Kind, MapKind::Modulo);
+  EXPECT_EQ(Plan.map("F2x_rho").Size.toString(), "2");
+  EXPECT_EQ(Plan.map("F2y_rho").Size.toString(), "N+1");
+}
+
+TEST(StorageMap, ModuloMappingWrapsLikeFigure1) {
+  Fused F;
+  StoragePlan Plan = StoragePlan::build(F.G);
+  ConcreteStorage Store(Plan, env(4));
+  // The two-element buffer behaves as *(temp + x&1).
+  EXPECT_EQ(Store.indexOf("F2x_rho", {0, 0}), 0u);
+  EXPECT_EQ(Store.indexOf("F2x_rho", {0, 1}), 1u);
+  EXPECT_EQ(Store.indexOf("F2x_rho", {0, 2}), 0u);
+  // Writing through the wrap reuses the same location.
+  Store.at("F2x_rho", {0, 0}) = 42.0;
+  EXPECT_EQ(Store.at("F2x_rho", {0, 2}), 42.0);
+}
+
+TEST(StorageMap, DirectMappingIsInjective) {
+  Fused F;
+  StoragePlan Plan = StoragePlan::build(F.G);
+  ConcreteStorage Store(Plan, env(4));
+  std::set<std::size_t> Seen;
+  const auto &Extent = Plan.map("F1x_u").Extent;
+  Extent.forEachPoint(env(4), [&](const std::vector<std::int64_t> &P) {
+    EXPECT_TRUE(Seen.insert(Store.indexOf("F1x_u", P)).second);
+  });
+  EXPECT_EQ(Seen.size(), 4u * 5u);
+}
+
+TEST(StorageMap, GhostedInputsResolve) {
+  Fused F;
+  StoragePlan Plan = StoragePlan::build(F.G);
+  ConcreteStorage Store(Plan, env(4));
+  // in_rho extent includes the ghost offsets read by the stencils.
+  Store.at("in_rho", {-2, 0}) = 1.5;
+  Store.at("in_rho", {5, 3}) = 2.5;
+  EXPECT_EQ(Store.at("in_rho", {-2, 0}), 1.5);
+  EXPECT_EQ(Store.at("in_rho", {5, 3}), 2.5);
+}
+
+TEST(StorageMap, TemporaryFootprintShrinks) {
+  ir::LoopChain SeriesChain = mfd::buildChain2D();
+  Graph Series = buildGraph(SeriesChain);
+  StoragePlan SeriesPlan = StoragePlan::build(Series);
+
+  Fused F;
+  StoragePlan FusedPlan = StoragePlan::build(F.G);
+  EXPECT_TRUE(FusedPlan.temporaryFootprint().asymptoticallyLess(
+      SeriesPlan.temporaryFootprint()));
+}
+
+TEST(StorageMap, SingleAssignmentPlanGivesPrivateSpaces) {
+  ir::LoopChain Chain = mfd::buildChain2D();
+  Graph G = buildGraph(Chain);
+  StoragePlan Shared = StoragePlan::build(G, /*UseAllocation=*/true);
+  StoragePlan Private = StoragePlan::build(G, /*UseAllocation=*/false);
+  EXPECT_LT(Shared.spaceSizes().size(), Private.spaceSizes().size());
+  EXPECT_TRUE(Shared.temporaryFootprint().asymptoticallyLess(
+      Private.temporaryFootprint()));
+}
+
+TEST(StorageMap, RenderingMentionsKinds) {
+  Fused F;
+  StoragePlan Plan = StoragePlan::build(F.G);
+  std::string Text = Plan.toString();
+  EXPECT_NE(Text.find("modulo"), std::string::npos);
+  EXPECT_NE(Text.find("direct"), std::string::npos);
+  EXPECT_NE(Text.find("temporary footprint"), std::string::npos);
+}

@@ -1,0 +1,17 @@
+//===- tests/support/ErrorsTest.cpp ---------------------------------------===//
+
+#include "support/Errors.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+
+TEST(Errors, ReportFatalErrorAborts) {
+  EXPECT_DEATH(reportFatalError("boom goes the dynamite"),
+               "lcdfg fatal error: boom goes the dynamite");
+}
+
+TEST(Errors, UnreachableCarriesLocation) {
+  EXPECT_DEATH(LCDFG_UNREACHABLE("should not happen"),
+               "unreachable at .*ErrorsTest.cpp.*should not happen");
+}

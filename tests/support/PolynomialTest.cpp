@@ -1,0 +1,120 @@
+//===- tests/support/PolynomialTest.cpp -----------------------------------===//
+
+#include "support/Polynomial.h"
+
+#include <gtest/gtest.h>
+
+using lcdfg::Polynomial;
+
+TEST(Polynomial, ZeroAndConstants) {
+  Polynomial Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_TRUE(Zero.isConstant());
+  EXPECT_EQ(Zero.toString(), "0");
+  EXPECT_EQ(Zero.evaluate(17), 0);
+
+  Polynomial Five(5);
+  EXPECT_FALSE(Five.isZero());
+  EXPECT_TRUE(Five.isConstant());
+  EXPECT_EQ(Five.toString(), "5");
+  EXPECT_EQ(Five.evaluate(100), 5);
+}
+
+TEST(Polynomial, TermConstruction) {
+  Polynomial P = Polynomial::term(3, 2);
+  EXPECT_EQ(P.degree(), 2u);
+  EXPECT_EQ(P.coeff(2), 3);
+  EXPECT_EQ(P.coeff(1), 0);
+  EXPECT_EQ(P.toString(), "3N^2");
+  EXPECT_TRUE(Polynomial::term(0, 5).isZero());
+}
+
+TEST(Polynomial, PaperLabels) {
+  // The value-node labels of Figure 3.
+  Polynomial N = Polynomial::symbol();
+  Polynomial InputSize = N * N + Polynomial(4) * N;
+  EXPECT_EQ(InputSize.toString(), "N^2+4N");
+  Polynomial FaceSize = N * N + N;
+  EXPECT_EQ(FaceSize.toString(), "N^2+N");
+  Polynomial SeriesTotal = Polynomial(8) * InputSize +
+                           Polynomial(22) * FaceSize;
+  EXPECT_EQ(SeriesTotal.toString(), "30N^2+54N");
+  EXPECT_EQ(SeriesTotal.evaluate(16), 30 * 256 + 54 * 16);
+}
+
+TEST(Polynomial, Arithmetic) {
+  Polynomial N = Polynomial::symbol();
+  Polynomial A = N * N - N + Polynomial(1);
+  Polynomial B = N + Polynomial(1);
+  EXPECT_EQ((A * B).toString(), "N^3+1");
+  EXPECT_EQ((A - A).toString(), "0");
+  EXPECT_EQ((A + (-A)).toString(), "0");
+
+  Polynomial C = A;
+  C += B;
+  EXPECT_EQ(C.toString(), "N^2+2");
+  C -= B;
+  EXPECT_EQ(C, A);
+  C *= Polynomial(2);
+  EXPECT_EQ(C.toString(), "2N^2-2N+2");
+}
+
+TEST(Polynomial, CancellationTrims) {
+  Polynomial N = Polynomial::symbol();
+  Polynomial P = N * N + N;
+  Polynomial Q = N * N;
+  EXPECT_EQ((P - Q).degree(), 1u);
+  EXPECT_EQ((P - Q).toString(), "N");
+}
+
+TEST(Polynomial, EvaluateHorner) {
+  Polynomial N = Polynomial::symbol();
+  Polynomial P = Polynomial(2) * N * N * N - Polynomial(7) * N +
+                 Polynomial(3);
+  for (std::int64_t V : {-3, 0, 1, 16, 128})
+    EXPECT_EQ(P.evaluate(V), 2 * V * V * V - 7 * V + 3);
+}
+
+TEST(Polynomial, AsymptoticComparison) {
+  Polynomial N = Polynomial::symbol();
+  Polynomial Small = Polynomial(100) * N;
+  Polynomial Large = N * N;
+  EXPECT_TRUE(Small.asymptoticallyLess(Large));
+  EXPECT_FALSE(Large.asymptoticallyLess(Small));
+  EXPECT_FALSE(Large.asymptoticallyLess(Large));
+  EXPECT_EQ(Polynomial::asymptoticMax(Small, Large), Large);
+  EXPECT_EQ(Polynomial::asymptoticMax(Large, Small), Large);
+}
+
+TEST(Polynomial, ToStringSigns) {
+  Polynomial N = Polynomial::symbol();
+  EXPECT_EQ((-N).toString(), "-N");
+  EXPECT_EQ((N - Polynomial(1)).toString(), "N-1");
+  EXPECT_EQ((Polynomial(-2) * N * N - N + Polynomial(7)).toString(),
+            "-2N^2-N+7");
+  EXPECT_EQ(N.toString("T"), "T");
+}
+
+class PolynomialRingProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PolynomialRingProperty, DistributivityAndCommutativity) {
+  auto [I, J] = GetParam();
+  Polynomial N = Polynomial::symbol();
+  Polynomial A = Polynomial(I) * N * N + Polynomial(J) * N + Polynomial(1);
+  Polynomial B = Polynomial(J) * N - Polynomial(I);
+  Polynomial C = N + Polynomial(I * J);
+  EXPECT_EQ(A * (B + C), A * B + A * C);
+  EXPECT_EQ(A * B, B * A);
+  EXPECT_EQ(A + B, B + A);
+  // Evaluation is a ring homomorphism.
+  for (std::int64_t V : {1, 4, 9}) {
+    EXPECT_EQ((A * B).evaluate(V), A.evaluate(V) * B.evaluate(V));
+    EXPECT_EQ((A + B).evaluate(V), A.evaluate(V) + B.evaluate(V));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Coefficients, PolynomialRingProperty,
+                         ::testing::Combine(::testing::Values(-3, -1, 0, 2,
+                                                              5),
+                                            ::testing::Values(-2, 0, 1, 7)));

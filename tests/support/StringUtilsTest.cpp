@@ -1,0 +1,52 @@
+//===- tests/support/StringUtilsTest.cpp ----------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace lcdfg;
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(StringUtils, Split) {
+  auto Parts = split("a, b ,c", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "b");
+  EXPECT_EQ(Parts[2], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("a,,c", ',')[1], "");
+}
+
+TEST(StringUtils, SplitTopLevelRespectsNesting) {
+  auto Parts = splitTopLevel("(x,y),(x+1,y)", ',');
+  ASSERT_EQ(Parts.size(), 2u);
+  EXPECT_EQ(Parts[0], "(x,y)");
+  EXPECT_EQ(Parts[1], "(x+1,y)");
+
+  Parts = splitTopLevel("f{a,b}, c, (d,e)", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "f{a,b}");
+  EXPECT_EQ(Parts[1], "c");
+  EXPECT_EQ(Parts[2], "(d,e)");
+}
+
+TEST(StringUtils, SplitTopLevelDropsEmpty) {
+  EXPECT_TRUE(splitTopLevel("", ',').empty());
+  EXPECT_EQ(splitTopLevel("a,,b", ',').size(), 2u);
+}
+
+TEST(StringUtils, ConsumePrefix) {
+  std::string_view S = "  #pragma omplc for domain(...)";
+  EXPECT_TRUE(consumePrefix(S, "#pragma omplc"));
+  EXPECT_EQ(trim(S), "for domain(...)");
+  std::string_view T = "nothing";
+  EXPECT_FALSE(consumePrefix(T, "#pragma"));
+  EXPECT_EQ(T, "nothing");
+}

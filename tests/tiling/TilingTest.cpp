@@ -1,0 +1,160 @@
+//===- tests/tiling/TilingTest.cpp ----------------------------------------===//
+
+#include "tiling/Tiling.h"
+
+#include "poly/AffineExpr.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace lcdfg;
+using namespace lcdfg::tiling;
+using poly::AffineExpr;
+using poly::BoxSet;
+using poly::Dim;
+
+namespace {
+
+ParamEnv env(std::int64_t N) { return {{"N", N}}; }
+
+/// The 1D Fx -> Dx chain of Figure 5: 9 faces feed 8 cells.
+ir::LoopChain figure5Chain() {
+  ir::LoopChain Chain("fig5");
+  AffineExpr N = AffineExpr::var("N");
+  ir::LoopNest Fx;
+  Fx.Name = "Fx";
+  Fx.Domain = BoxSet({Dim{"i", AffineExpr(0), N}});
+  Fx.Write = ir::Access{"F", {{0}}};
+  Fx.Reads = {ir::Access{"in", {{-1}, {0}}}};
+  Chain.addNest(Fx);
+  ir::LoopNest Dx;
+  Dx.Name = "Dx";
+  Dx.Domain = BoxSet({Dim{"i", AffineExpr(0), N - AffineExpr(1)}});
+  Dx.Write = ir::Access{"out", {{0}}};
+  Dx.Reads = {ir::Access{"F", {{0}, {1}}}};
+  Chain.addNest(Dx);
+  Chain.finalize();
+  return Chain;
+}
+
+} // namespace
+
+TEST(Tiling, ClassicTilesPartitionTheDomain) {
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet Domain({Dim{"y", AffineExpr(0), N - AffineExpr(1)},
+                 Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+  auto Tiles = classicTiles(Domain, {4, 4}, env(8));
+  EXPECT_EQ(Tiles.size(), 4u);
+  // Every point is covered exactly once.
+  std::map<std::vector<std::int64_t>, int> Coverage;
+  for (const BoxSet &T : Tiles)
+    T.forEachPoint(env(8), [&](const std::vector<std::int64_t> &P) {
+      ++Coverage[P];
+    });
+  EXPECT_EQ(Coverage.size(), 64u);
+  for (const auto &[P, Count] : Coverage) {
+    (void)P;
+    EXPECT_EQ(Count, 1);
+  }
+}
+
+TEST(Tiling, ClassicTilesHandlePartialTiles) {
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet Domain({Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+  auto Tiles = classicTiles(Domain, {4}, env(10));
+  ASSERT_EQ(Tiles.size(), 3u);
+  EXPECT_EQ(Tiles[2].numPoints(env(10)), 2);
+}
+
+TEST(Tiling, UntiledDimensionStaysWhole) {
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet Domain({Dim{"y", AffineExpr(0), N - AffineExpr(1)},
+                 Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+  auto Tiles = classicTiles(Domain, {4, 0}, env(8));
+  EXPECT_EQ(Tiles.size(), 2u);
+  EXPECT_EQ(Tiles[0].numPoints(env(8)), 32);
+}
+
+TEST(Tiling, Figure5OverlappedTiling) {
+  // Figure 5(c): tile size 4 over 8 cells; the producer executes
+  // iteration 4 in both tiles.
+  ir::LoopChain Chain = figure5Chain();
+  ChainTiling T = overlappedTiling(Chain, {4}, env(8));
+  ASSERT_EQ(T.Tiles.size(), 2u);
+
+  // Consumer tiles are exactly the classic tiles.
+  EXPECT_EQ(T.Tiles[0].NestDomains.at(1).numPoints(env(8)), 4);
+  EXPECT_EQ(T.Tiles[1].NestDomains.at(1).numPoints(env(8)), 4);
+
+  // Producer domains expand by one face: 5 iterations each, 10 total for
+  // 9 required — one redundant iteration.
+  EXPECT_EQ(T.Tiles[0].NestDomains.at(0).numPoints(env(8)), 5);
+  EXPECT_EQ(T.Tiles[1].NestDomains.at(0).numPoints(env(8)), 5);
+  EXPECT_EQ(T.ExecutedPoints.at(0), 10);
+  EXPECT_EQ(T.RequiredPoints.at(0), 9);
+  EXPECT_GT(T.redundancy(), 1.0);
+  EXPECT_LT(T.redundancy(), 1.1);
+}
+
+TEST(Tiling, OverlappedTilesCoverEveryIteration) {
+  ir::LoopChain Chain = figure5Chain();
+  for (std::int64_t Size : {2, 3, 4, 8}) {
+    ChainTiling T = overlappedTiling(Chain, {Size}, env(8));
+    for (unsigned Nest = 0; Nest < Chain.numNests(); ++Nest) {
+      std::set<std::int64_t> Covered;
+      for (const OverlappedTile &Tile : T.Tiles) {
+        auto It = Tile.NestDomains.find(Nest);
+        if (It == Tile.NestDomains.end())
+          continue;
+        It->second.forEachPoint(
+            env(8), [&](const std::vector<std::int64_t> &P) {
+              Covered.insert(P[0]);
+            });
+      }
+      std::set<std::int64_t> Required;
+      Chain.nest(Nest).Domain.forEachPoint(
+          env(8), [&](const std::vector<std::int64_t> &P) {
+            Required.insert(P[0]);
+          });
+      EXPECT_EQ(Covered, Required) << "nest " << Nest << " tile " << Size;
+    }
+  }
+}
+
+TEST(Tiling, DeepChainsExpandTransitively) {
+  // A three-stage 1D chain: each stage reads its predecessor at {0, +1},
+  // so the first stage expands by two per tile.
+  ir::LoopChain Chain("deep");
+  AffineExpr N = AffineExpr::var("N");
+  const char *Names[3] = {"A", "B", "C"};
+  for (int S = 0; S < 3; ++S) {
+    ir::LoopNest Nest;
+    Nest.Name = Names[S];
+    Nest.Domain = BoxSet({Dim{"i", AffineExpr(0), N - AffineExpr(1)}});
+    Nest.Write = ir::Access{std::string("v") + Names[S], {{0}}};
+    Nest.Reads = {
+        ir::Access{S == 0 ? "input" : std::string("v") + Names[S - 1],
+                   S == 0 ? std::vector<std::vector<std::int64_t>>{{0}}
+                          : std::vector<std::vector<std::int64_t>>{{0},
+                                                                   {1}}}};
+    Chain.addNest(Nest);
+  }
+  Chain.finalize();
+  ChainTiling T = overlappedTiling(Chain, {4}, env(8));
+  ASSERT_EQ(T.Tiles.size(), 2u);
+  // Stage A must cover [0, 5] for consumer tile [0, 3] — but clipped to
+  // its own domain.
+  EXPECT_EQ(T.Tiles[0].NestDomains.at(0).numPoints(env(8)), 6);
+  EXPECT_EQ(T.Tiles[0].NestDomains.at(1).numPoints(env(8)), 5);
+}
+
+TEST(Tiling, Render1DMatchesFigure5Shape) {
+  ir::LoopChain Chain = figure5Chain();
+  ChainTiling T = overlappedTiling(Chain, {4}, env(8));
+  std::string Text = renderTiling1D(Chain, T, env(8));
+  EXPECT_NE(Text.find("tile 0:"), std::string::npos);
+  EXPECT_NE(Text.find("Fx: 0 1 2 3 4"), std::string::npos);
+  EXPECT_NE(Text.find("Dx: 0 1 2 3"), std::string::npos);
+  EXPECT_NE(Text.find("Fx: 4 5 6 7 8"), std::string::npos);
+}

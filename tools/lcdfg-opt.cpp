@@ -1,0 +1,174 @@
+//===- tools/lcdfg-opt.cpp - Loop chain optimization driver ---------------===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+// The command-line face of the paper's workflow: read an annotated loop
+// chain, optionally apply a transformation script (or the automatic
+// scheduler), and emit any of the system's artifacts — the schedule as
+// text, the cost model, the Graphviz rendering, the ISCC script, the
+// storage plan, or generated C code.
+//
+//   lcdfg-opt [options] <chain.lc>
+//     --script <file>      apply a transformation script (see ScriptRunner)
+//     --autoschedule[=S]   run the greedy scheduler (stream budget S)
+//     --reduce             apply reuse-distance storage reduction
+//     --emit=text|cost|dot|iscc|storage|code|pragmas   (default: text)
+//     -o <file>            write output to a file instead of stdout
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CPrinter.h"
+#include "codegen/Generator.h"
+#include "codegen/IsccExport.h"
+#include "graph/AutoScheduler.h"
+#include "graph/CostModel.h"
+#include "graph/DotExport.h"
+#include "graph/GraphBuilder.h"
+#include "parser/PragmaParser.h"
+#include "parser/PragmaPrinter.h"
+#include "parser/ScriptRunner.h"
+#include "storage/ReuseDistance.h"
+#include "storage/StorageMap.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace lcdfg;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] <chain.lc>\n"
+      "  --script <file>     apply a transformation script\n"
+      "  --autoschedule[=S]  greedy scheduling with stream budget S\n"
+      "  --reduce            reuse-distance storage reduction\n"
+      "  --emit=KIND         text|cost|dot|iscc|storage|code|pragmas\n"
+      "  -o <file>           output file (default stdout)\n",
+      Argv0);
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string InputPath, ScriptPath, OutputPath;
+  std::string Emit = "text";
+  bool AutoSchedule = false, Reduce = false;
+  unsigned Streams = 4;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--script" && I + 1 < argc) {
+      ScriptPath = argv[++I];
+    } else if (Arg == "--autoschedule") {
+      AutoSchedule = true;
+    } else if (Arg.rfind("--autoschedule=", 0) == 0) {
+      AutoSchedule = true;
+      Streams = static_cast<unsigned>(std::atoi(Arg.c_str() + 15));
+    } else if (Arg == "--reduce") {
+      Reduce = true;
+    } else if (Arg.rfind("--emit=", 0) == 0) {
+      Emit = Arg.substr(7);
+    } else if (Arg == "-o" && I + 1 < argc) {
+      OutputPath = argv[++I];
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      InputPath = Arg;
+    }
+  }
+  if (InputPath.empty())
+    return usage(argv[0]);
+
+  std::string Source;
+  if (!readFile(InputPath, Source)) {
+    std::fprintf(stderr, "error: cannot read %s\n", InputPath.c_str());
+    return 1;
+  }
+  parser::ParseResult Parsed = parser::parseLoopChain(Source);
+  if (!Parsed) {
+    std::fprintf(stderr, "%s:%u: error: %s\n", InputPath.c_str(),
+                 Parsed.Line, Parsed.Error.c_str());
+    return 1;
+  }
+  ir::LoopChain Chain = std::move(*Parsed.Chain);
+  graph::Graph G = graph::buildGraph(Chain);
+
+  if (!ScriptPath.empty()) {
+    std::string Script;
+    if (!readFile(ScriptPath, Script)) {
+      std::fprintf(stderr, "error: cannot read %s\n", ScriptPath.c_str());
+      return 1;
+    }
+    parser::ScriptResult R = parser::runScript(G, Script);
+    for (const std::string &Line : R.Log)
+      std::fprintf(stderr, "script: %s\n", Line.c_str());
+    if (!R) {
+      std::fprintf(stderr, "%s:%u: error: %s\n", ScriptPath.c_str(), R.Line,
+                   R.Error.c_str());
+      return 1;
+    }
+  }
+  if (AutoSchedule) {
+    graph::AutoScheduleOptions Options;
+    Options.MaxStreams = Streams;
+    graph::AutoScheduleResult R = graph::autoSchedule(G, Options);
+    std::fprintf(stderr, "autoschedule: %u moves, S_R %s -> %s\n",
+                 R.StepsApplied, R.InitialRead.toString().c_str(),
+                 R.FinalRead.toString().c_str());
+  }
+  if (Reduce)
+    storage::reduceStorage(G);
+
+  std::string Output;
+  if (Emit == "text") {
+    Output = graph::toText(G);
+  } else if (Emit == "cost") {
+    Output = graph::computeCost(G).toString();
+  } else if (Emit == "dot") {
+    Output = graph::toDot(G, {true, InputPath});
+  } else if (Emit == "iscc") {
+    Output = codegen::exportIscc(G);
+  } else if (Emit == "storage") {
+    Output = storage::StoragePlan::build(G).toString();
+  } else if (Emit == "code") {
+    storage::StoragePlan Plan = storage::StoragePlan::build(G);
+    codegen::PrintOptions Options;
+    Options.Plan = &Plan;
+    codegen::AstPtr Ast = codegen::generate(G);
+    Output = codegen::printC(G, *Ast, Options);
+  } else if (Emit == "pragmas") {
+    Output = parser::printPragmas(G.chain());
+  } else {
+    std::fprintf(stderr, "error: unknown --emit kind '%s'\n", Emit.c_str());
+    return 2;
+  }
+
+  if (OutputPath.empty()) {
+    std::fputs(Output.c_str(), stdout);
+  } else {
+    std::ofstream Out(OutputPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", OutputPath.c_str());
+      return 1;
+    }
+    Out << Output;
+  }
+  return 0;
+}
