@@ -2,8 +2,9 @@
 
 #include "baselines/PolyMageStyle.h"
 
+#include "exec/ExecutionPlan.h"
+#include "exec/PlanRunner.h"
 #include "minifluxdiv/FaceOps.h"
-#include "runtime/Parallel.h"
 
 #include <algorithm>
 
@@ -59,19 +60,30 @@ void polymageTileBody(const Box &In, Box &Out, int TZ, int Z1, int TY,
 void baselines::runPolyMageStyle(const std::vector<Box> &In,
                                  std::vector<Box> &Out, int Threads,
                                  int TileSize) {
+  // One task graph over all boxes: each box's interior copy gates its
+  // tile tasks; tiles (and boxes) are otherwise independent.
+  exec::ExecutionPlan Plan;
   for (std::size_t B = 0; B < In.size(); ++B) {
     const Box &IB = In[B];
     Box &OB = Out[B];
     int N = IB.size();
     int T = TileSize > 0 ? TileSize : polymageTile(N);
-    OB.copyInteriorFrom(IB);
     int TilesZ = (N + T - 1) / T;
     int TilesY = (N + T - 1) / T;
-    rt::parallelFor(TilesZ * TilesY, Threads, [&](int Tile) {
-      int TZ = (Tile / TilesY) * T;
-      int TY = (Tile % TilesY) * T;
-      polymageTileBody(IB, OB, TZ, std::min(TZ + T, N), TY,
-                       std::min(TY + T, N));
-    });
+    int Copy = Plan.addExternalTask(
+        "polymage-copy", [&IB, &OB](int) { OB.copyInteriorFrom(IB); });
+    for (int Tile = 0; Tile < TilesZ * TilesY; ++Tile) {
+      int Task = Plan.addExternalTask(
+          "polymage-tile", [&IB, &OB, N, T, TilesY, Tile](int) {
+            int TZ = (Tile / TilesY) * T;
+            int TY = (Tile % TilesY) * T;
+            polymageTileBody(IB, OB, TZ, std::min(TZ + T, N), TY,
+                             std::min(TY + T, N));
+          });
+      Plan.addDependence(Copy, Task);
+    }
   }
+  exec::RunOptions Opts;
+  Opts.Threads = Threads;
+  exec::runPlan(Plan, Opts);
 }

@@ -2,9 +2,9 @@
 
 #include "codegen/Interpreter.h"
 
+#include "exec/ExecutionPlan.h"
+#include "exec/PlanRunner.h"
 #include "support/Errors.h"
-
-#include <cassert>
 
 using namespace lcdfg;
 using namespace lcdfg::codegen;
@@ -21,97 +21,10 @@ const KernelRegistry::Kernel &KernelRegistry::get(int Id) const {
   return Kernels[static_cast<std::size_t>(Id)];
 }
 
-namespace {
-
-class Executor {
-public:
-  Executor(const graph::Graph &G, const KernelRegistry &Kernels,
-           storage::ConcreteStorage &Store,
-           const std::map<std::string, std::int64_t, std::less<>> &Env)
-      : G(G), Kernels(Kernels), Store(Store), Env(Env) {}
-
-  void run(const AstNode &Node) {
-    switch (Node.Kind) {
-    case AstKind::Block:
-      for (const AstPtr &Child : Node.Children)
-        run(*Child);
-      return;
-    case AstKind::Loop: {
-      std::int64_t Lo = Node.Lower.evaluate(Env);
-      std::int64_t Hi = Node.Upper.evaluate(Env);
-      auto [It, Inserted] = Env.emplace(Node.Iter, Lo);
-      assert(Inserted && "loop iterator shadows an existing binding");
-      (void)Inserted;
-      for (std::int64_t V = Lo; V <= Hi; ++V) {
-        It->second = V;
-        for (const AstPtr &Child : Node.Children)
-          run(*Child);
-      }
-      Env.erase(It);
-      return;
-    }
-    case AstKind::Guard: {
-      for (unsigned D = 0; D < Node.Domain.rank(); ++D) {
-        const poly::Dim &Dim = Node.Domain.dim(D);
-        auto It = Env.find(Dim.Name);
-        if (It == Env.end())
-          reportFatalError("interpreter: guard on unbound iterator " +
-                           Dim.Name);
-        if (It->second < Dim.Lower.evaluate(Env) ||
-            It->second > Dim.Upper.evaluate(Env))
-          return;
-      }
-      for (const AstPtr &Child : Node.Children)
-        run(*Child);
-      return;
-    }
-    case AstKind::StmtInstance:
-      runStmt(Node);
-      return;
-    }
-  }
-
-private:
-  void runStmt(const AstNode &Node) {
-    const ir::LoopNest &Nest = G.chain().nest(Node.NestId);
-    unsigned Rank = Nest.Domain.rank();
-    // Original iteration point: current iterators minus the fusion shift.
-    std::vector<std::int64_t> Point(Rank);
-    for (unsigned D = 0; D < Rank; ++D) {
-      auto It = Env.find(Nest.Domain.dim(D).Name);
-      if (It == Env.end())
-        reportFatalError("interpreter: unbound iterator " +
-                         Nest.Domain.dim(D).Name + " in nest " + Nest.Name);
-      Point[D] = It->second - Node.Shift[D];
-    }
-    Reads.clear();
-    std::vector<std::int64_t> Where(Rank);
-    for (const ir::Access &R : Nest.Reads) {
-      for (const auto &Off : R.Offsets) {
-        for (unsigned D = 0; D < Rank; ++D)
-          Where[D] = Point[D] + Off[D];
-        Reads.push_back(Store.at(R.Array, Where));
-      }
-    }
-    for (unsigned D = 0; D < Rank; ++D)
-      Where[D] = Point[D] + Nest.Write.Offsets.front()[D];
-    double &Target = Store.at(Nest.Write.Array, Where);
-    Target = Kernels.get(Nest.KernelId)(Reads, Target);
-  }
-
-  const graph::Graph &G;
-  const KernelRegistry &Kernels;
-  storage::ConcreteStorage &Store;
-  std::map<std::string, std::int64_t, std::less<>> Env;
-  std::vector<double> Reads;
-};
-
-} // namespace
-
 void codegen::execute(
     const graph::Graph &G, const AstNode &Root, const KernelRegistry &Kernels,
     storage::ConcreteStorage &Store,
     const std::map<std::string, std::int64_t, std::less<>> &Env) {
-  Executor E(G, Kernels, Store, Env);
-  E.run(Root);
+  exec::ExecutionPlan Plan = exec::ExecutionPlan::fromAst(G, Root, Store, Env);
+  exec::runPlan(Plan, Kernels, Store);
 }

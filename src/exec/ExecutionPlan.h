@@ -1,0 +1,169 @@
+//===- exec/ExecutionPlan.h - Compiled, runnable schedules ------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lowered execution representation every schedule runs through. A
+/// plan compiles a schedule (untiled chain, generated loop AST, or
+/// overlapped ChainTiling) against a ConcreteStorage binding into flat
+/// per-nest instructions whose storage addressing is fully pre-resolved:
+/// each access becomes a Stream with a constant base offset and one stride
+/// per loop level, so the per-iteration path is a dot product plus an
+/// optional modulo wrap instead of string-keyed map lookups. Instructions
+/// are wrapped in tasks with explicit dependence edges (derived from
+/// storage-space conflicts, i.e. from the M2DFG dataflow after
+/// allocation), which is what lets the runner execute independent nests
+/// and self-contained overlapped tiles in parallel.
+///
+/// Hand-written workloads (the baselines, the MiniFluxDiv variant kernels)
+/// participate through external tasks: opaque callbacks scheduled and
+/// instrumented by the same runner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_EXEC_EXECUTIONPLAN_H
+#define LCDFG_EXEC_EXECUTIONPLAN_H
+
+#include "codegen/Ast.h"
+#include "graph/Graph.h"
+#include "storage/StorageMap.h"
+#include "tiling/Tiling.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace exec {
+
+using ParamEnv = std::map<std::string, std::int64_t, std::less<>>;
+
+/// One pre-resolved access path. The linear index of the element accessed
+/// at loop-iteration vector I is Base + sum_l I[l] * LevelStrides[l],
+/// wrapped into [0, ModSize) when Modulo is set. The pre-wrap value is
+/// injective over the array extent, so instrumentation uses it as the
+/// element identity when counting distinct reads.
+struct Stream {
+  unsigned Space = 0;
+  bool Modulo = false;
+  std::int64_t ModSize = 1;
+  std::int64_t Base = 0;
+  std::vector<std::int64_t> LevelStrides; ///< One per loop level.
+  /// Index into ExecutionPlan::Edges for traffic accounting; -1 when the
+  /// access is a write or the plan was built without a graph.
+  int Edge = -1;
+};
+
+/// A concrete bound on one loop level; statement records carry these where
+/// a fused member's shifted domain is narrower than the hull.
+struct GuardBound {
+  unsigned Level = 0;
+  std::int64_t Lo = 0;
+  std::int64_t Hi = 0;
+};
+
+/// One statement set executed at every (guard-admitted) point of its
+/// instruction's loops. Reads are flattened per access per stencil offset,
+/// in declaration order — the order kernels expect.
+struct StmtRecord {
+  unsigned NestId = 0;
+  int KernelId = -1;
+  std::vector<GuardBound> Guards;
+  std::vector<Stream> Reads;
+  Stream Write;
+};
+
+/// One loop level, outermost first, with concrete inclusive bounds.
+struct LoopLevel {
+  std::string Iter;
+  std::int64_t Lo = 0;
+  std::int64_t Hi = -1;
+};
+
+/// One schedulable unit of compiled loops: a loop nest over concrete
+/// bounds running one or more statement records per point — or, for
+/// hand-written workloads, an opaque callback.
+struct NestInstr {
+  std::string Label;
+  std::vector<LoopLevel> Loops;
+  std::vector<StmtRecord> Stmts;
+  /// Tile index for tiled plans (-1 otherwise). Instructions of one tile
+  /// are scheduled as a unit on one worker.
+  int Tile = -1;
+  /// When set, the instruction is an external task: the runner invokes it
+  /// with the participant id instead of interpreting Loops/Stmts.
+  std::function<void(int)> External;
+};
+
+/// A task wraps one instruction with its dependence edges (indices of
+/// tasks that must complete first). Task order is the serial execution
+/// order and is always a valid topological order.
+struct PlanTask {
+  int Instr = 0;
+  std::vector<int> Deps;
+};
+
+/// A read edge tracked by instrumentation, keyed like graph::Traffic:
+/// (value array, consumer statement label), with the M2DFG multiplicity.
+struct PlanEdge {
+  std::string Array;
+  std::string Consumer;
+  unsigned Multiplicity = 1;
+};
+
+/// The compiled schedule.
+class ExecutionPlan {
+public:
+  std::vector<NestInstr> Instrs;
+  std::vector<PlanTask> Tasks;
+  std::vector<PlanEdge> Edges;
+  /// True when tiles are self-contained and may run concurrently (with
+  /// non-persistent spaces privatized per worker).
+  bool TileParallel = false;
+  /// Space table shape, mirrored from the ConcreteStorage the plan was
+  /// compiled against. SpacePersistent marks spaces holding persistent
+  /// arrays (shared across workers; never privatized).
+  std::size_t NumSpaces = 0;
+  std::vector<bool> SpacePersistent;
+
+  /// Compiles the untiled chain, one instruction per nest in chain order.
+  /// \p G, when given, attaches traffic-instrumentation edges.
+  static ExecutionPlan fromChain(const ir::LoopChain &Chain,
+                                 const storage::ConcreteStorage &Store,
+                                 const ParamEnv &Env,
+                                 const graph::Graph *G = nullptr);
+
+  /// Compiles a generated loop AST (the transformed schedule): one
+  /// instruction per loop nest, with member guards and fusion shifts
+  /// folded into the stream bases.
+  static ExecutionPlan fromAst(const graph::Graph &G,
+                               const codegen::AstNode &Root,
+                               const storage::ConcreteStorage &Store,
+                               const ParamEnv &Env);
+
+  /// Compiles an overlapped tiling: per tile, per nest, one instruction
+  /// over the expanded domain, in the serial fusion-of-tiles order.
+  static ExecutionPlan fromTiling(const ir::LoopChain &Chain,
+                                  const tiling::ChainTiling &Tiling,
+                                  const storage::ConcreteStorage &Store,
+                                  const ParamEnv &Env,
+                                  const graph::Graph *G = nullptr);
+
+  /// Appends an external task; returns its task index.
+  int addExternalTask(std::string Label, std::function<void(int)> Work,
+                      int Tile = -1);
+  /// Declares that task \p After must wait for task \p Before.
+  void addDependence(int Before, int After);
+
+  /// Human-readable plan listing (the --dump-plan output).
+  std::string dump() const;
+};
+
+} // namespace exec
+} // namespace lcdfg
+
+#endif // LCDFG_EXEC_EXECUTIONPLAN_H

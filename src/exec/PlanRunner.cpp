@@ -1,0 +1,322 @@
+//===- exec/PlanRunner.cpp - Execute compiled plans -----------------------===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/PlanRunner.h"
+
+#include "exec/TaskGraph.h"
+#include "exec/ThreadPool.h"
+#include "support/Errors.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+using namespace lcdfg;
+using namespace lcdfg::exec;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Mutable measurement state for one run.
+struct Collector {
+  /// Per-edge distinct element identities (pre-modulo linear indices) and
+  /// raw load counts. Only populated under CollectStats.
+  std::vector<std::unordered_set<std::int64_t>> EdgeSets;
+  std::vector<std::int64_t> EdgeRaw;
+  bool CountEdges = false;
+
+  /// Per-label node aggregation, pre-registered in instruction order so
+  /// the report is deterministic.
+  std::vector<PlanStats::NodeStat> Nodes;
+  std::vector<std::size_t> InstrNode; ///< Instr index -> Nodes index.
+  std::mutex NodeMu;
+
+  explicit Collector(const ExecutionPlan &Plan, bool CountEdges)
+      : CountEdges(CountEdges) {
+    if (CountEdges) {
+      EdgeSets.resize(Plan.Edges.size());
+      EdgeRaw.assign(Plan.Edges.size(), 0);
+    }
+    std::map<std::string, std::size_t> ByLabel;
+    for (const NestInstr &I : Plan.Instrs) {
+      auto [It, Inserted] = ByLabel.emplace(I.Label, Nodes.size());
+      if (Inserted)
+        Nodes.push_back(PlanStats::NodeStat{I.Label, 0.0, 0, 0});
+      InstrNode.push_back(It->second);
+    }
+  }
+
+  void credit(std::size_t Instr, double Seconds, std::int64_t Points,
+              std::int64_t RawReads) {
+    std::lock_guard<std::mutex> Lock(NodeMu);
+    PlanStats::NodeStat &N = Nodes[InstrNode[Instr]];
+    N.Seconds += Seconds;
+    N.Points += Points;
+    N.RawReads += RawReads;
+  }
+};
+
+/// Interprets one compiled instruction against the space table \p Spaces
+/// (index = space id, value = buffer base pointer).
+void runInstr(const NestInstr &I, const codegen::KernelRegistry &Kernels,
+              double *const *Spaces, Collector &C, std::size_t InstrIdx) {
+  Clock::time_point Start = Clock::now();
+  const int L = static_cast<int>(I.Loops.size());
+  std::vector<std::int64_t> Iter(L);
+  for (int Lv = 0; Lv < L; ++Lv) {
+    if (I.Loops[Lv].Lo > I.Loops[Lv].Hi) {
+      C.credit(InstrIdx, secondsSince(Start), 0, 0);
+      return;
+    }
+    Iter[Lv] = I.Loops[Lv].Lo;
+  }
+  // Hoist the per-statement kernel lookups out of the loop.
+  std::vector<const codegen::KernelRegistry::Kernel *> Bodies;
+  Bodies.reserve(I.Stmts.size());
+  for (const StmtRecord &S : I.Stmts)
+    Bodies.push_back(&Kernels.get(S.KernelId));
+
+  std::vector<double> Reads;
+  std::int64_t Points = 0, RawReads = 0;
+  for (;;) {
+    for (std::size_t SI = 0; SI < I.Stmts.size(); ++SI) {
+      const StmtRecord &S = I.Stmts[SI];
+      bool Admit = true;
+      for (const GuardBound &Gd : S.Guards)
+        if (Iter[Gd.Level] < Gd.Lo || Iter[Gd.Level] > Gd.Hi) {
+          Admit = false;
+          break;
+        }
+      if (!Admit)
+        continue;
+      Reads.clear();
+      for (const Stream &R : S.Reads) {
+        std::int64_t Lin = R.Base;
+        for (int Lv = 0; Lv < L; ++Lv)
+          Lin += Iter[Lv] * R.LevelStrides[Lv];
+        std::int64_t Idx = Lin;
+        if (R.Modulo) {
+          Idx %= R.ModSize;
+          if (Idx < 0)
+            Idx += R.ModSize;
+        }
+        Reads.push_back(Spaces[R.Space][Idx]);
+        if (C.CountEdges && R.Edge >= 0) {
+          C.EdgeSets[R.Edge].insert(Lin);
+          ++C.EdgeRaw[R.Edge];
+        }
+      }
+      const Stream &W = S.Write;
+      std::int64_t Lin = W.Base;
+      for (int Lv = 0; Lv < L; ++Lv)
+        Lin += Iter[Lv] * W.LevelStrides[Lv];
+      if (W.Modulo) {
+        Lin %= W.ModSize;
+        if (Lin < 0)
+          Lin += W.ModSize;
+      }
+      double &Target = Spaces[W.Space][Lin];
+      Target = (*Bodies[SI])(Reads, Target);
+      ++Points;
+      RawReads += static_cast<std::int64_t>(Reads.size());
+    }
+    int Lv = L - 1;
+    for (; Lv >= 0; --Lv) {
+      if (++Iter[Lv] <= I.Loops[Lv].Hi)
+        break;
+      Iter[Lv] = I.Loops[Lv].Lo;
+    }
+    if (Lv < 0)
+      break;
+  }
+  C.credit(InstrIdx, secondsSince(Start), Points, RawReads);
+}
+
+/// Runs task \p T of \p Plan with the given space table and participant.
+void runTask(const ExecutionPlan &Plan, int T,
+             const codegen::KernelRegistry &Kernels, double *const *Spaces,
+             Collector &C, int Participant) {
+  int InstrIdx = Plan.Tasks[T].Instr;
+  const NestInstr &I = Plan.Instrs[InstrIdx];
+  if (I.External) {
+    Clock::time_point Start = Clock::now();
+    I.External(Participant);
+    C.credit(InstrIdx, secondsSince(Start), 0, 0);
+    return;
+  }
+  runInstr(I, Kernels, Spaces, C, InstrIdx);
+}
+
+PlanStats finish(const ExecutionPlan &Plan, Collector &C, double Seconds) {
+  PlanStats Stats;
+  Stats.Seconds = Seconds;
+  Stats.Nodes = std::move(C.Nodes);
+  if (C.CountEdges) {
+    for (std::size_t E = 0; E < Plan.Edges.size(); ++E) {
+      PlanStats::EdgeStat ES;
+      ES.Array = Plan.Edges[E].Array;
+      ES.Consumer = Plan.Edges[E].Consumer;
+      ES.Multiplicity = Plan.Edges[E].Multiplicity;
+      ES.Distinct = static_cast<std::int64_t>(C.EdgeSets[E].size());
+      ES.Raw = C.EdgeRaw[E];
+      Stats.Edges.push_back(std::move(ES));
+    }
+  }
+  return Stats;
+}
+
+} // namespace
+
+std::int64_t PlanStats::totalRead() const {
+  std::int64_t Total = 0;
+  for (const EdgeStat &E : Edges)
+    Total += E.total();
+  return Total;
+}
+
+std::string PlanStats::toString() const {
+  std::ostringstream OS;
+  OS << "plan run: " << Seconds << " s\n";
+  for (const NodeStat &N : Nodes) {
+    OS << "  node " << N.Label << ": " << N.Seconds << " s";
+    if (N.Points)
+      OS << ", " << N.Points << " points, " << N.RawReads << " reads";
+    OS << "\n";
+  }
+  for (const EdgeStat &E : Edges)
+    OS << "  edge " << E.Array << " -> " << E.Consumer << " (x"
+       << E.Multiplicity << "): " << E.Distinct << " distinct, " << E.Raw
+       << " raw, " << E.total() << " total\n";
+  if (!Edges.empty())
+    OS << "  measured total read: " << totalRead() << "\n";
+  return OS.str();
+}
+
+PlanStats exec::runPlan(const ExecutionPlan &Plan,
+                        const codegen::KernelRegistry &Kernels,
+                        storage::ConcreteStorage &Store,
+                        const RunOptions &Opts) {
+  int Threads = ThreadPool::effectiveThreads(Opts.Threads);
+  if (Opts.CollectStats)
+    Threads = 1; // Element counting shares one collector.
+  Collector C(Plan, Opts.CollectStats);
+  Clock::time_point Start = Clock::now();
+
+  // The caller's space table addresses the real storage.
+  std::vector<double *> Shared(Plan.NumSpaces);
+  for (std::size_t S = 0; S < Plan.NumSpaces; ++S)
+    Shared[S] = Store.space(S).data();
+
+  if (Threads <= 1 || Plan.Tasks.empty()) {
+    // Serial: task order (always a valid topological order) — this is the
+    // reference semantics every parallel mode must reproduce.
+    for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
+      runTask(Plan, static_cast<int>(T), Kernels, Shared.data(), C, 0);
+    return finish(Plan, C, secondsSince(Start));
+  }
+
+  if (!Plan.TileParallel) {
+    // Untiled (or tile-serial) plans: schedule individual tasks in
+    // dependence wavefronts over the shared storage; the conflict edges
+    // guarantee no two concurrent tasks touch the same space.
+    TaskGraph TG;
+    for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
+      TG.addTask([&Plan, &Kernels, &Shared, &C, T](int Participant) {
+        runTask(Plan, static_cast<int>(T), Kernels, Shared.data(), C,
+                Participant);
+      });
+    for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
+      for (int D : Plan.Tasks[T].Deps)
+        TG.addDependence(D, static_cast<int>(T));
+    TG.run(Threads);
+    return finish(Plan, C, secondsSince(Start));
+  }
+
+  // Tile-parallel: each tile's instructions run back to back on one
+  // worker. Non-persistent spaces are privatized per participant (tiles
+  // recompute every temporary they read, so zero-filled private buffers
+  // are sufficient); persistent spaces stay shared — terminal nests write
+  // disjoint seed regions.
+  std::vector<std::vector<std::vector<double>>> Private(
+      static_cast<std::size_t>(Threads));
+  std::vector<std::vector<double *>> Tables(static_cast<std::size_t>(Threads));
+  Tables[0] = Shared; // The caller keeps the real temporaries.
+  for (int P = 1; P < Threads; ++P) {
+    Private[P].resize(Plan.NumSpaces);
+    Tables[P] = Shared;
+    for (std::size_t S = 0; S < Plan.NumSpaces; ++S)
+      if (!Plan.SpacePersistent[S]) {
+        Private[P][S].assign(Store.space(S).size(), 0.0);
+        Tables[P][S] = Private[P][S].data();
+      }
+  }
+
+  // Group consecutive tasks of the same tile into one scheduling unit.
+  std::vector<std::vector<int>> Groups;
+  std::vector<int> GroupOf(Plan.Tasks.size());
+  int LastTile = -2;
+  for (std::size_t T = 0; T < Plan.Tasks.size(); ++T) {
+    int Tile = Plan.Instrs[Plan.Tasks[T].Instr].Tile;
+    if (Groups.empty() || Tile < 0 || Tile != LastTile)
+      Groups.emplace_back();
+    Groups.back().push_back(static_cast<int>(T));
+    GroupOf[T] = static_cast<int>(Groups.size()) - 1;
+    LastTile = Tile;
+  }
+
+  TaskGraph TG;
+  for (const std::vector<int> &Group : Groups)
+    TG.addTask([&Plan, &Kernels, &Tables, &C, &Group](int Participant) {
+      double *const *Spaces = Tables[static_cast<std::size_t>(Participant)]
+                                  .data();
+      for (int T : Group)
+        runTask(Plan, T, Kernels, Spaces, C, Participant);
+    });
+  std::set<std::pair<int, int>> Seen;
+  for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
+    for (int D : Plan.Tasks[T].Deps) {
+      int From = GroupOf[D], To = GroupOf[T];
+      if (From != To && Seen.emplace(From, To).second)
+        TG.addDependence(From, To);
+    }
+  TG.run(Threads);
+  return finish(Plan, C, secondsSince(Start));
+}
+
+PlanStats exec::runPlan(const ExecutionPlan &Plan, const RunOptions &Opts) {
+  for (const NestInstr &I : Plan.Instrs)
+    if (!I.External)
+      reportFatalError("runPlan: compiled instruction requires kernels and "
+                       "storage");
+  static const codegen::KernelRegistry NoKernels;
+  int Threads = ThreadPool::effectiveThreads(Opts.Threads);
+  Collector C(Plan, /*CountEdges=*/false);
+  Clock::time_point Start = Clock::now();
+  if (Threads <= 1) {
+    for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
+      runTask(Plan, static_cast<int>(T), NoKernels, nullptr, C, 0);
+    return finish(Plan, C, secondsSince(Start));
+  }
+  TaskGraph TG;
+  for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
+    TG.addTask([&Plan, &C, T](int Participant) {
+      runTask(Plan, static_cast<int>(T), NoKernels, nullptr, C, Participant);
+    });
+  for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
+    for (int D : Plan.Tasks[T].Deps)
+      TG.addDependence(D, static_cast<int>(T));
+  TG.run(Threads);
+  return finish(Plan, C, secondsSince(Start));
+}

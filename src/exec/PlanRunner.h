@@ -1,0 +1,92 @@
+//===- exec/PlanRunner.h - Execute compiled plans ---------------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs an ExecutionPlan against concrete storage: serially in task order,
+/// or in parallel on the thread pool — dependence-respecting wavefronts of
+/// nest tasks for untiled plans, whole tiles as worker units (with
+/// non-persistent spaces privatized per worker) for tile-parallel plans.
+/// The runner doubles as the observability layer: per-node wall time and
+/// per-edge read counters that can be diffed against graph::Traffic and
+/// the symbolic S_R totals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_EXEC_PLANRUNNER_H
+#define LCDFG_EXEC_PLANRUNNER_H
+
+#include "codegen/Interpreter.h"
+#include "exec/ExecutionPlan.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace exec {
+
+/// Runtime measurements of one plan execution.
+struct PlanStats {
+  /// Per statement node (instructions aggregated by label, in first-run
+  /// order).
+  struct NodeStat {
+    std::string Label;
+    double Seconds = 0.0;
+    std::int64_t Points = 0;   ///< Statement instances executed.
+    std::int64_t RawReads = 0; ///< Operand loads performed.
+  };
+  std::vector<NodeStat> Nodes;
+
+  /// Per instrumented read edge. Distinct counts the elements of the
+  /// value array the consumer touched — the quantity graph::Traffic
+  /// enumerates and S_R models; Raw counts every load through the edge.
+  struct EdgeStat {
+    std::string Array;
+    std::string Consumer;
+    unsigned Multiplicity = 1;
+    std::int64_t Distinct = 0;
+    std::int64_t Raw = 0;
+    /// The traffic the edge contributes under the paper's model: a
+    /// collapsed edge streams its footprint once, an uncollapsed one once
+    /// per statement set.
+    std::int64_t total() const { return Distinct * Multiplicity; }
+  };
+  std::vector<EdgeStat> Edges;
+
+  double Seconds = 0.0; ///< Whole-plan wall time.
+
+  /// Sum of per-edge totals (the measured counterpart of S_R).
+  std::int64_t totalRead() const;
+
+  std::string toString() const;
+};
+
+/// Execution options.
+struct RunOptions {
+  /// Parallelism budget (participants). 1 = serial in task order. The
+  /// LCDFG_THREADS environment variable caps this further.
+  int Threads = 1;
+  /// Collect per-edge element counters (forces serial execution; timing
+  /// alone is always collected).
+  bool CollectStats = false;
+};
+
+/// Runs \p Plan against \p Store. Every statement record's kernel must be
+/// registered in \p Kernels. Returns the stats report (edge counters only
+/// populated under Opts.CollectStats).
+PlanStats runPlan(const ExecutionPlan &Plan,
+                  const codegen::KernelRegistry &Kernels,
+                  storage::ConcreteStorage &Store, const RunOptions &Opts = {});
+
+/// Convenience for plans consisting solely of external tasks (no kernels,
+/// no storage).
+PlanStats runPlan(const ExecutionPlan &Plan, const RunOptions &Opts = {});
+
+} // namespace exec
+} // namespace lcdfg
+
+#endif // LCDFG_EXEC_PLANRUNNER_H

@@ -1,0 +1,68 @@
+//===- exec/TaskGraph.cpp - Dependence-aware task scheduling --------------===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/TaskGraph.h"
+
+#include "exec/ThreadPool.h"
+#include "support/Errors.h"
+
+#include <utility>
+
+namespace lcdfg {
+namespace exec {
+
+int TaskGraph::addTask(std::function<void(int)> Work) {
+  Tasks.push_back(Task{std::move(Work), {}, 0});
+  return static_cast<int>(Tasks.size()) - 1;
+}
+
+void TaskGraph::addDependence(int Before, int After) {
+  Tasks.at(Before).Succs.push_back(After);
+  ++Tasks.at(After).NumPreds;
+}
+
+std::vector<std::vector<int>> TaskGraph::wavefronts() const {
+  const int N = size();
+  std::vector<int> Pending(N), Level(N, 0);
+  std::vector<int> Ready;
+  for (int I = 0; I < N; ++I) {
+    Pending[I] = Tasks[I].NumPreds;
+    if (Pending[I] == 0)
+      Ready.push_back(I);
+  }
+  std::vector<std::vector<int>> Levels;
+  int Done = 0;
+  while (!Ready.empty()) {
+    Levels.push_back(Ready);
+    std::vector<int> Next;
+    for (int T : Ready) {
+      ++Done;
+      for (int S : Tasks[T].Succs) {
+        Level[S] = std::max(Level[S], Level[T] + 1);
+        if (--Pending[S] == 0)
+          Next.push_back(S);
+      }
+    }
+    Ready = std::move(Next);
+  }
+  if (Done != N)
+    reportFatalError("TaskGraph: dependence cycle detected");
+  return Levels;
+}
+
+void TaskGraph::run(int Threads) {
+  auto Levels = wavefronts();
+  ThreadPool &Pool = ThreadPool::global();
+  for (const std::vector<int> &Wave : Levels) {
+    Pool.parallelForWorker(
+        static_cast<int>(Wave.size()), Threads,
+        [&](int I, int Participant) { Tasks[Wave[I]].Work(Participant); });
+  }
+}
+
+} // namespace exec
+} // namespace lcdfg

@@ -1,0 +1,62 @@
+//===- exec/TaskGraph.h - Dependence-aware task scheduling ------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small task graph executed in dependence-respecting wavefronts on the
+/// persistent thread pool. Execution plans lower (tile x nest) units to
+/// tasks here; baselines and the MiniFluxDiv driver use it directly for
+/// their box/tile loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_EXEC_TASKGRAPH_H
+#define LCDFG_EXEC_TASKGRAPH_H
+
+#include <functional>
+#include <vector>
+
+namespace lcdfg {
+namespace exec {
+
+/// Directed acyclic graph of tasks. Tasks run when every predecessor has
+/// completed; independent tasks of the same wavefront run concurrently.
+class TaskGraph {
+public:
+  /// Adds a task and returns its id. \p Work receives the dense
+  /// participant id of the thread running it (0 = the caller), usable as
+  /// an index into per-worker scratch state.
+  int addTask(std::function<void(int)> Work);
+
+  /// Declares that \p After must not start before \p Before completed.
+  void addDependence(int Before, int After);
+
+  int size() const { return static_cast<int>(Tasks.size()); }
+
+  /// Runs all tasks on up to \p Threads participants. Tasks are grouped
+  /// into wavefronts by longest-path depth; each wavefront is a
+  /// ThreadPool::parallelForWorker over its ready tasks. Rethrows the
+  /// first exception a task threw (remaining wavefronts are skipped).
+  void run(int Threads);
+
+  /// The wavefront partition run() would use: Levels[L] holds the task
+  /// ids whose longest dependence chain has length L. Exposed for plan
+  /// dumping and tests.
+  std::vector<std::vector<int>> wavefronts() const;
+
+private:
+  struct Task {
+    std::function<void(int)> Work;
+    std::vector<int> Succs;
+    int NumPreds = 0;
+  };
+  std::vector<Task> Tasks;
+};
+
+} // namespace exec
+} // namespace lcdfg
+
+#endif // LCDFG_EXEC_TASKGRAPH_H

@@ -1,0 +1,203 @@
+//===- exec/ThreadPool.cpp - Persistent worker-thread pool ----------------===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lcdfg {
+namespace exec {
+
+namespace {
+
+/// Set while a thread is executing region work, so parallel regions
+/// started from inside another region run inline instead of deadlocking
+/// on the pool (same semantics OpenMP gave us with nesting disabled).
+thread_local bool InsideRegion = false;
+
+} // namespace
+
+struct ThreadPool::Impl {
+  /// One parallel region. Participants claim iterations with a shared
+  /// atomic ticket; the last one out signals completion.
+  struct Region {
+    const std::function<void(int, int)> *Fn = nullptr;
+    int Count = 0;
+    std::atomic<int> Next{0};
+    std::atomic<int> Active{0};
+    std::atomic<bool> Cancelled{false};
+    std::exception_ptr Error;
+    std::mutex ErrorMu;
+
+    void run(int Participant) {
+      InsideRegion = true;
+      for (;;) {
+        if (Cancelled.load(std::memory_order_relaxed))
+          break;
+        int I = Next.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Count)
+          break;
+        try {
+          (*Fn)(I, Participant);
+        } catch (...) {
+          std::lock_guard<std::mutex> Lock(ErrorMu);
+          if (!Error)
+            Error = std::current_exception();
+          Cancelled.store(true, std::memory_order_relaxed);
+        }
+      }
+      InsideRegion = false;
+    }
+  };
+
+  std::mutex Mu;
+  std::condition_variable WorkCv;
+  std::condition_variable DoneCv;
+  std::vector<std::thread> Workers;
+  Region *Current = nullptr;
+  /// Participant id the next waking worker should take; workers above
+  /// the region's participant budget go straight back to sleep.
+  int NextParticipant = 0;
+  int ParticipantBudget = 0;
+  std::uint64_t Generation = 0;
+  bool Shutdown = false;
+
+  void workerLoop() {
+    std::uint64_t SeenGeneration = 0;
+    for (;;) {
+      Region *R = nullptr;
+      int Participant = -1;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        WorkCv.wait(Lock, [&] {
+          return Shutdown || (Current && Generation != SeenGeneration);
+        });
+        if (Shutdown)
+          return;
+        SeenGeneration = Generation;
+        if (NextParticipant >= ParticipantBudget)
+          continue; // Region already has enough hands.
+        Participant = NextParticipant++;
+        R = Current;
+        R->Active.fetch_add(1, std::memory_order_relaxed);
+      }
+      R->run(Participant);
+      if (R->Active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> Lock(Mu);
+        DoneCv.notify_all();
+      }
+    }
+  }
+
+  void ensureWorkers(int Needed) {
+    // Caller holds Mu.
+    while (static_cast<int>(Workers.size()) < Needed)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  void run(int Count, int Threads, const std::function<void(int, int)> &Fn) {
+    Region R;
+    R.Fn = &Fn;
+    R.Count = Count;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      // One region at a time; concurrent top-level callers queue here.
+      DoneCv.wait(Lock, [&] { return Current == nullptr; });
+      Current = &R;
+      NextParticipant = 1; // Caller is participant 0.
+      ParticipantBudget = Threads;
+      ++Generation;
+      ensureWorkers(Threads - 1);
+      WorkCv.notify_all();
+    }
+    R.run(/*Participant=*/0);
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      DoneCv.wait(Lock,
+                  [&] { return R.Active.load(std::memory_order_acquire) == 0; });
+      Current = nullptr;
+      DoneCv.notify_all(); // Wake queued top-level callers.
+    }
+    if (R.Error)
+      std::rethrow_exception(R.Error);
+  }
+};
+
+ThreadPool::ThreadPool() : PImpl(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(PImpl->Mu);
+    PImpl->Shutdown = true;
+    PImpl->WorkCv.notify_all();
+  }
+  for (std::thread &T : PImpl->Workers)
+    T.join();
+  delete PImpl;
+}
+
+ThreadPool &ThreadPool::global() {
+  static ThreadPool Pool;
+  return Pool;
+}
+
+int ThreadPool::effectiveThreads(int Requested) {
+  if (Requested < 1)
+    Requested = 1;
+  if (const char *Env = std::getenv("LCDFG_THREADS")) {
+    char *End = nullptr;
+    long Cap = std::strtol(Env, &End, 10);
+    if (End != Env && Cap > 0 && Cap < Requested)
+      Requested = static_cast<int>(Cap);
+  }
+  return Requested;
+}
+
+void ThreadPool::parallelFor(int Count, int Threads,
+                             const std::function<void(int)> &Fn) {
+  parallelForWorker(Count, Threads,
+                    [&Fn](int I, int /*Participant*/) { Fn(I); });
+}
+
+void ThreadPool::parallelForWorker(int Count, int Threads,
+                                   const std::function<void(int, int)> &Fn) {
+  if (Count <= 0)
+    return;
+  Threads = effectiveThreads(Threads);
+  if (Threads > Count)
+    Threads = Count;
+  if (Threads <= 1 || InsideRegion) {
+    // Serial (or nested) execution on the calling thread.
+    bool Saved = InsideRegion;
+    InsideRegion = true;
+    try {
+      for (int I = 0; I < Count; ++I)
+        Fn(I, 0);
+    } catch (...) {
+      InsideRegion = Saved;
+      throw;
+    }
+    InsideRegion = Saved;
+    return;
+  }
+  PImpl->run(Count, Threads, Fn);
+}
+
+int ThreadPool::workerCount() const {
+  std::lock_guard<std::mutex> Lock(PImpl->Mu);
+  return static_cast<int>(PImpl->Workers.size());
+}
+
+} // namespace exec
+} // namespace lcdfg

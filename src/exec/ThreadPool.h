@@ -1,0 +1,71 @@
+//===- exec/ThreadPool.h - Persistent worker-thread pool --------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent pool of worker threads behind every parallel construct in
+/// the system. Replaces the one-shot OpenMP `parallel for` that used to
+/// back rt::parallelFor: workers are spawned once and reused, iterations
+/// are claimed dynamically, the first exception thrown by any participant
+/// is rethrown at the caller, and the `LCDFG_THREADS` environment variable
+/// caps the effective thread count of every parallel region (so benches
+/// and tools can be throttled without recompiling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_EXEC_THREADPOOL_H
+#define LCDFG_EXEC_THREADPOOL_H
+
+#include <functional>
+
+namespace lcdfg {
+namespace exec {
+
+/// The persistent pool. Workers are created lazily, up to the largest
+/// thread count any parallel region has requested; they park on a
+/// condition variable between regions. Regions started from within a
+/// worker run inline (no nested parallelism), matching the old OpenMP
+/// behaviour.
+class ThreadPool {
+public:
+  ThreadPool();
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// The process-wide pool.
+  static ThreadPool &global();
+
+  /// Runs Fn(I) for I in [0, Count) on up to \p Threads participants (the
+  /// calling thread plus Threads - 1 workers). Iterations are claimed
+  /// dynamically. Blocks until every iteration completed; rethrows the
+  /// first exception any participant threw.
+  void parallelFor(int Count, int Threads, const std::function<void(int)> &Fn);
+
+  /// Like parallelFor, but Fn also receives a dense participant id in
+  /// [0, Threads): the calling thread is participant 0. Participant ids
+  /// let callers keep per-worker scratch state (e.g. privatized storage
+  /// spaces) without locking.
+  void parallelForWorker(int Count, int Threads,
+                         const std::function<void(int, int)> &Fn);
+
+  /// Number of worker threads currently alive (excluding callers).
+  int workerCount() const;
+
+  /// Applies the LCDFG_THREADS override: returns the requested count
+  /// capped by the environment variable when it is set to a positive
+  /// integer, the request unchanged otherwise.
+  static int effectiveThreads(int Requested);
+
+private:
+  struct Impl;
+  Impl *PImpl;
+};
+
+} // namespace exec
+} // namespace lcdfg
+
+#endif // LCDFG_EXEC_THREADPOOL_H

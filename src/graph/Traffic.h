@@ -23,6 +23,7 @@
 #include "graph/Graph.h"
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 
@@ -38,11 +39,15 @@ struct TrafficReport {
   /// S_R evaluated at the same size, for comparison.
   std::int64_t ModelTotal = 0;
 
-  /// ModelTotal / Total (1.0 = the model is exact).
+  /// ModelTotal / Total (1.0 = the model is exact). A graph with no
+  /// measured traffic is exact only when the model also predicts zero;
+  /// a nonzero prediction against zero ground truth reports infinity
+  /// rather than masquerading as exact.
   double modelAccuracy() const {
-    return Total == 0 ? 1.0
-                      : static_cast<double>(ModelTotal) /
-                            static_cast<double>(Total);
+    if (Total == 0)
+      return ModelTotal == 0 ? 1.0
+                             : std::numeric_limits<double>::infinity();
+    return static_cast<double>(ModelTotal) / static_cast<double>(Total);
   }
 };
 

@@ -2,9 +2,10 @@
 
 #include "minifluxdiv/Variants.h"
 
+#include "exec/ExecutionPlan.h"
+#include "exec/PlanRunner.h"
 #include "minifluxdiv/FaceOps.h"
 #include "minifluxdiv/Spec.h"
-#include "runtime/Parallel.h"
 #include "support/Errors.h"
 
 #include <algorithm>
@@ -447,23 +448,28 @@ void overlapWithinTilesBox(const Box &In, Box &Out, int TileSize,
   Out.copyInteriorFrom(In);
   int TilesZ = (N + T - 1) / T;
   int TilesY = (N + T - 1) / T;
-  rt::parallelFor(TilesZ * TilesY, Threads, [&](int Tile) {
-    int TZ = (Tile / TilesY) * T;
-    int TY = (Tile % TilesY) * T;
-    int Z1 = std::min(TZ + T, N), Y1 = std::min(TY + T, N);
-    // Tile-local velocity face fluxes over exactly the faces this tile
-    // touches (one extra face in the tiled dimensions: the overlap).
-    // Scratch slots are thread-local, so tile-parallel execution is safe.
-    Buf3 &U = scratchBuf(30), &V = scratchBuf(31), &W = scratchBuf(32);
-    U.resize(TZ, TY, 0, Z1 - TZ, Y1 - TY, N + 1);
-    V.resize(TZ, TY, 0, Z1 - TZ, Y1 - TY + 1, N);
-    W.resize(TZ, TY, 0, Z1 - TZ + 1, Y1 - TY, N);
-    computeF1(In, CompU, DirX, U);
-    computeF1(In, CompV, DirY, V);
-    computeF1(In, CompW, DirZ, W);
-    fuseAllSweep(In, Out, U, V, W, TZ, Z1, TY, Y1, 0, N, scratchBuf(33),
-                 scratchBuf(34));
-  });
+  exec::ExecutionPlan Plan;
+  for (int Tile = 0; Tile < TilesZ * TilesY; ++Tile)
+    Plan.addExternalTask("owt-tile", [&In, &Out, N, T, TilesY, Tile](int) {
+      int TZ = (Tile / TilesY) * T;
+      int TY = (Tile % TilesY) * T;
+      int Z1 = std::min(TZ + T, N), Y1 = std::min(TY + T, N);
+      // Tile-local velocity face fluxes over exactly the faces this tile
+      // touches (one extra face in the tiled dimensions: the overlap).
+      // Scratch slots are thread-local, so tile-parallel execution is safe.
+      Buf3 &U = scratchBuf(30), &V = scratchBuf(31), &W = scratchBuf(32);
+      U.resize(TZ, TY, 0, Z1 - TZ, Y1 - TY, N + 1);
+      V.resize(TZ, TY, 0, Z1 - TZ, Y1 - TY + 1, N);
+      W.resize(TZ, TY, 0, Z1 - TZ + 1, Y1 - TY, N);
+      computeF1(In, CompU, DirX, U);
+      computeF1(In, CompV, DirY, V);
+      computeF1(In, CompW, DirZ, W);
+      fuseAllSweep(In, Out, U, V, W, TZ, Z1, TY, Y1, 0, N, scratchBuf(33),
+                   scratchBuf(34));
+    }, Tile);
+  exec::RunOptions Opts;
+  Opts.Threads = Threads;
+  exec::runPlan(Plan, Opts);
 }
 
 /// Fusion of tiles (Figure 5c, the Halide/PolyMage shape): within each
@@ -602,7 +608,13 @@ void mfd::runVariant(Variant V, const std::vector<Box> &In,
     }
   };
   if (Cfg.ParallelOverBoxes) {
-    rt::parallelFor(static_cast<int>(In.size()), Cfg.Threads, RunBox);
+    // Boxes are independent: one external task each, no dependence edges.
+    exec::ExecutionPlan Plan;
+    for (int I = 0; I < static_cast<int>(In.size()); ++I)
+      Plan.addExternalTask(variantName(V), [&RunBox, I](int) { RunBox(I); });
+    exec::RunOptions Opts;
+    Opts.Threads = Cfg.Threads;
+    exec::runPlan(Plan, Opts);
   } else {
     // Within-box parallelism: boxes run sequentially; tiled variants
     // spread their tiles over the threads instead.

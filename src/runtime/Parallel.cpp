@@ -2,20 +2,18 @@
 
 #include "runtime/Parallel.h"
 
-#include <omp.h>
+#include "exec/ThreadPool.h"
+
+#include <thread>
 
 using namespace lcdfg;
 
 void rt::parallelFor(int Count, int Threads,
                      const std::function<void(int)> &Fn) {
-  if (Threads <= 1) {
-    for (int I = 0; I < Count; ++I)
-      Fn(I);
-    return;
-  }
-#pragma omp parallel for num_threads(Threads) schedule(static)
-  for (int I = 0; I < Count; ++I)
-    Fn(I);
+  exec::ThreadPool::global().parallelFor(Count, Threads, Fn);
 }
 
-int rt::hardwareThreads() { return omp_get_max_threads(); }
+int rt::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? static_cast<int>(N) : 1;
+}

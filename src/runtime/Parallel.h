@@ -8,7 +8,10 @@
 /// \file
 /// Parallel iteration over boxes (or tiles) with an explicit thread count,
 /// mirroring the "per thread parallelism over the boxes" setup of
-/// Section 5.1.
+/// Section 5.1. A thin wrapper over the persistent exec::ThreadPool:
+/// iterations are claimed dynamically, the first exception thrown by an
+/// iteration propagates to the caller, and the LCDFG_THREADS environment
+/// variable caps the thread count of every call.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,8 +23,9 @@
 namespace lcdfg {
 namespace rt {
 
-/// Runs Fn(I) for I in [0, Count) on \p Threads OpenMP threads with a
-/// static schedule. Threads <= 1 runs serially.
+/// Runs Fn(I) for I in [0, Count) on up to \p Threads pool threads.
+/// Threads <= 1 (and nested calls from inside a parallel region) run
+/// serially on the calling thread.
 void parallelFor(int Count, int Threads, const std::function<void(int)> &Fn);
 
 /// The hardware thread count visible to this process.

@@ -205,6 +205,19 @@ double &ConcreteStorage::at(std::string_view Array,
   return Buffer[Index];
 }
 
+ConcreteStorage::Resolved
+ConcreteStorage::resolve(std::string_view Array) const {
+  const ArrayLayout &L = layout(Array);
+  Resolved R;
+  R.Space = L.Space;
+  R.Persistent = L.Map->Persistent;
+  R.Modulo = L.Map->Kind == MapKind::Modulo;
+  R.ModSize = L.Size;
+  R.Lowers = L.Lowers;
+  R.Strides = L.Strides;
+  return R;
+}
+
 void ConcreteStorage::clear() {
   for (std::vector<double> &S : Spaces)
     std::fill(S.begin(), S.end(), 0.0);

@@ -108,6 +108,27 @@ public:
   std::size_t indexOf(std::string_view Array,
                       const std::vector<std::int64_t> &Point) const;
 
+  /// Everything an execution plan needs to address \p Array without
+  /// further lookups: the linear index of point P is
+  /// sum_d (P[d] - Lowers[d]) * Strides[d], wrapped mod ModSize when
+  /// Modulo is set.
+  struct Resolved {
+    unsigned Space = 0;
+    bool Persistent = false;
+    bool Modulo = false;
+    std::int64_t ModSize = 1;
+    std::vector<std::int64_t> Lowers;
+    std::vector<std::int64_t> Strides;
+  };
+  Resolved resolve(std::string_view Array) const;
+
+  /// Number of backing spaces and raw access to them by id (execution
+  /// plans address spaces directly; per-worker privatization clones the
+  /// non-persistent ones).
+  std::size_t numSpaces() const { return Spaces.size(); }
+  std::vector<double> &space(std::size_t I) { return Spaces[I]; }
+  const std::vector<double> &space(std::size_t I) const { return Spaces[I]; }
+
 private:
   struct ArrayLayout {
     const StorageMap *Map = nullptr;

@@ -2,55 +2,30 @@
 
 #include "tiling/TiledExecutor.h"
 
+#include "exec/ExecutionPlan.h"
+#include "exec/PlanRunner.h"
+
 using namespace lcdfg;
 using namespace lcdfg::tiling;
-
-namespace {
-
-/// Executes one nest over \p Domain.
-void runNest(const ir::LoopNest &Nest,
-             const codegen::KernelRegistry &Kernels,
-             storage::ConcreteStorage &Store, const poly::BoxSet &Domain,
-             const ParamEnv &Env) {
-  const codegen::KernelRegistry::Kernel &Kernel = Kernels.get(Nest.KernelId);
-  unsigned Rank = Nest.Domain.rank();
-  std::vector<double> Reads;
-  std::vector<std::int64_t> Where(Rank);
-  Domain.forEachPoint(Env, [&](const std::vector<std::int64_t> &Point) {
-    Reads.clear();
-    for (const ir::Access &R : Nest.Reads)
-      for (const auto &Off : R.Offsets) {
-        for (unsigned D = 0; D < Rank; ++D)
-          Where[D] = Point[D] + Off[D];
-        Reads.push_back(Store.at(R.Array, Where));
-      }
-    for (unsigned D = 0; D < Rank; ++D)
-      Where[D] = Point[D] + Nest.Write.Offsets.front()[D];
-    double &Target = Store.at(Nest.Write.Array, Where);
-    Target = Kernel(Reads, Target);
-  });
-}
-
-} // namespace
 
 void tiling::executeTiled(const ir::LoopChain &Chain,
                           const ChainTiling &Tiling,
                           const codegen::KernelRegistry &Kernels,
-                          storage::ConcreteStorage &Store,
-                          const ParamEnv &Env) {
-  for (const OverlappedTile &Tile : Tiling.Tiles)
-    for (unsigned N = 0; N < Chain.numNests(); ++N) {
-      auto It = Tile.NestDomains.find(N);
-      if (It == Tile.NestDomains.end())
-        continue;
-      runNest(Chain.nest(N), Kernels, Store, It->second, Env);
-    }
+                          storage::ConcreteStorage &Store, const ParamEnv &Env,
+                          int Threads) {
+  exec::ExecutionPlan Plan =
+      exec::ExecutionPlan::fromTiling(Chain, Tiling, Store, Env);
+  exec::RunOptions Opts;
+  Opts.Threads = Threads;
+  exec::runPlan(Plan, Kernels, Store, Opts);
 }
 
 void tiling::executeUntiled(const ir::LoopChain &Chain,
                             const codegen::KernelRegistry &Kernels,
                             storage::ConcreteStorage &Store,
-                            const ParamEnv &Env) {
-  for (unsigned N = 0; N < Chain.numNests(); ++N)
-    runNest(Chain.nest(N), Kernels, Store, Chain.nest(N).Domain, Env);
+                            const ParamEnv &Env, int Threads) {
+  exec::ExecutionPlan Plan = exec::ExecutionPlan::fromChain(Chain, Store, Env);
+  exec::RunOptions Opts;
+  Opts.Threads = Threads;
+  exec::runPlan(Plan, Kernels, Store, Opts);
 }

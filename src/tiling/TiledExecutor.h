@@ -25,17 +25,23 @@
 namespace lcdfg {
 namespace tiling {
 
-/// Runs \p Tiling over \p Store. Kernels are looked up by each nest's
-/// KernelId. Tiles execute in order; within a tile, nests execute in
-/// chain order over their expanded domains.
+/// Runs \p Tiling over \p Store by compiling it to an exec::ExecutionPlan.
+/// Kernels are looked up by each nest's KernelId. With \p Threads <= 1
+/// tiles execute in order (within a tile, nests execute in chain order
+/// over their expanded domains); with more, self-contained tiles run
+/// concurrently on the thread pool with temporaries privatized per worker,
+/// producing the identical result.
 void executeTiled(const ir::LoopChain &Chain, const ChainTiling &Tiling,
                   const codegen::KernelRegistry &Kernels,
-                  storage::ConcreteStorage &Store, const ParamEnv &Env);
+                  storage::ConcreteStorage &Store, const ParamEnv &Env,
+                  int Threads = 1);
 
-/// Reference: the untiled chain, one nest after another.
+/// Reference: the untiled chain, one nest after another (independent
+/// nests may run concurrently when \p Threads > 1).
 void executeUntiled(const ir::LoopChain &Chain,
                     const codegen::KernelRegistry &Kernels,
-                    storage::ConcreteStorage &Store, const ParamEnv &Env);
+                    storage::ConcreteStorage &Store, const ParamEnv &Env,
+                    int Threads = 1);
 
 } // namespace tiling
 } // namespace lcdfg

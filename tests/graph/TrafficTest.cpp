@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using namespace lcdfg;
 using namespace lcdfg::graph;
 
@@ -62,6 +64,19 @@ TEST(Traffic, ReducedStorageModelsBufferReads) {
   EXPECT_LT(R.ModelTotal, R.Total);
   Graph Series = buildGraph(Chain);
   EXPECT_LT(R.ModelTotal, measureTraffic(Series, 8).ModelTotal);
+}
+
+TEST(Traffic, ModelAccuracyAgainstZeroGroundTruth) {
+  // A report with no measured traffic is only "exact" when the model also
+  // predicts zero; a nonzero prediction must read as infinitely wrong,
+  // not silently accurate.
+  TrafficReport Empty;
+  EXPECT_DOUBLE_EQ(Empty.modelAccuracy(), 1.0);
+
+  TrafficReport Phantom;
+  Phantom.ModelTotal = 42;
+  EXPECT_TRUE(std::isinf(Phantom.modelAccuracy()));
+  EXPECT_GT(Phantom.modelAccuracy(), 0.0);
 }
 
 TEST(Traffic, UnsharpPipeline) {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+#===------------------------------------------------------------------------===#
+#
+# Tier-1 gate: configure, build, and run the full test suite under the
+# default (Release) preset and again under ThreadSanitizer, which is what
+# keeps the execution layer's tile scheduler honest. Run from the repo
+# root:
+#
+#   tools/ci.sh            # default + tsan
+#   tools/ci.sh default    # just one preset
+#   tools/ci.sh asan       # the ASan+UBSan sibling
+#
+#===------------------------------------------------------------------------===#
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+PRESETS=("$@")
+if [ ${#PRESETS[@]} -eq 0 ]; then
+  PRESETS=(default tsan)
+fi
+
+for PRESET in "${PRESETS[@]}"; do
+  echo "== preset: ${PRESET} =="
+  cmake --preset "${PRESET}"
+  cmake --build --preset "${PRESET}" -j "${JOBS}"
+  ctest --preset "${PRESET}" -j "${JOBS}"
+done
+
+echo "ci: all presets green (${PRESETS[*]})"
