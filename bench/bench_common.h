@@ -20,9 +20,11 @@
 #ifndef LCDFG_BENCH_BENCH_COMMON_H
 #define LCDFG_BENCH_BENCH_COMMON_H
 
+#include "exec/PlanRunner.h"
 #include "minifluxdiv/Variants.h"
 
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,36 @@ void printRow(const std::vector<std::string> &Cells);
 
 /// Formats seconds with 4 significant digits.
 std::string fmtSeconds(double S);
+
+/// Accumulates variant -> measurement-key -> seconds rows and writes them
+/// as JSON to the path named by the BENCH_JSON environment variable (a
+/// no-op when the variable is unset), so benchmark runs leave a machine-
+/// readable trajectory next to the human-readable tables.
+class JsonReport {
+public:
+  void record(const std::string &Variant, const std::string &Key,
+              double Seconds);
+  /// Writes the report; returns false when BENCH_JSON is set but the file
+  /// cannot be written.
+  bool write() const;
+
+private:
+  std::vector<std::string> Order;
+  std::map<std::string, std::map<std::string, double>> Rows;
+};
+
+/// Best-of-Reps seconds of one runPlan invocation (one warm-up first).
+double timePlanRun(const exec::ExecutionPlan &Plan,
+                   const codegen::KernelRegistry &Kernels,
+                   storage::ConcreteStorage &Store,
+                   const exec::RunOptions &Opts, int Reps);
+
+/// Times the compiled-schedule execution paths of the 3D MiniFluxDiv
+/// chain at box size \p N — the series-of-loops plan and the fuse-all +
+/// reduced-storage AST plan — with row batching on and off, printing a
+/// table and recording "batched_on"/"batched_off" rows into \p Json under
+/// "series" and "fuseAll-reduced".
+void timeCompiledSchedules(std::int64_t N, int Reps, JsonReport &Json);
 
 } // namespace bench
 } // namespace lcdfg

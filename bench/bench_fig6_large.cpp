@@ -26,6 +26,7 @@ int main() {
   std::vector<rt::Box> In = makeInputs(P, 0xf19b);
   std::vector<rt::Box> Out = makeOutputs(P);
 
+  JsonReport Json;
   printHeader("Figure 6(b) — execution time vs threads", "");
   std::vector<std::string> Cols{"variant"};
   for (int T : Cfg.threadSweep())
@@ -36,12 +37,17 @@ int main() {
     for (int T : Cfg.threadSweep()) {
       RunConfig Run;
       Run.Threads = T;
-      Row.push_back(fmtSeconds(timeVariant(V, In, Out, Run, Cfg.Reps)));
+      double S = timeVariant(V, In, Out, Run, Cfg.Reps);
+      Json.record(variantName(V), "T=" + std::to_string(T), S);
+      Row.push_back(fmtSeconds(S));
     }
     printRow(Row);
   }
   std::printf("\npaper shape: fuseAll-reduced is the fastest untiled "
               "schedule for large boxes and\nthe SA variants trail their "
               "reduced counterparts (dashed vs solid lines).\n");
+
+  timeCompiledSchedules(P.BoxSize, Cfg.Reps, Json);
+  Json.write();
   return 0;
 }

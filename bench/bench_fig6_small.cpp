@@ -25,9 +25,9 @@ int main() {
   std::vector<rt::Box> In = makeInputs(P, 0xf19a);
   std::vector<rt::Box> Out = makeOutputs(P);
 
+  JsonReport Json;
   printHeader("Figure 6(a) — execution time vs threads",
               "variant / threads ...");
-  std::string Head = "variant";
   std::vector<std::string> Cols{"variant"};
   for (int T : Cfg.threadSweep())
     Cols.push_back("T=" + std::to_string(T));
@@ -37,12 +37,17 @@ int main() {
     for (int T : Cfg.threadSweep()) {
       RunConfig Run;
       Run.Threads = T;
-      Row.push_back(fmtSeconds(timeVariant(V, In, Out, Run, Cfg.Reps)));
+      double S = timeVariant(V, In, Out, Run, Cfg.Reps);
+      Json.record(variantName(V), "T=" + std::to_string(T), S);
+      Row.push_back(fmtSeconds(S));
     }
     printRow(Row);
   }
   std::printf("\npaper shape: at 16^3, fuse-among is the only variant "
               "beating the series baseline;\nstorage reduction matters "
               "little because every temporary already fits in cache.\n");
+
+  timeCompiledSchedules(P.BoxSize, Cfg.Reps, Json);
+  Json.write();
   return 0;
 }

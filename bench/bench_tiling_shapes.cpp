@@ -9,6 +9,10 @@
 
 #include "tiling/Tiling.h"
 
+#include "bench_common.h"
+#include "graph/GraphBuilder.h"
+#include "storage/ReuseDistance.h"
+
 #include <cstdio>
 
 using namespace lcdfg;
@@ -52,6 +56,66 @@ void printClassic(const ir::LoopChain &Chain, const ParamEnv &Env) {
     }
     std::printf("\n");
   }
+}
+
+void batchedSum2(double *W, const double *const *R, const std::int64_t *S,
+                 std::int64_t WS, std::int64_t N) {
+  const double *R0 = R[0], *R1 = R[1];
+  const std::int64_t S0 = S[0], S1 = S[1];
+  for (std::int64_t I = 0; I < N; ++I)
+    W[I * WS] = W[I * WS] + R0[I * S0] + R1[I * S1];
+}
+
+/// Times the fig5 chain at a benchmark-sized N: the series-of-loops plan
+/// and the overlapped tiling, each with row batching on and off.
+void timeFig5Schedules(std::int64_t N, std::int64_t TileSize, int Reps,
+                       bench::JsonReport &Json) {
+  ir::LoopChain Chain = figure5Chain();
+  codegen::KernelRegistry Kernels;
+  int Sum = Kernels.add(
+      [](const std::vector<double> &Reads, double Current) {
+        return Current + Reads[0] + Reads[1];
+      },
+      batchedSum2);
+  Chain.nest(0).KernelId = Sum;
+  Chain.nest(1).KernelId = Sum;
+
+  exec::ParamEnv Env{{"N", N}};
+  graph::Graph G = graph::buildGraph(Chain);
+  storage::StoragePlan SPlan =
+      storage::StoragePlan::build(G, /*UseAllocation=*/false);
+  storage::ConcreteStorage Store(SPlan, Env);
+  std::vector<double> &InBuf = Store.spaceOf("in");
+  for (std::size_t I = 0; I < InBuf.size(); ++I)
+    InBuf[I] = 0.001 * static_cast<double>((I * 2654435761u) % 1000u);
+
+  bench::printHeader("fig5 chain timing at N=" + std::to_string(N) +
+                         ", tile " + std::to_string(TileSize) +
+                         " — row batching on vs off",
+                     "schedule / batched_off batched_on speedup");
+  auto report = [&](const std::string &Name,
+                    const exec::ExecutionPlan &Plan) {
+    exec::RunOptions Opts;
+    Opts.Batched = false;
+    double Off = bench::timePlanRun(Plan, Kernels, Store, Opts, Reps);
+    Opts.Batched = true;
+    double On = bench::timePlanRun(Plan, Kernels, Store, Opts, Reps);
+    Json.record(Name, "batched_off", Off);
+    Json.record(Name, "batched_on", On);
+    char Ratio[32];
+    std::snprintf(Ratio, sizeof(Ratio), "%.2fx", Off / On);
+    bench::printRow(
+        {Name, bench::fmtSeconds(Off), bench::fmtSeconds(On), Ratio});
+  };
+
+  exec::ExecutionPlan Series =
+      exec::ExecutionPlan::fromChain(Chain, Store, Env, &G);
+  report("series", Series);
+
+  ChainTiling Tiling = overlappedTiling(Chain, {TileSize}, Env);
+  exec::ExecutionPlan Tiled =
+      exec::ExecutionPlan::fromTiling(Chain, Tiling, Store, Env, &G);
+  report("overlapped-tile" + std::to_string(TileSize), Tiled);
 }
 
 } // namespace
@@ -98,5 +162,11 @@ int main() {
                 static_cast<long long>(T), CT.Tiles.size(),
                 CT.redundancy());
   }
+
+  bench::Config Cfg = bench::Config::fromEnvironment();
+  bench::JsonReport Json;
+  timeFig5Schedules(/*N=*/Cfg.TotalCells, /*TileSize=*/4096, Cfg.Reps,
+                    Json);
+  Json.write();
   return 0;
 }

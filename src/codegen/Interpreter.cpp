@@ -9,8 +9,9 @@
 using namespace lcdfg;
 using namespace lcdfg::codegen;
 
-int KernelRegistry::add(Kernel K) {
+int KernelRegistry::add(Kernel K, BatchedKernel B) {
   Kernels.push_back(std::move(K));
+  BatchedKernels.push_back(B);
   return static_cast<int>(Kernels.size() - 1);
 }
 
@@ -19,6 +20,12 @@ const KernelRegistry::Kernel &KernelRegistry::get(int Id) const {
     reportFatalError("kernel registry: unknown kernel id " +
                      std::to_string(Id));
   return Kernels[static_cast<std::size_t>(Id)];
+}
+
+BatchedKernel KernelRegistry::batched(int Id) const {
+  if (Id < 0 || Id >= static_cast<int>(BatchedKernels.size()))
+    return nullptr;
+  return BatchedKernels[static_cast<std::size_t>(Id)];
 }
 
 void codegen::execute(

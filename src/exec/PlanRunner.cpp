@@ -7,16 +7,18 @@
 
 #include "exec/PlanRunner.h"
 
+#include "exec/RowPlan.h"
 #include "exec/TaskGraph.h"
 #include "exec/ThreadPool.h"
 #include "support/Errors.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
-#include <unordered_set>
 
 using namespace lcdfg;
 using namespace lcdfg::exec;
@@ -29,11 +31,33 @@ double secondsSince(Clock::time_point Start) {
   return std::chrono::duration<double>(Clock::now() - Start).count();
 }
 
+/// Dense distinct-element tracker for one instrumented edge. Identities
+/// are pre-wrap linear indices, so the index range is bounded by the
+/// stream hulls of the plan (not by any modulo size); the Collector sizes
+/// each bitset from those hulls up front. One bit per producible element
+/// replaces the hash node per distinct element the old unordered_set
+/// spent, which dominated --stats runs at large N.
+struct EdgeBits {
+  std::int64_t Lo = 0;
+  std::vector<std::uint64_t> Words;
+  std::int64_t Distinct = 0;
+
+  void insert(std::int64_t V) {
+    const std::uint64_t Bit = static_cast<std::uint64_t>(V - Lo);
+    std::uint64_t &W = Words[Bit >> 6];
+    const std::uint64_t M = std::uint64_t{1} << (Bit & 63);
+    if (!(W & M)) {
+      W |= M;
+      ++Distinct;
+    }
+  }
+};
+
 /// Mutable measurement state for one run.
 struct Collector {
   /// Per-edge distinct element identities (pre-modulo linear indices) and
   /// raw load counts. Only populated under CollectStats.
-  std::vector<std::unordered_set<std::int64_t>> EdgeSets;
+  std::vector<EdgeBits> Edges;
   std::vector<std::int64_t> EdgeRaw;
   bool CountEdges = false;
 
@@ -46,8 +70,44 @@ struct Collector {
   explicit Collector(const ExecutionPlan &Plan, bool CountEdges)
       : CountEdges(CountEdges) {
     if (CountEdges) {
-      EdgeSets.resize(Plan.Edges.size());
+      std::vector<std::int64_t> Min(Plan.Edges.size(), 0);
+      std::vector<std::int64_t> Max(Plan.Edges.size(), -1);
+      std::vector<bool> Seen(Plan.Edges.size(), false);
+      for (const NestInstr &I : Plan.Instrs) {
+        bool Empty = false;
+        for (const LoopLevel &L : I.Loops)
+          Empty = Empty || L.Lo > L.Hi;
+        if (Empty)
+          continue;
+        for (const StmtRecord &S : I.Stmts)
+          for (const Stream &R : S.Reads) {
+            if (R.Edge < 0)
+              continue;
+            std::int64_t Lo = R.Base, Hi = R.Base;
+            for (std::size_t Lv = 0; Lv < I.Loops.size(); ++Lv) {
+              const std::int64_t A = I.Loops[Lv].Lo * R.LevelStrides[Lv];
+              const std::int64_t B = I.Loops[Lv].Hi * R.LevelStrides[Lv];
+              Lo += std::min(A, B);
+              Hi += std::max(A, B);
+            }
+            const auto E = static_cast<std::size_t>(R.Edge);
+            if (!Seen[E]) {
+              Seen[E] = true;
+              Min[E] = Lo;
+              Max[E] = Hi;
+            } else {
+              Min[E] = std::min(Min[E], Lo);
+              Max[E] = std::max(Max[E], Hi);
+            }
+          }
+      }
+      Edges.resize(Plan.Edges.size());
       EdgeRaw.assign(Plan.Edges.size(), 0);
+      for (std::size_t E = 0; E < Edges.size(); ++E) {
+        Edges[E].Lo = Min[E];
+        const std::int64_t Extent = Seen[E] ? Max[E] - Min[E] + 1 : 0;
+        Edges[E].Words.assign(static_cast<std::size_t>((Extent + 63) / 64), 0);
+      }
     }
     std::map<std::string, std::size_t> ByLabel;
     for (const NestInstr &I : Plan.Instrs) {
@@ -114,7 +174,7 @@ void runInstr(const NestInstr &I, const codegen::KernelRegistry &Kernels,
         }
         Reads.push_back(Spaces[R.Space][Idx]);
         if (C.CountEdges && R.Edge >= 0) {
-          C.EdgeSets[R.Edge].insert(Lin);
+          C.Edges[R.Edge].insert(Lin);
           ++C.EdgeRaw[R.Edge];
         }
       }
@@ -145,9 +205,13 @@ void runInstr(const NestInstr &I, const codegen::KernelRegistry &Kernels,
 }
 
 /// Runs task \p T of \p Plan with the given space table and participant.
+/// \p Rows, when non-null, is the per-instruction row-batched compilation
+/// (indexed by instruction); instructions whose entry is engaged run
+/// through RowPlan::run, the rest through the scalar interpreter.
 void runTask(const ExecutionPlan &Plan, int T,
              const codegen::KernelRegistry &Kernels, double *const *Spaces,
-             Collector &C, int Participant) {
+             const std::optional<RowPlan> *Rows, Collector &C,
+             int Participant) {
   int InstrIdx = Plan.Tasks[T].Instr;
   const NestInstr &I = Plan.Instrs[InstrIdx];
   if (I.External) {
@@ -156,12 +220,24 @@ void runTask(const ExecutionPlan &Plan, int T,
     C.credit(InstrIdx, secondsSince(Start), 0, 0);
     return;
   }
+  if (Rows && Rows[InstrIdx]) {
+    Clock::time_point Start = Clock::now();
+    std::int64_t Points = 0, RawReads = 0;
+    Rows[InstrIdx]->run(Spaces, Points, RawReads);
+    C.credit(InstrIdx, secondsSince(Start), Points, RawReads);
+    return;
+  }
   runInstr(I, Kernels, Spaces, C, InstrIdx);
 }
 
-PlanStats finish(const ExecutionPlan &Plan, Collector &C, double Seconds) {
+PlanStats finish(const ExecutionPlan &Plan, Collector &C, double Seconds,
+                 int ThreadsRequested, int ThreadsUsed,
+                 bool SerializedForStats) {
   PlanStats Stats;
   Stats.Seconds = Seconds;
+  Stats.ThreadsRequested = ThreadsRequested;
+  Stats.ThreadsUsed = ThreadsUsed;
+  Stats.SerializedForStats = SerializedForStats;
   Stats.Nodes = std::move(C.Nodes);
   if (C.CountEdges) {
     for (std::size_t E = 0; E < Plan.Edges.size(); ++E) {
@@ -169,7 +245,7 @@ PlanStats finish(const ExecutionPlan &Plan, Collector &C, double Seconds) {
       ES.Array = Plan.Edges[E].Array;
       ES.Consumer = Plan.Edges[E].Consumer;
       ES.Multiplicity = Plan.Edges[E].Multiplicity;
-      ES.Distinct = static_cast<std::int64_t>(C.EdgeSets[E].size());
+      ES.Distinct = C.Edges[E].Distinct;
       ES.Raw = C.EdgeRaw[E];
       Stats.Edges.push_back(std::move(ES));
     }
@@ -188,7 +264,11 @@ std::int64_t PlanStats::totalRead() const {
 
 std::string PlanStats::toString() const {
   std::ostringstream OS;
-  OS << "plan run: " << Seconds << " s\n";
+  OS << "plan run: " << Seconds << " s (threads: " << ThreadsUsed;
+  if (SerializedForStats)
+    OS << ", serialized for stats collection; " << ThreadsRequested
+       << " requested";
+  OS << ")\n";
   for (const NodeStat &N : Nodes) {
     OS << "  node " << N.Label << ": " << N.Seconds << " s";
     if (N.Points)
@@ -208,10 +288,25 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
                         const codegen::KernelRegistry &Kernels,
                         storage::ConcreteStorage &Store,
                         const RunOptions &Opts) {
-  int Threads = ThreadPool::effectiveThreads(Opts.Threads);
+  const int Requested = ThreadPool::effectiveThreads(Opts.Threads);
+  int Threads = Requested;
+  const bool Serialized = Opts.CollectStats && Requested > 1;
   if (Opts.CollectStats)
     Threads = 1; // Element counting shares one collector.
   Collector C(Plan, Opts.CollectStats);
+
+  // Row-batch the instructions once per run; the compiled plans are
+  // immutable and shared by every worker. Stats runs stay on the scalar
+  // interpreter, which owns the element counting.
+  std::vector<std::optional<RowPlan>> Rows;
+  const std::optional<RowPlan> *RowsPtr = nullptr;
+  if (Opts.Batched && !Opts.CollectStats) {
+    Rows.reserve(Plan.Instrs.size());
+    for (const NestInstr &I : Plan.Instrs)
+      Rows.push_back(RowPlan::compile(I, Kernels));
+    RowsPtr = Rows.data();
+  }
+
   Clock::time_point Start = Clock::now();
 
   // The caller's space table addresses the real storage.
@@ -223,8 +318,9 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
     // Serial: task order (always a valid topological order) — this is the
     // reference semantics every parallel mode must reproduce.
     for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
-      runTask(Plan, static_cast<int>(T), Kernels, Shared.data(), C, 0);
-    return finish(Plan, C, secondsSince(Start));
+      runTask(Plan, static_cast<int>(T), Kernels, Shared.data(), RowsPtr, C,
+              0);
+    return finish(Plan, C, secondsSince(Start), Requested, 1, Serialized);
   }
 
   if (!Plan.TileParallel) {
@@ -233,15 +329,15 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
     // guarantee no two concurrent tasks touch the same space.
     TaskGraph TG;
     for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
-      TG.addTask([&Plan, &Kernels, &Shared, &C, T](int Participant) {
-        runTask(Plan, static_cast<int>(T), Kernels, Shared.data(), C,
+      TG.addTask([&Plan, &Kernels, &Shared, RowsPtr, &C, T](int Participant) {
+        runTask(Plan, static_cast<int>(T), Kernels, Shared.data(), RowsPtr, C,
                 Participant);
       });
     for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
       for (int D : Plan.Tasks[T].Deps)
         TG.addDependence(D, static_cast<int>(T));
     TG.run(Threads);
-    return finish(Plan, C, secondsSince(Start));
+    return finish(Plan, C, secondsSince(Start), Requested, Threads, false);
   }
 
   // Tile-parallel: each tile's instructions run back to back on one
@@ -278,11 +374,12 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
 
   TaskGraph TG;
   for (const std::vector<int> &Group : Groups)
-    TG.addTask([&Plan, &Kernels, &Tables, &C, &Group](int Participant) {
+    TG.addTask([&Plan, &Kernels, &Tables, RowsPtr, &C,
+                &Group](int Participant) {
       double *const *Spaces = Tables[static_cast<std::size_t>(Participant)]
                                   .data();
       for (int T : Group)
-        runTask(Plan, T, Kernels, Spaces, C, Participant);
+        runTask(Plan, T, Kernels, Spaces, RowsPtr, C, Participant);
     });
   std::set<std::pair<int, int>> Seen;
   for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
@@ -292,7 +389,7 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
         TG.addDependence(From, To);
     }
   TG.run(Threads);
-  return finish(Plan, C, secondsSince(Start));
+  return finish(Plan, C, secondsSince(Start), Requested, Threads, false);
 }
 
 PlanStats exec::runPlan(const ExecutionPlan &Plan, const RunOptions &Opts) {
@@ -306,17 +403,18 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan, const RunOptions &Opts) {
   Clock::time_point Start = Clock::now();
   if (Threads <= 1) {
     for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
-      runTask(Plan, static_cast<int>(T), NoKernels, nullptr, C, 0);
-    return finish(Plan, C, secondsSince(Start));
+      runTask(Plan, static_cast<int>(T), NoKernels, nullptr, nullptr, C, 0);
+    return finish(Plan, C, secondsSince(Start), Threads, 1, false);
   }
   TaskGraph TG;
   for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
     TG.addTask([&Plan, &C, T](int Participant) {
-      runTask(Plan, static_cast<int>(T), NoKernels, nullptr, C, Participant);
+      runTask(Plan, static_cast<int>(T), NoKernels, nullptr, nullptr, C,
+              Participant);
     });
   for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
     for (int D : Plan.Tasks[T].Deps)
       TG.addDependence(D, static_cast<int>(T));
   TG.run(Threads);
-  return finish(Plan, C, secondsSince(Start));
+  return finish(Plan, C, secondsSince(Start), Threads, Threads, false);
 }

@@ -59,6 +59,12 @@ struct PlanStats {
 
   double Seconds = 0.0; ///< Whole-plan wall time.
 
+  int ThreadsRequested = 1; ///< RunOptions::Threads after the env cap.
+  int ThreadsUsed = 1;      ///< Participants that actually ran the plan.
+  /// True when CollectStats forced the run onto one thread; wall times
+  /// from such a run must not be read as parallel numbers.
+  bool SerializedForStats = false;
+
   /// Sum of per-edge totals (the measured counterpart of S_R).
   std::int64_t totalRead() const;
 
@@ -73,6 +79,11 @@ struct RunOptions {
   /// Collect per-edge element counters (forces serial execution; timing
   /// alone is always collected).
   bool CollectStats = false;
+  /// Execute through row-batched kernels where the nest compiles to a
+  /// RowPlan and every kernel has a batched body; instructions that do not
+  /// qualify fall back to the scalar interpreter. Stats runs always use
+  /// the scalar path (it is the element-counting oracle).
+  bool Batched = true;
 };
 
 /// Runs \p Plan against \p Store. Every statement record's kernel must be

@@ -1,0 +1,112 @@
+//===- exec/RowPlan.h - Row-batched instruction execution -------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The row-batching compilation stage of the execution layer. A RowPlan
+/// pre-compiles one NestInstr so the runner can execute whole innermost
+/// rows through the batched kernel ABI (codegen::BatchedKernel) instead of
+/// interpreting one statement instance at a time:
+///
+///  * the outer loop levels are walked with an odometer whose carries
+///    adjust each stream's row base by a precomputed delta — no per-point
+///    dot products;
+///  * statement guards are resolved per row: outer-level guards admit or
+///    reject the whole row, innermost-level guards clamp the statement to
+///    a sub-range once;
+///  * rows are split into segments at every modulo-wrap boundary of any
+///    participating stream, so within a segment every access is plain
+///    pointer + stride arithmetic and the kernel body auto-vectorizes.
+///
+/// Within a segment the statement records run one after another over the
+/// whole segment, which reorders (x1, later-stmt) against (x2, earlier-
+/// stmt) for x1 < x2 relative to the scalar point-interleaved oracle.
+/// compile() proves this reordering unobservable (see the conflict rules
+/// in RowPlan.cpp), capping the segment length below the smallest
+/// conflicting pair's collision distance when one exists — fused schedules
+/// over storage-reduced rolling buffers batch in short segments instead of
+/// losing batching outright. When no safe cap exists the plan is refused
+/// and the runner falls back to the scalar path, which stays the
+/// semantics of record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_EXEC_ROWPLAN_H
+#define LCDFG_EXEC_ROWPLAN_H
+
+#include "codegen/Interpreter.h"
+#include "exec/ExecutionPlan.h"
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace lcdfg {
+namespace exec {
+
+/// One pre-resolved access path of a row-batched statement. The pre-wrap
+/// linear index at inner position x of the row at outer iteration O is
+///   Base + sum_l O[l] * OuterStrides[l] + x * InnerStride,
+/// wrapped into [0, ModSize) when Modulo is set. The executor never
+/// re-evaluates the sum: it keeps a running pre-wrap row base per stream
+/// and applies CarryDelta[l] when the odometer carries into outer level l.
+struct RowStream {
+  unsigned Space = 0;
+  bool Modulo = false;
+  std::int64_t ModSize = 1;
+  std::int64_t Base = 0; ///< Pre-wrap base at outer lows, inner x = 0.
+  std::int64_t InnerStride = 0;
+  std::vector<std::int64_t> OuterStrides; ///< One per outer level.
+  std::vector<std::int64_t> CarryDelta;   ///< One per outer level.
+};
+
+/// One statement record compiled for row execution.
+struct RowStmt {
+  codegen::BatchedKernel Body = nullptr;
+  /// Guards on outer levels: the row runs this statement only when every
+  /// outer iterator lies inside its bound.
+  std::vector<GuardBound> RowGuards;
+  /// Innermost range after folding innermost-level guards into the loop
+  /// bounds. Empty (Lo > Hi) statements never run.
+  std::int64_t InnerLo = 0;
+  std::int64_t InnerHi = -1;
+  RowStream Write;
+  std::vector<RowStream> Reads;
+};
+
+/// A compiled row view of one NestInstr. Immutable after compile(): the
+/// executor keeps all mutable cursor state on its own stack, so one
+/// RowPlan may run concurrently on many workers (tile-parallel plans
+/// share the per-nest compilation across tiles' workers).
+class RowPlan {
+public:
+  /// Outer loop levels, outermost first (all levels but the innermost).
+  std::vector<LoopLevel> Outer;
+  std::vector<RowStmt> Stmts;
+  /// Upper bound on segment length: the smallest collision distance over
+  /// all conflicting statement pairs (int64 max when unconstrained).
+  std::int64_t MaxSegment = std::numeric_limits<std::int64_t>::max();
+
+  /// Compiles \p Instr for row-batched execution, or returns std::nullopt
+  /// when the instruction must stay on the scalar path: external tasks,
+  /// zero loop levels, a statement kernel without a batched body, or a
+  /// statement interleaving whose reordering cannot be proven safe.
+  static std::optional<RowPlan> compile(const NestInstr &Instr,
+                                        const codegen::KernelRegistry &Kernels);
+
+  /// Executes the compiled rows against the space table \p Spaces
+  /// (index = space id, value = buffer base pointer). Accumulates the
+  /// statement-instance and operand-load counts the runner credits to the
+  /// instruction's node.
+  void run(double *const *Spaces, std::int64_t &Points,
+           std::int64_t &RawReads) const;
+};
+
+} // namespace exec
+} // namespace lcdfg
+
+#endif // LCDFG_EXEC_ROWPLAN_H

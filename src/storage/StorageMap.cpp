@@ -24,8 +24,10 @@ std::string StorageMap::toString(std::string_view Symbol) const {
   return OS.str();
 }
 
-StoragePlan StoragePlan::build(const Graph &G, bool UseAllocation) {
+StoragePlan StoragePlan::build(const Graph &G, bool UseAllocation,
+                               unsigned ModuloWiden) {
   StoragePlan Plan;
+  assert(ModuloWiden >= 1 && "widening factor must be positive");
 
   Allocation Alloc;
   if (UseAllocation)
@@ -60,6 +62,8 @@ StoragePlan StoragePlan::build(const Graph &G, bool UseAllocation) {
     } else {
       M.Kind = Value.Internalized ? MapKind::Modulo : MapKind::Direct;
       M.Size = Value.Size;
+      if (M.Kind == MapKind::Modulo && ModuloWiden > 1)
+        M.Size *= Polynomial(static_cast<std::int64_t>(ModuloWiden));
       if (Value.Internalized) {
         NodeId Producer = G.producerOf(V);
         if (Producer != InvalidNode)

@@ -66,7 +66,17 @@ public:
   /// Builds the plan for \p G. Call storage::reduceStorage first when
   /// reduced mappings are wanted; with \p UseAllocation false every
   /// temporary receives a private space (single-assignment layout).
-  static StoragePlan build(const graph::Graph &G, bool UseAllocation = true);
+  ///
+  /// \p ModuloWiden multiplies every Modulo map's buffer size by a
+  /// constant factor (1 = the exact reuse-distance window). Widening
+  /// trades footprint for schedule freedom: a rolling window of size M
+  /// only admits row-batched reordering of a producer/consumer pair at
+  /// lag C when M >= 2*C, so widening by 2 or more legalizes unbounded
+  /// batch segments over every reuse-distance-reduced buffer (the
+  /// classic double-buffering trade), and larger factors additionally
+  /// lengthen the wrap-free runs of small windows.
+  static StoragePlan build(const graph::Graph &G, bool UseAllocation = true,
+                           unsigned ModuloWiden = 1);
 
   const StorageMap &map(std::string_view Array) const;
   bool hasMap(std::string_view Array) const;

@@ -3,12 +3,14 @@
 #
 # Tier-1 gate: configure, build, and run the full test suite under the
 # default (Release) preset and again under ThreadSanitizer, which is what
-# keeps the execution layer's tile scheduler honest. Run from the repo
-# root:
+# keeps the execution layer's tile scheduler honest, then a Release bench
+# smoke (exec tests + one quick bench_fig6_small iteration) that catches
+# batched-path regressions. Run from the repo root:
 #
-#   tools/ci.sh            # default + tsan
+#   tools/ci.sh            # default + tsan + bench smoke
 #   tools/ci.sh default    # just one preset
 #   tools/ci.sh asan       # the ASan+UBSan sibling
+#   tools/ci.sh bench      # just the bench smoke
 #
 #===------------------------------------------------------------------------===#
 
@@ -18,14 +20,27 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(default tsan)
+  PRESETS=(default tsan bench)
 fi
+
+bench_smoke() {
+  ./build-bench/tests/test_exec
+  local JSON=build-bench/BENCH_smoke.json
+  MFD_CELLS=4096 MFD_REPS=1 MFD_THREADS=2 BENCH_JSON="${JSON}" \
+    ./build-bench/bench/bench_fig6_small
+  grep -q '"fuseAll-reduced"' "${JSON}" && grep -q '"batched_on"' "${JSON}"
+  echo "bench smoke: ${JSON} has batched rows"
+}
 
 for PRESET in "${PRESETS[@]}"; do
   echo "== preset: ${PRESET} =="
   cmake --preset "${PRESET}"
   cmake --build --preset "${PRESET}" -j "${JOBS}"
-  ctest --preset "${PRESET}" -j "${JOBS}"
+  if [ "${PRESET}" = bench ]; then
+    bench_smoke
+  else
+    ctest --preset "${PRESET}" -j "${JOBS}"
+  fi
 done
 
 echo "ci: all presets green (${PRESETS[*]})"
