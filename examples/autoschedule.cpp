@@ -34,7 +34,7 @@ std::vector<double> interpret(Graph &G, codegen::KernelRegistry &Kernels,
   std::map<std::string, std::int64_t, std::less<>> Env{{"N", N}};
   storage::StoragePlan Plan = storage::StoragePlan::build(G);
   storage::ConcreteStorage Store(Plan, Env);
-  for (const std::string &C : {"rho", "u", "v", "e"}) {
+  for (const std::string C : {"rho", "u", "v", "e"}) {
     G.chain().array("in_" + C).Extent->forEachPoint(
         Env, [&](const std::vector<std::int64_t> &P) {
           Store.at("in_" + C, P) =
@@ -44,7 +44,7 @@ std::vector<double> interpret(Graph &G, codegen::KernelRegistry &Kernels,
   codegen::AstPtr Ast = codegen::generate(G);
   codegen::execute(G, *Ast, Kernels, Store, Env);
   std::vector<double> Out;
-  for (const std::string &C : {"rho", "u", "v", "e"})
+  for (const std::string C : {"rho", "u", "v", "e"})
     for (std::int64_t Y = 0; Y < N; ++Y)
       for (std::int64_t X = 0; X < N; ++X)
         Out.push_back(Store.at("out_" + C, {Y, X}));

@@ -54,6 +54,26 @@ private:
   std::map<std::pair<std::string, std::string>, std::size_t> Index;
 };
 
+/// Plan-construction registry for value-array identities: interns array
+/// names into ExecutionPlan::ArrayNames so every stream carries the id of
+/// the array it addresses (spaces are shared between arrays under liveness
+/// allocation; the verifier needs the array to identify values).
+class ArrayTable {
+public:
+  explicit ArrayTable(std::vector<std::string> &Names) : Names(Names) {}
+
+  int idOf(const std::string &Array) {
+    auto [It, Inserted] = Index.emplace(Array, Names.size());
+    if (Inserted)
+      Names.push_back(Array);
+    return static_cast<int>(It->second);
+  }
+
+private:
+  std::vector<std::string> &Names;
+  std::map<std::string, std::size_t, std::less<>> Index;
+};
+
 /// Folds one access of \p Nest into a Stream against \p Loops: the base
 /// absorbs the stencil offset, the fusion shift, and the array lower
 /// bounds; per-level strides come from matching nest dimension names to
@@ -64,7 +84,7 @@ Stream makeStream(const storage::ConcreteStorage &Store,
                   const std::vector<std::int64_t> &Shift,
                   const ir::LoopNest &Nest,
                   const std::vector<LoopLevel> &Loops, int EdgeIdx,
-                  std::vector<bool> &SpacePersistent) {
+                  std::vector<bool> &SpacePersistent, ArrayTable &Arrays) {
   storage::ConcreteStorage::Resolved R = Store.resolve(Array);
   unsigned Rank = Nest.Domain.rank();
   if (R.Lowers.size() != Rank)
@@ -75,6 +95,7 @@ Stream makeStream(const storage::ConcreteStorage &Store,
   S.Modulo = R.Modulo;
   S.ModSize = R.ModSize;
   S.Edge = EdgeIdx;
+  S.ArrayId = Arrays.idOf(Array);
   S.LevelStrides.assign(Loops.size(), 0);
   for (unsigned D = 0; D < Rank; ++D) {
     const std::string &Name = Nest.Domain.dim(D).Name;
@@ -102,7 +123,7 @@ StmtRecord makeRecord(const ir::LoopChain &Chain, unsigned NestId,
                       const storage::ConcreteStorage &Store,
                       const std::vector<LoopLevel> &Loops,
                       const EdgeTable &Edges, const std::string &Consumer,
-                      std::vector<bool> &SpacePersistent) {
+                      std::vector<bool> &SpacePersistent, ArrayTable &Arrays) {
   const ir::LoopNest &Nest = Chain.nest(NestId);
   StmtRecord Rec;
   Rec.NestId = NestId;
@@ -111,10 +132,11 @@ StmtRecord makeRecord(const ir::LoopChain &Chain, unsigned NestId,
     int EdgeIdx = Edges.lookup(R.Array, Consumer);
     for (const auto &Off : R.Offsets)
       Rec.Reads.push_back(makeStream(Store, R.Array, Off, Shift, Nest, Loops,
-                                     EdgeIdx, SpacePersistent));
+                                     EdgeIdx, SpacePersistent, Arrays));
   }
   Rec.Write = makeStream(Store, Nest.Write.Array, Nest.Write.Offsets.front(),
-                         Shift, Nest, Loops, /*EdgeIdx=*/-1, SpacePersistent);
+                         Shift, Nest, Loops, /*EdgeIdx=*/-1, SpacePersistent,
+                         Arrays);
   return Rec;
 }
 
@@ -182,6 +204,7 @@ ExecutionPlan ExecutionPlan::fromChain(const ir::LoopChain &Chain,
   ExecutionPlan Plan;
   Plan.NumSpaces = Store.numSpaces();
   EdgeTable Edges(G, Plan.Edges);
+  ArrayTable Arrays(Plan.ArrayNames);
   for (unsigned N = 0; N < Chain.numNests(); ++N) {
     const ir::LoopNest &Nest = Chain.nest(N);
     NestInstr Instr;
@@ -194,7 +217,7 @@ ExecutionPlan ExecutionPlan::fromChain(const ir::LoopChain &Chain,
     Instr.Loops = loopsOver(Nest.Domain, Env);
     Instr.Stmts.push_back(makeRecord(Chain, N, /*Shift=*/{}, Store,
                                      Instr.Loops, Edges, Instr.Label,
-                                     Plan.SpacePersistent));
+                                     Plan.SpacePersistent, Arrays));
     Plan.Instrs.push_back(std::move(Instr));
     Plan.Tasks.push_back(PlanTask{static_cast<int>(Plan.Instrs.size()) - 1, {}});
   }
@@ -221,6 +244,7 @@ ExecutionPlan ExecutionPlan::fromAst(const graph::Graph &G,
     const storage::ConcreteStorage &Store;
     const ParamEnv &Env;
     const EdgeTable &Edges;
+    ArrayTable &Arrays;
     std::vector<const codegen::AstNode *> LoopPath;
     std::vector<const codegen::AstNode *> GuardPath;
     /// Loop path the currently open instruction was built from; empty when
@@ -271,7 +295,7 @@ ExecutionPlan ExecutionPlan::fromAst(const graph::Graph &G,
       NestInstr &Instr = Plan.Instrs.back();
       StmtRecord Rec = makeRecord(G.chain(), Stmt.NestId, Stmt.Shift, Store,
                                   Instr.Loops, Edges, Instr.Label,
-                                  Plan.SpacePersistent);
+                                  Plan.SpacePersistent, Arrays);
       // Fold the guard stack into concrete per-level bounds.
       for (const codegen::AstNode *Guard : GuardPath) {
         for (unsigned D = 0; D < Guard->Domain.rank(); ++D) {
@@ -293,7 +317,8 @@ ExecutionPlan ExecutionPlan::fromAst(const graph::Graph &G,
     }
   };
 
-  Walker W{Plan, G, Store, Env, Edges, {}, {}, {}};
+  ArrayTable Arrays(Plan.ArrayNames);
+  Walker W{Plan, G, Store, Env, Edges, Arrays, {}, {}, {}};
   W.walk(Root);
   Plan.SpacePersistent.resize(Plan.NumSpaces, false);
   sequenceByConflicts(Plan);
@@ -308,6 +333,7 @@ ExecutionPlan ExecutionPlan::fromTiling(const ir::LoopChain &Chain,
   ExecutionPlan Plan;
   Plan.NumSpaces = Store.numSpaces();
   EdgeTable Edges(G, Plan.Edges);
+  ArrayTable Arrays(Plan.ArrayNames);
 
   // Tiles may run concurrently when every nest that writes persistent
   // (worker-shared) storage executes exactly its untiled point count —
@@ -344,7 +370,7 @@ ExecutionPlan ExecutionPlan::fromTiling(const ir::LoopChain &Chain,
       Instr.Loops = loopsOver(It->second, Env);
       Instr.Stmts.push_back(makeRecord(Chain, N, /*Shift=*/{}, Store,
                                        Instr.Loops, Edges, Instr.Label,
-                                       Plan.SpacePersistent));
+                                       Plan.SpacePersistent, Arrays));
       Plan.Instrs.push_back(std::move(Instr));
       int Task = static_cast<int>(Plan.Tasks.size());
       PlanTask PT{static_cast<int>(Plan.Instrs.size()) - 1, {}};
@@ -373,6 +399,22 @@ int ExecutionPlan::addExternalTask(std::string Label,
   Instrs.push_back(std::move(Instr));
   Tasks.push_back(PlanTask{static_cast<int>(Instrs.size()) - 1, {}});
   return static_cast<int>(Tasks.size()) - 1;
+}
+
+std::vector<std::vector<bool>> ExecutionPlan::dependenceClosure() const {
+  std::vector<std::vector<bool>> Closure(
+      Tasks.size(), std::vector<bool>(Tasks.size(), false));
+  for (std::size_t J = 0; J < Tasks.size(); ++J) {
+    for (int D : Tasks[J].Deps) {
+      if (D < 0 || static_cast<std::size_t>(D) >= J)
+        reportFatalError("execution plan: dependence not topological");
+      Closure[J][static_cast<std::size_t>(D)] = true;
+      for (std::size_t I = 0; I < Tasks.size(); ++I)
+        if (Closure[static_cast<std::size_t>(D)][I])
+          Closure[J][I] = true;
+    }
+  }
+  return Closure;
 }
 
 void ExecutionPlan::addDependence(int Before, int After) {

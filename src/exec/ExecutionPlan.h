@@ -56,6 +56,12 @@ struct Stream {
   /// Index into ExecutionPlan::Edges for traffic accounting; -1 when the
   /// access is a write or the plan was built without a graph.
   int Edge = -1;
+  /// Index into ExecutionPlan::ArrayNames identifying the value array this
+  /// stream addresses. Spaces are shared between arrays by the liveness
+  /// allocator, so (ArrayId, pre-wrap index) — not the wrapped location —
+  /// is the identity of the value an access touches. The runner ignores
+  /// it; the static verifier keys its dataflow re-derivation on it.
+  int ArrayId = -1;
 };
 
 /// A concrete bound on one loop level; statement records carry these where
@@ -121,6 +127,9 @@ public:
   std::vector<NestInstr> Instrs;
   std::vector<PlanTask> Tasks;
   std::vector<PlanEdge> Edges;
+  /// Value-array names referenced by the plan's streams, indexed by
+  /// Stream::ArrayId (first-reference order).
+  std::vector<std::string> ArrayNames;
   /// True when tiles are self-contained and may run concurrently (with
   /// non-persistent spaces privatized per worker).
   bool TileParallel = false;
@@ -158,6 +167,13 @@ public:
                       int Tile = -1);
   /// Declares that task \p After must wait for task \p Before.
   void addDependence(int Before, int After);
+
+  /// Transitive closure of the task dependences: Closure[J][I] is true when
+  /// task J (transitively) waits for task I. Task indices are their own
+  /// topological order, so the closure is a single backward sweep. Exported
+  /// for the static legality verifier, which checks every conflicting task
+  /// pair against it.
+  std::vector<std::vector<bool>> dependenceClosure() const;
 
   /// Human-readable plan listing (the --dump-plan output).
   std::string dump() const;

@@ -127,8 +127,17 @@ std::int64_t stmtPairCap(const RowStmt &A, const RowStmt &B) {
 
 std::optional<RowPlan> RowPlan::compile(const NestInstr &Instr,
                                         const codegen::KernelRegistry &Kernels) {
-  if (Instr.External || Instr.Loops.empty() || Instr.Stmts.empty())
-    return std::nullopt;
+  return analyze(Instr, Kernels).Plan;
+}
+
+RowAnalysis RowPlan::analyze(const NestInstr &Instr,
+                             const codegen::KernelRegistry &Kernels) {
+  if (Instr.External)
+    return RowAnalysis{std::nullopt, RowRefusal::External};
+  if (Instr.Loops.empty())
+    return RowAnalysis{std::nullopt, RowRefusal::NoLoops};
+  if (Instr.Stmts.empty())
+    return RowAnalysis{std::nullopt, RowRefusal::NoStmts};
   const unsigned Inner = static_cast<unsigned>(Instr.Loops.size()) - 1;
 
   RowPlan RP;
@@ -136,7 +145,7 @@ std::optional<RowPlan> RowPlan::compile(const NestInstr &Instr,
   for (const StmtRecord &S : Instr.Stmts) {
     codegen::BatchedKernel Body = Kernels.batched(S.KernelId);
     if (!Body)
-      return std::nullopt;
+      return RowAnalysis{std::nullopt, RowRefusal::NoBatchedKernel};
     RowStmt RS;
     RS.Body = Body;
     RS.InnerLo = Instr.Loops[Inner].Lo;
@@ -166,8 +175,8 @@ std::optional<RowPlan> RowPlan::compile(const NestInstr &Instr,
       RP.MaxSegment = std::min(RP.MaxSegment,
                                stmtPairCap(RP.Stmts[I], RP.Stmts[J]));
   if (RP.MaxSegment <= 1)
-    return std::nullopt;
-  return RP;
+    return RowAnalysis{std::nullopt, RowRefusal::UnsafeInterleave};
+  return RowAnalysis{std::move(RP), RowRefusal::None};
 }
 
 void RowPlan::run(double *const *Spaces, std::int64_t &Points,

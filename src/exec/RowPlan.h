@@ -78,6 +78,20 @@ struct RowStmt {
   std::vector<RowStream> Reads;
 };
 
+/// Why an instruction was kept on the scalar path. Exported (through
+/// RowAnalysis) for the static verifier, which distinguishes structural
+/// refusals from interleavings the compiler merely could not prove safe.
+enum class RowRefusal {
+  None,            ///< Compiled; RowAnalysis::Plan is engaged.
+  External,        ///< Opaque callback task: nothing to batch.
+  NoLoops,         ///< Zero loop levels: no innermost row exists.
+  NoStmts,         ///< No statement records.
+  NoBatchedKernel, ///< A statement kernel has no batched body.
+  UnsafeInterleave ///< No statement-pair cap > 1 was provable.
+};
+
+struct RowAnalysis;
+
 /// A compiled row view of one NestInstr. Immutable after compile(): the
 /// executor keeps all mutable cursor state on its own stack, so one
 /// RowPlan may run concurrently on many workers (tile-parallel plans
@@ -98,12 +112,23 @@ public:
   static std::optional<RowPlan> compile(const NestInstr &Instr,
                                         const codegen::KernelRegistry &Kernels);
 
+  /// Like compile(), but also reports why an instruction stayed scalar.
+  static RowAnalysis analyze(const NestInstr &Instr,
+                             const codegen::KernelRegistry &Kernels);
+
   /// Executes the compiled rows against the space table \p Spaces
   /// (index = space id, value = buffer base pointer). Accumulates the
   /// statement-instance and operand-load counts the runner credits to the
   /// instruction's node.
   void run(double *const *Spaces, std::int64_t &Points,
            std::int64_t &RawReads) const;
+};
+
+/// Result of the row-batching compilation attempt: the plan when it
+/// succeeded, and the first refusal reason when it did not.
+struct RowAnalysis {
+  std::optional<RowPlan> Plan;
+  RowRefusal Refusal = RowRefusal::None;
 };
 
 } // namespace exec

@@ -103,6 +103,32 @@ unsigned Graph::inDegree(NodeId StmtId) const {
   return Degree;
 }
 
+std::vector<DataflowEdge> Graph::dataflowEdges() const {
+  std::vector<DataflowEdge> Result;
+  // Chains are single-assignment at the nest level: each array is written
+  // by at most one nest, so a read's producer is the unique writer.
+  std::map<std::string, unsigned, std::less<>> WriterOf;
+  for (unsigned N = 0; N < Chain->numNests(); ++N)
+    WriterOf.emplace(Chain->nest(N).Write.Array, N);
+  for (unsigned N = 0; N < Chain->numNests(); ++N) {
+    NodeId Consumer = stmtOfNest(N);
+    if (Consumer == InvalidNode)
+      continue;
+    for (const ir::Access &R : Chain->nest(N).Reads) {
+      auto It = WriterOf.find(R.Array);
+      if (It == WriterOf.end() || It->second == N)
+        continue; // Chain input (or self-stencil): no cross-nest edge.
+      DataflowEdge E;
+      E.ProducerNest = It->second;
+      E.ConsumerNest = N;
+      E.Array = R.Array;
+      E.SameNode = stmtOfNest(It->second) == Consumer;
+      Result.push_back(std::move(E));
+    }
+  }
+  return Result;
+}
+
 std::vector<NodeId> Graph::scheduleOrder() const {
   std::vector<NodeId> Order;
   for (NodeId I = 0; I < Stmts.size(); ++I)

@@ -93,6 +93,21 @@ struct Edge {
   bool Dead = false;
 };
 
+/// One nest-level producer→consumer dependence of the chain as currently
+/// scheduled: the consumer nest reads \p Array, which the producer nest
+/// writes. Nest ids are stable across every transformation (fusion merges
+/// statement *nodes*, not nests), so the verifier uses these to check that
+/// a transformed schedule preserves the original M2DFG's dataflow.
+struct DataflowEdge {
+  unsigned ProducerNest = 0;
+  unsigned ConsumerNest = 0;
+  std::string Array;
+  /// True when both nests are members of the same (fused) statement node;
+  /// the dependence is then internal and ordered by the fusion shifts,
+  /// which the plan-level simulation checks.
+  bool SameNode = false;
+};
+
 /// The M2DFG. Node ids are stable across transformations; removed nodes are
 /// tombstoned with the Dead flag.
 class Graph {
@@ -139,6 +154,12 @@ public:
   unsigned outDegree(NodeId ValueId) const;
   /// Sum of read-edge multiplicities entering statement \p Id.
   unsigned inDegree(NodeId StmtId) const;
+
+  /// Every nest-level producer→consumer dependence of the chain, resolved
+  /// against the current node membership (see DataflowEdge). Derived from
+  /// the chain's accesses, not from the (possibly tombstoned) edge list,
+  /// so it is exactly the original M2DFG dataflow re-keyed to live nodes.
+  std::vector<DataflowEdge> dataflowEdges() const;
 
   /// Live statement nodes ordered by (row, col): the execution schedule.
   std::vector<NodeId> scheduleOrder() const;

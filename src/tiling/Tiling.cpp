@@ -73,6 +73,14 @@ double ChainTiling::redundancy() const {
                              static_cast<double>(Required);
 }
 
+bool ChainTiling::seedsDisjoint(const ParamEnv &Env) const {
+  for (std::size_t A = 0; A < Tiles.size(); ++A)
+    for (std::size_t B = A + 1; B < Tiles.size(); ++B)
+      if (Tiles[A].Seed.intersect(Tiles[B].Seed).numPoints(Env) != 0)
+        return false;
+  return true;
+}
+
 ChainTiling tiling::overlappedTiling(const ir::LoopChain &Chain,
                                      const std::vector<std::int64_t>
                                          &TileSizes,

@@ -65,6 +65,11 @@ struct ChainTiling {
 
   /// Redundant-computation ratio: executed / required over all nests.
   double redundancy() const;
+
+  /// True when the seed tiles are pairwise disjoint under \p Env — the
+  /// property that makes the terminal statement set's per-tile writes
+  /// race-free. Exported for the static verifier.
+  bool seedsDisjoint(const ParamEnv &Env) const;
 };
 
 /// Computes the overlapped tiling of \p Chain: the domain of the *last*

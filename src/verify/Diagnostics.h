@@ -1,0 +1,83 @@
+//===- verify/Diagnostics.h - Verifier diagnostics --------------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic records produced by the static legality verifier. Every
+/// finding carries a stable check id (the Vnnn codes below), a severity,
+/// the plan location it anchors to (task / instruction / storage space /
+/// value array), and up to two concrete iteration points as witness. The
+/// collection renders either as human-readable lines or as JSON for CI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_VERIFY_DIAGNOSTICS_H
+#define LCDFG_VERIFY_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcdfg {
+namespace verify {
+
+/// Stable check identifiers. Documented in docs/VERIFY.md; tests and CI
+/// match on these strings, so they never change meaning.
+inline constexpr const char *CheckOpaqueExternal = "V000-opaque-external";
+inline constexpr const char *CheckStorageClobber = "V001-storage-clobber";
+inline constexpr const char *CheckTaskRace = "V002-task-race";
+inline constexpr const char *CheckSegmentCap = "V003-segment-cap";
+inline constexpr const char *CheckLostDependence = "V004-lost-dependence";
+inline constexpr const char *CheckScalarFallback = "V005-scalar-fallback";
+inline constexpr const char *CheckPrivateUncovered = "V006-private-uncovered";
+inline constexpr const char *CheckTraceBudget = "V007-trace-budget";
+
+enum class Severity { Note, Warning, Error };
+
+/// Name of \p Sev as printed ("note", "warning", "error").
+const char *severityName(Severity Sev);
+
+/// One verifier finding.
+struct Diagnostic {
+  Severity Sev = Severity::Error;
+  std::string CheckId;
+  std::string Message;
+  int Task = -1;       ///< Plan task index, or -1.
+  int Instr = -1;      ///< Plan instruction index, or -1.
+  int OtherTask = -1;  ///< Second task involved (races), or -1.
+  int OtherInstr = -1; ///< Second instruction involved, or -1.
+  int Space = -1;      ///< Storage space id, or -1.
+  std::string Array;   ///< Value array name, when known.
+  std::vector<std::int64_t> Point;      ///< Witness iteration point.
+  std::vector<std::int64_t> OtherPoint; ///< Second witness point.
+
+  /// One-line rendering: "error[V001-storage-clobber] task 2 ...".
+  std::string toString() const;
+};
+
+/// Ordered collection of findings with severity accounting.
+class Diagnostics {
+public:
+  void add(Diagnostic D) { Diags.push_back(std::move(D)); }
+
+  const std::vector<Diagnostic> &all() const { return Diags; }
+  std::size_t count(Severity Sev) const;
+  bool hasErrors() const { return count(Severity::Error) != 0; }
+
+  /// All findings, one line each, plus a trailing summary line.
+  std::string toString() const;
+  /// JSON object: {"diagnostics":[...],"errors":N,"warnings":N,"notes":N}.
+  std::string toJson() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace verify
+} // namespace lcdfg
+
+#endif // LCDFG_VERIFY_DIAGNOSTICS_H

@@ -1,0 +1,823 @@
+//===- verify/PlanVerifier.cpp - Static legality verifier -----------------===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/PlanVerifier.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+using namespace lcdfg;
+using namespace lcdfg::verify;
+using exec::ExecutionPlan;
+using exec::GuardBound;
+using exec::LoopLevel;
+using exec::NestInstr;
+using exec::RowPlan;
+using exec::StmtRecord;
+using exec::Stream;
+
+namespace {
+
+/// Floored modulo into [0, M).
+std::int64_t wrap(std::int64_t V, std::int64_t M) {
+  V %= M;
+  return V < 0 ? V + M : V;
+}
+
+/// Floored division (consistent with wrap): the modulo epoch of a pre-wrap
+/// index. Two accesses of one stream fall into one wrap-free run of the
+/// row walker exactly when their epochs match.
+std::int64_t floorDiv(std::int64_t V, std::int64_t M) {
+  std::int64_t Q = V / M;
+  return (V % M != 0 && (V < 0) != (M < 0)) ? Q - 1 : Q;
+}
+
+/// Pre-wrap linear index of stream \p S at iteration point \p Pt.
+std::int64_t preOf(const Stream &S, const std::vector<std::int64_t> &Pt) {
+  std::int64_t P = S.Base;
+  std::size_t N = std::min(Pt.size(), S.LevelStrides.size());
+  for (std::size_t L = 0; L < N; ++L)
+    P += Pt[L] * S.LevelStrides[L];
+  return P;
+}
+
+/// Storage location (wrapped index) for pre-wrap index \p Pre.
+std::int64_t locOf(const Stream &S, std::int64_t Pre) {
+  return S.Modulo ? wrap(Pre, S.ModSize) : Pre;
+}
+
+bool admits(const StmtRecord &R, const std::vector<std::int64_t> &Pt) {
+  for (const GuardBound &G : R.Guards)
+    if (Pt[G.Level] < G.Lo || Pt[G.Level] > G.Hi)
+      return false;
+  return true;
+}
+
+/// One enumerated access, passed to the walk callback. Point and stream
+/// pointers are only valid during the callback.
+struct AccessInfo {
+  int Task = -1;
+  int Instr = -1;
+  std::size_t Stmt = 0;
+  bool IsWrite = false;
+  const Stream *S = nullptr;
+  std::int64_t Pre = 0;
+  std::int64_t Loc = 0;
+  std::int64_t Pos = 0; ///< Serial access position (stable across walks).
+  const std::vector<std::int64_t> *Point = nullptr;
+};
+
+enum class WalkEnd { Done, Stopped, OutOfBudget };
+
+/// Enumerates every access of \p TaskIds in executed order: tasks in the
+/// given order, loop points lexicographically, statements in record
+/// order, reads (in record order) before the write. The callback returns
+/// false to stop early. Budget is charged per statement instance; the
+/// position counter is deterministic, so repeated walks over the same
+/// task list agree on positions.
+template <typename Fn>
+WalkEnd walkAccesses(const ExecutionPlan &Plan, const std::vector<int> &TaskIds,
+                     std::int64_t &Budget, Fn &&Callback) {
+  std::int64_t Pos = 0;
+  for (int T : TaskIds) {
+    int InstrIdx = Plan.Tasks[static_cast<std::size_t>(T)].Instr;
+    const NestInstr &I = Plan.Instrs[static_cast<std::size_t>(InstrIdx)];
+    if (I.External)
+      continue;
+    std::vector<std::int64_t> Pt;
+    Pt.reserve(I.Loops.size());
+    bool Empty = false;
+    for (const LoopLevel &L : I.Loops) {
+      if (L.Lo > L.Hi) {
+        Empty = true;
+        break;
+      }
+      Pt.push_back(L.Lo);
+    }
+    if (Empty)
+      continue;
+    for (;;) {
+      for (std::size_t SI = 0; SI < I.Stmts.size(); ++SI) {
+        const StmtRecord &R = I.Stmts[SI];
+        if (!admits(R, Pt))
+          continue;
+        if (--Budget < 0)
+          return WalkEnd::OutOfBudget;
+        AccessInfo A;
+        A.Task = T;
+        A.Instr = InstrIdx;
+        A.Stmt = SI;
+        A.Point = &Pt;
+        for (const Stream &Rd : R.Reads) {
+          A.IsWrite = false;
+          A.S = &Rd;
+          A.Pre = preOf(Rd, Pt);
+          A.Loc = locOf(Rd, A.Pre);
+          A.Pos = Pos++;
+          if (!Callback(A))
+            return WalkEnd::Stopped;
+        }
+        A.IsWrite = true;
+        A.S = &R.Write;
+        A.Pre = preOf(R.Write, Pt);
+        A.Loc = locOf(R.Write, A.Pre);
+        A.Pos = Pos++;
+        if (!Callback(A))
+          return WalkEnd::Stopped;
+      }
+      std::size_t L = I.Loops.size();
+      bool Carried = false;
+      while (L > 0) {
+        --L;
+        if (++Pt[L] <= I.Loops[L].Hi) {
+          Carried = true;
+          break;
+        }
+        Pt[L] = I.Loops[L].Lo;
+      }
+      if (!Carried)
+        break;
+    }
+  }
+  return WalkEnd::Done;
+}
+
+/// Identity of the value an access touches: (space, array, pre-wrap
+/// index). The space is redundant when ArrayId is resolved (an array
+/// lives in one space) but keeps hand-built plans with unset ArrayId from
+/// conflating values across spaces.
+using ValueId = std::tuple<unsigned, int, std::int64_t>;
+
+ValueId idOf(const AccessInfo &A) {
+  return ValueId{A.S->Space, A.S->ArrayId, A.Pre};
+}
+
+std::vector<int> allTasks(const ExecutionPlan &Plan) {
+  std::vector<int> Ids(Plan.Tasks.size());
+  std::iota(Ids.begin(), Ids.end(), 0);
+  return Ids;
+}
+
+void addBudgetDiag(Diagnostics &Diags, const char *Family) {
+  Diagnostic D;
+  D.Sev = Severity::Warning;
+  D.CheckId = CheckTraceBudget;
+  D.Message = std::string("enumeration budget exceeded; ") + Family +
+              " checks skipped (re-run with a smaller problem size or a "
+              "larger budget)";
+  Diags.add(std::move(D));
+}
+
+bool isPersistent(const ExecutionPlan &Plan, unsigned Space) {
+  return Space < Plan.SpacePersistent.size() && Plan.SpacePersistent[Space];
+}
+
+std::string arrayName(const ExecutionPlan &Plan, int ArrayId) {
+  if (ArrayId >= 0 &&
+      static_cast<std::size_t>(ArrayId) < Plan.ArrayNames.size())
+    return Plan.ArrayNames[static_cast<std::size_t>(ArrayId)];
+  return {};
+}
+
+/// Resolves witness positions back to (task, instr, point) by replaying
+/// the same deterministic walk.
+struct Witness {
+  int Task = -1;
+  int Instr = -1;
+  std::vector<std::int64_t> Point;
+};
+
+std::map<std::int64_t, Witness> decodePositions(const ExecutionPlan &Plan,
+                                                const std::vector<int> &Tasks,
+                                                std::int64_t Budget,
+                                                const std::set<std::int64_t>
+                                                    &Wanted) {
+  std::map<std::int64_t, Witness> Got;
+  if (Wanted.empty())
+    return Got;
+  walkAccesses(Plan, Tasks, Budget, [&](const AccessInfo &A) {
+    if (Wanted.count(A.Pos))
+      Got.emplace(A.Pos, Witness{A.Task, A.Instr, *A.Point});
+    return Got.size() < Wanted.size();
+  });
+  return Got;
+}
+
+} // namespace
+
+Diagnostics PlanVerifier::verify() {
+  Diagnostics Diags;
+  for (std::size_t I = 0; I < Plan.Instrs.size(); ++I)
+    if (Plan.Instrs[I].External) {
+      Diagnostic D;
+      D.Sev = Severity::Note;
+      D.CheckId = CheckOpaqueExternal;
+      D.Message = "plan contains external (opaque callback) tasks; their "
+                  "footprints cannot be checked statically";
+      D.Instr = static_cast<int>(I);
+      Diags.add(std::move(D));
+      break;
+    }
+  checkSerialDataflow(Diags);
+  checkTaskRaces(Diags);
+  checkRowBatching(Diags);
+  checkTilePrivatization(Diags);
+  return Diags;
+}
+
+void PlanVerifier::checkSerialDataflow(Diagnostics &Diags) {
+  const std::vector<int> Tasks = allTasks(Plan);
+
+  // Pass 0: per value identity, the first write and last read position
+  // along the serial order.
+  std::map<ValueId, std::int64_t> FirstWrite, LastRead;
+  std::int64_t Budget = Opts.Budget;
+  WalkEnd End = walkAccesses(Plan, Tasks, Budget, [&](const AccessInfo &A) {
+    if (A.IsWrite)
+      FirstWrite.emplace(idOf(A), A.Pos);
+    else
+      LastRead[idOf(A)] = A.Pos; // Positions ascend; the last write wins.
+    return true;
+  });
+  if (End == WalkEnd::OutOfBudget) {
+    addBudgetDiag(Diags, "serial dataflow");
+    return;
+  }
+
+  // Pass 1: simulate the content of every storage location and compare
+  // each read against the value identity it must observe. One diagnostic
+  // per (check, space) — a bad window floods every element of the space.
+  struct Content {
+    int ArrayId = -1;
+    std::int64_t Pre = 0;
+    std::int64_t Pos = 0;
+  };
+  std::map<std::pair<unsigned, std::int64_t>, Content> Mem;
+  struct PendingDiag {
+    Diagnostic D;
+    std::int64_t PosA = -1, PosB = -1;
+  };
+  std::vector<PendingDiag> Pending;
+  std::set<std::pair<std::string, unsigned>> Reported;
+
+  auto report = [&](const char *Check, const AccessInfo &A,
+                    std::int64_t OtherPos, std::string Message) {
+    if (!Reported.emplace(Check, A.S->Space).second)
+      return;
+    PendingDiag P;
+    P.D.Sev = Severity::Error;
+    P.D.CheckId = Check;
+    P.D.Message = std::move(Message);
+    P.D.Task = A.Task;
+    P.D.Instr = A.Instr;
+    P.D.Space = static_cast<int>(A.S->Space);
+    P.D.Array = arrayName(Plan, A.S->ArrayId);
+    P.PosA = A.Pos;
+    P.PosB = OtherPos;
+    Pending.push_back(std::move(P));
+  };
+
+  Budget = Opts.Budget;
+  walkAccesses(Plan, Tasks, Budget, [&](const AccessInfo &A) {
+    auto MemKey = std::make_pair(A.S->Space, A.Loc);
+    auto MIt = Mem.find(MemKey);
+    if (A.IsWrite) {
+      if (MIt != Mem.end() && (MIt->second.ArrayId != A.S->ArrayId ||
+                               MIt->second.Pre != A.Pre)) {
+        ValueId Old{A.S->Space, MIt->second.ArrayId, MIt->second.Pre};
+        auto LR = LastRead.find(Old);
+        if (LR != LastRead.end() && LR->second > A.Pos) {
+          std::ostringstream OS;
+          OS << "write of " << arrayName(Plan, A.S->ArrayId)
+             << " overwrites a live value of "
+             << arrayName(Plan, MIt->second.ArrayId)
+             << " still read later: modulo window (mod " << A.S->ModSize
+             << ") is smaller than the true reuse distance";
+          report(CheckStorageClobber, A, LR->second, OS.str());
+        }
+      }
+      Mem[MemKey] = Content{A.S->ArrayId, A.Pre, A.Pos};
+      return true;
+    }
+    // Read.
+    ValueId Id = idOf(A);
+    if (MIt != Mem.end()) {
+      if (MIt->second.ArrayId == A.S->ArrayId && MIt->second.Pre == A.Pre)
+        return true;
+      auto FW = FirstWrite.find(Id);
+      if (FW != FirstWrite.end() && FW->second < A.Pos) {
+        report(CheckStorageClobber, A, MIt->second.Pos,
+               "read observes a clobbered location: the expected value was "
+               "overwritten before this use (modulo window too small)");
+      } else {
+        report(CheckLostDependence, A,
+               FW != FirstWrite.end() ? FW->second : MIt->second.Pos,
+               "read observes a foreign value; the value it depends on is " +
+                   std::string(FW != FirstWrite.end()
+                                   ? "produced only later in the executed "
+                                     "order (lost producer dependence)"
+                                   : "never produced by the plan"));
+      }
+      return true;
+    }
+    // Location never written so far. Persistent spaces hold
+    // caller-initialized arrays (chain inputs, ghost cells): reading them
+    // before any plan write is the normal input pattern.
+    if (isPersistent(Plan, A.S->Space))
+      return true;
+    auto FW = FirstWrite.find(Id);
+    if (FW != FirstWrite.end() && FW->second > A.Pos)
+      report(CheckLostDependence, A, FW->second,
+             "read before write: the producing statement executes only "
+             "later in the executed order (lost producer dependence)");
+    else if (FW == FirstWrite.end())
+      report(CheckLostDependence, A, -1,
+             "read of a temporary value the plan never produces");
+    return true;
+  });
+
+  // Resolve witness positions to iteration points and emit.
+  std::set<std::int64_t> Wanted;
+  for (const PendingDiag &P : Pending) {
+    Wanted.insert(P.PosA);
+    if (P.PosB >= 0)
+      Wanted.insert(P.PosB);
+  }
+  std::map<std::int64_t, Witness> Points =
+      decodePositions(Plan, Tasks, Opts.Budget, Wanted);
+  for (PendingDiag &P : Pending) {
+    auto AIt = Points.find(P.PosA);
+    if (AIt != Points.end())
+      P.D.Point = AIt->second.Point;
+    if (P.PosB >= 0) {
+      auto BIt = Points.find(P.PosB);
+      if (BIt != Points.end()) {
+        P.D.OtherTask = BIt->second.Task;
+        P.D.OtherInstr = BIt->second.Instr;
+        P.D.OtherPoint = BIt->second.Point;
+      }
+    }
+    Diags.add(std::move(P.D));
+  }
+}
+
+void PlanVerifier::checkTaskRaces(Diagnostics &Diags) {
+  if (Plan.Tasks.size() < 2)
+    return;
+
+  // Element-granular footprints per task per space. Wrapped locations are
+  // what two concurrent tasks would actually contend on.
+  struct Footprint {
+    std::map<unsigned, std::set<std::int64_t>> Reads, Writes;
+  };
+  std::vector<Footprint> Foot(Plan.Tasks.size());
+  std::int64_t Budget = Opts.Budget;
+  WalkEnd End =
+      walkAccesses(Plan, allTasks(Plan), Budget, [&](const AccessInfo &A) {
+        Footprint &F = Foot[static_cast<std::size_t>(A.Task)];
+        (A.IsWrite ? F.Writes : F.Reads)[A.S->Space].insert(A.Loc);
+        return true;
+      });
+  if (End == WalkEnd::OutOfBudget) {
+    addBudgetDiag(Diags, "task race");
+    return;
+  }
+
+  auto tileOf = [&](std::size_t T) {
+    return Plan.Instrs[static_cast<std::size_t>(Plan.Tasks[T].Instr)].Tile;
+  };
+  auto externalOf = [&](std::size_t T) {
+    return static_cast<bool>(
+        Plan.Instrs[static_cast<std::size_t>(Plan.Tasks[T].Instr)].External);
+  };
+
+  const std::vector<std::vector<bool>> Closure = Plan.dependenceClosure();
+
+  // First shared location of two per-space sets, or nullopt.
+  auto firstShared =
+      [](const std::set<std::int64_t> &A,
+         const std::set<std::int64_t> &B) -> std::optional<std::int64_t> {
+    auto AIt = A.begin(), BIt = B.begin();
+    while (AIt != A.end() && BIt != B.end()) {
+      if (*AIt == *BIt)
+        return *AIt;
+      if (*AIt < *BIt)
+        ++AIt;
+      else
+        ++BIt;
+    }
+    return std::nullopt;
+  };
+
+  for (std::size_t I = 0; I < Plan.Tasks.size(); ++I) {
+    for (std::size_t J = I + 1; J < Plan.Tasks.size(); ++J) {
+      if (externalOf(I) || externalOf(J))
+        continue; // No footprints; V000 already noted.
+      if (Closure[J][I] || Closure[I][J])
+        continue; // Ordered by (transitive) task dependences.
+      // Consecutive tasks of one tile run in order on one worker under
+      // tile parallelism; the grouping is the implicit ordering.
+      bool SameTile =
+          Plan.TileParallel && tileOf(I) >= 0 && tileOf(I) == tileOf(J);
+      if (SameTile)
+        continue;
+      std::optional<std::int64_t> Shared;
+      unsigned Space = 0;
+      for (const auto &[S, WI] : Foot[I].Writes) {
+        // Tile-parallel workers privatize non-persistent spaces: no
+        // sharing between different tiles.
+        if (Plan.TileParallel && tileOf(I) != tileOf(J) &&
+            !isPersistent(Plan, S))
+          continue;
+        auto WJ = Foot[J].Writes.find(S);
+        if (WJ != Foot[J].Writes.end())
+          Shared = firstShared(WI, WJ->second);
+        if (!Shared) {
+          auto RJ = Foot[J].Reads.find(S);
+          if (RJ != Foot[J].Reads.end())
+            Shared = firstShared(WI, RJ->second);
+        }
+        if (Shared) {
+          Space = S;
+          break;
+        }
+      }
+      if (!Shared) {
+        for (const auto &[S, WJ] : Foot[J].Writes) {
+          if (Plan.TileParallel && tileOf(I) != tileOf(J) &&
+              !isPersistent(Plan, S))
+            continue;
+          auto RI = Foot[I].Reads.find(S);
+          if (RI != Foot[I].Reads.end())
+            Shared = firstShared(RI->second, WJ);
+          if (Shared) {
+            Space = S;
+            break;
+          }
+        }
+      }
+      if (!Shared)
+        continue;
+
+      // Witness: the first access of each task touching the location.
+      Diagnostic D;
+      D.Sev = Severity::Error;
+      D.CheckId = CheckTaskRace;
+      D.Task = static_cast<int>(I);
+      D.Instr = Plan.Tasks[I].Instr;
+      D.OtherTask = static_cast<int>(J);
+      D.OtherInstr = Plan.Tasks[J].Instr;
+      D.Space = static_cast<int>(Space);
+      {
+        std::ostringstream OS;
+        OS << "tasks " << I << " and " << J
+           << " touch the same element (a write involved) but no "
+              "dependence path orders them";
+        D.Message = OS.str();
+      }
+      for (int Side = 0; Side < 2; ++Side) {
+        std::vector<int> One{static_cast<int>(Side == 0 ? I : J)};
+        std::int64_t B = Opts.Budget;
+        walkAccesses(Plan, One, B, [&](const AccessInfo &A) {
+          if (A.S->Space != Space || A.Loc != *Shared)
+            return true;
+          if (Side == 0) {
+            D.Point = *A.Point;
+            D.Array = arrayName(Plan, A.S->ArrayId);
+          } else {
+            D.OtherPoint = *A.Point;
+          }
+          return false;
+        });
+      }
+      Diags.add(std::move(D));
+      break; // One race per earlier task keeps the report readable.
+    }
+  }
+}
+
+namespace {
+
+/// A collision found by the brute-force segment-reorder search: running
+/// statement StmtI fully before StmtJ within one segment moves StmtJ's
+/// access at inner position X1 ahead of StmtI's access at X2 = X1 + K,
+/// and both touch the same storage element.
+struct Collision {
+  std::int64_t K = 0;
+  unsigned Space = 0;
+  int ArrayId = -1;
+  std::size_t StmtI = 0, StmtJ = 0;
+  std::vector<std::int64_t> PointI, PointJ;
+};
+
+/// Exhaustively searches \p Instr's rows for the smallest-distance
+/// collision with K in [1, KMax]. Mirrors the row walker's segment
+/// semantics: a pair only shares a segment when neither participating
+/// stream crosses a modulo wrap boundary between X1 and X2.
+std::optional<Collision> findCollision(const NestInstr &Instr,
+                                       std::int64_t KMax, std::int64_t &Budget,
+                                       bool &OutOfBudget) {
+  OutOfBudget = false;
+  if (Instr.Stmts.size() < 2 || Instr.Loops.empty() || KMax < 1)
+    return std::nullopt;
+  const std::size_t Inner = Instr.Loops.size() - 1;
+
+  struct StmtInfo {
+    std::vector<GuardBound> RowGuards;
+    std::int64_t Lo = 0, Hi = -1;
+    std::vector<std::pair<const Stream *, bool>> Accs; ///< (stream, write).
+  };
+  std::vector<StmtInfo> Infos;
+  for (const StmtRecord &S : Instr.Stmts) {
+    StmtInfo SI;
+    SI.Lo = Instr.Loops[Inner].Lo;
+    SI.Hi = Instr.Loops[Inner].Hi;
+    for (const GuardBound &G : S.Guards) {
+      if (G.Level == Inner) {
+        SI.Lo = std::max(SI.Lo, G.Lo);
+        SI.Hi = std::min(SI.Hi, G.Hi);
+      } else {
+        SI.RowGuards.push_back(G);
+      }
+    }
+    for (const Stream &R : S.Reads)
+      SI.Accs.emplace_back(&R, false);
+    SI.Accs.emplace_back(&S.Write, true);
+    Infos.push_back(std::move(SI));
+  }
+
+  std::vector<std::int64_t> Pt(Instr.Loops.size(), 0);
+  for (std::size_t L = 0; L < Inner; ++L) {
+    if (Instr.Loops[L].Lo > Instr.Loops[L].Hi)
+      return std::nullopt;
+    Pt[L] = Instr.Loops[L].Lo;
+  }
+
+  // Epoch-stable same-location test for one access pair at (X1, X2).
+  auto collides = [&](const Stream &SA, std::int64_t X2, const Stream &SB,
+                      std::int64_t X1) {
+    if (SA.Space != SB.Space)
+      return false;
+    auto PreAt = [&](const Stream &S, std::int64_t X) {
+      Pt[Inner] = X;
+      return preOf(S, Pt);
+    };
+    std::int64_t PreA = PreAt(SA, X2);
+    std::int64_t PreB = PreAt(SB, X1);
+    if (locOf(SA, PreA) != locOf(SB, PreB))
+      return false;
+    if (SA.Modulo &&
+        floorDiv(PreAt(SA, X1), SA.ModSize) != floorDiv(PreA, SA.ModSize))
+      return false;
+    if (SB.Modulo &&
+        floorDiv(PreB, SB.ModSize) != floorDiv(PreAt(SB, X2), SB.ModSize))
+      return false;
+    return true;
+  };
+
+  std::optional<Collision> Best;
+  for (;;) {
+    std::vector<char> Admitted(Infos.size(), 1);
+    for (std::size_t SI = 0; SI < Infos.size(); ++SI) {
+      if (Infos[SI].Lo > Infos[SI].Hi)
+        Admitted[SI] = 0;
+      for (const GuardBound &G : Infos[SI].RowGuards)
+        if (Pt[G.Level] < G.Lo || Pt[G.Level] > G.Hi)
+          Admitted[SI] = 0;
+    }
+    for (std::size_t SI = 0; SI + 1 < Infos.size(); ++SI) {
+      if (!Admitted[SI])
+        continue;
+      for (std::size_t SJ = SI + 1; SJ < Infos.size(); ++SJ) {
+        if (!Admitted[SJ])
+          continue;
+        std::int64_t Cap = Best ? Best->K - 1 : KMax;
+        for (std::int64_t K = 1; K <= Cap; ++K) {
+          std::int64_t Lo = std::max(Infos[SJ].Lo, Infos[SI].Lo - K);
+          std::int64_t Hi = std::min(Infos[SJ].Hi, Infos[SI].Hi - K);
+          for (std::int64_t X1 = Lo; X1 <= Hi; ++X1) {
+            for (const auto &[SA, WA] : Infos[SI].Accs) {
+              for (const auto &[SB, WB] : Infos[SJ].Accs) {
+                if (!WA && !WB)
+                  continue;
+                if (--Budget < 0) {
+                  OutOfBudget = true;
+                  return Best;
+                }
+                if (!collides(*SA, X1 + K, *SB, X1))
+                  continue;
+                Collision C;
+                C.K = K;
+                C.Space = SA->Space;
+                C.ArrayId = WA ? SA->ArrayId : SB->ArrayId;
+                C.StmtI = SI;
+                C.StmtJ = SJ;
+                Pt[Inner] = X1 + K;
+                C.PointI = Pt;
+                Pt[Inner] = X1;
+                C.PointJ = Pt;
+                Best = std::move(C);
+                goto nextPair; // Smaller K only; Cap shrinks next pair.
+              }
+            }
+          }
+        }
+      nextPair:;
+      }
+    }
+    // Outer odometer.
+    std::size_t L = Inner;
+    bool Carried = false;
+    while (L > 0) {
+      --L;
+      if (++Pt[L] <= Instr.Loops[L].Hi) {
+        Carried = true;
+        break;
+      }
+      Pt[L] = Instr.Loops[L].Lo;
+    }
+    if (!Carried)
+      break;
+  }
+  return Best;
+}
+
+} // namespace
+
+void PlanVerifier::checkRowBatching(Diagnostics &Diags) {
+  if (!Opts.Kernels && !Opts.Rows)
+    return;
+  std::int64_t Budget = Opts.Budget;
+  for (std::size_t II = 0; II < Plan.Instrs.size(); ++II) {
+    const NestInstr &Instr = Plan.Instrs[II];
+    if (Instr.External || Instr.Loops.empty() || Instr.Stmts.size() < 2)
+      continue;
+
+    std::int64_t MaxSegment = -1;
+    exec::RowRefusal Refusal = exec::RowRefusal::None;
+    if (Opts.Rows && II < Opts.Rows->size() && (*Opts.Rows)[II])
+      MaxSegment = (*Opts.Rows)[II]->MaxSegment;
+    else if (Opts.Kernels) {
+      exec::RowAnalysis RA = RowPlan::analyze(Instr, *Opts.Kernels);
+      if (RA.Plan)
+        MaxSegment = RA.Plan->MaxSegment;
+      else
+        Refusal = RA.Refusal;
+    } else {
+      continue;
+    }
+
+    const std::size_t Inner = Instr.Loops.size() - 1;
+    const std::int64_t RowSpan =
+        Instr.Loops[Inner].Hi - Instr.Loops[Inner].Lo;
+    bool OutOfBudget = false;
+    if (MaxSegment > 1) {
+      // A segment of length MaxSegment reorders pairs at distances up to
+      // MaxSegment - 1; any collision in that range is unsafe.
+      std::int64_t KMax = std::min(MaxSegment - 1, RowSpan);
+      std::optional<Collision> C =
+          findCollision(Instr, KMax, Budget, OutOfBudget);
+      if (C) {
+        Diagnostic D;
+        D.Sev = Severity::Error;
+        D.CheckId = CheckSegmentCap;
+        D.Instr = static_cast<int>(II);
+        D.Space = static_cast<int>(C->Space);
+        D.Array = arrayName(Plan, C->ArrayId);
+        std::ostringstream OS;
+        OS << "segment cap " << MaxSegment
+           << " admits an observable reorder: statements " << C->StmtI
+           << " and " << C->StmtJ << " collide at inner distance " << C->K;
+        D.Message = OS.str();
+        D.Point = C->PointI;
+        D.OtherPoint = C->PointJ;
+        Diags.add(std::move(D));
+      }
+    } else if (Refusal == exec::RowRefusal::UnsafeInterleave) {
+      // The compiler fell back to scalar because no cap > 1 was provable
+      // pairwise; if no distance-1 collision exists, a cap of 2 was safe.
+      std::optional<Collision> C =
+          findCollision(Instr, /*KMax=*/1, Budget, OutOfBudget);
+      if (!C && !OutOfBudget && RowSpan >= 1) {
+        Diagnostic D;
+        D.Sev = Severity::Warning;
+        D.CheckId = CheckScalarFallback;
+        D.Instr = static_cast<int>(II);
+        D.Message = "instruction fell back to scalar execution, but no "
+                    "distance-1 collision exists at this size: a segment "
+                    "cap of at least 2 was provable";
+        Diags.add(std::move(D));
+      }
+    }
+    if (OutOfBudget) {
+      addBudgetDiag(Diags, "row batching");
+      return;
+    }
+  }
+}
+
+void PlanVerifier::checkTilePrivatization(Diagnostics &Diags) {
+  if (!Plan.TileParallel)
+    return;
+  std::int64_t Budget = Opts.Budget;
+  std::set<unsigned> Reported;
+  std::size_t T0 = 0;
+  while (T0 < Plan.Tasks.size()) {
+    int Tile =
+        Plan.Instrs[static_cast<std::size_t>(Plan.Tasks[T0].Instr)].Tile;
+    std::size_t T1 = T0 + 1;
+    while (T1 < Plan.Tasks.size() &&
+           Plan.Instrs[static_cast<std::size_t>(Plan.Tasks[T1].Instr)].Tile ==
+               Tile)
+      ++T1;
+    if (Tile >= 0) {
+      // Each tile's workers see fresh privatized copies of non-persistent
+      // spaces: every temporary value read must be produced tile-locally.
+      std::vector<int> Group;
+      for (std::size_t T = T0; T < T1; ++T)
+        Group.push_back(static_cast<int>(T));
+      std::set<std::pair<unsigned, std::int64_t>> Written;
+      WalkEnd End =
+          walkAccesses(Plan, Group, Budget, [&](const AccessInfo &A) {
+            if (isPersistent(Plan, A.S->Space))
+              return true;
+            auto Key = std::make_pair(A.S->Space, A.Loc);
+            if (A.IsWrite) {
+              Written.insert(Key);
+              return true;
+            }
+            if (!Written.count(Key) &&
+                Reported.insert(A.S->Space).second) {
+              Diagnostic D;
+              D.Sev = Severity::Error;
+              D.CheckId = CheckPrivateUncovered;
+              D.Task = A.Task;
+              D.Instr = A.Instr;
+              D.Space = static_cast<int>(A.S->Space);
+              D.Array = arrayName(Plan, A.S->ArrayId);
+              std::ostringstream OS;
+              OS << "tile " << Tile
+                 << " reads a privatized temporary it never computed; "
+                    "under tile parallelism this observes a zero-filled "
+                    "private copy";
+              D.Message = OS.str();
+              D.Point = *A.Point;
+              Diags.add(std::move(D));
+            }
+            return true;
+          });
+      if (End == WalkEnd::OutOfBudget) {
+        addBudgetDiag(Diags, "tile privatization");
+        return;
+      }
+    }
+    T0 = T1;
+  }
+}
+
+void verify::checkGraphSchedule(const graph::Graph &G, Diagnostics &Diags) {
+  const std::vector<graph::DataflowEdge> Edges = G.dataflowEdges();
+  const std::vector<graph::NodeId> Order = G.scheduleOrder();
+  std::map<graph::NodeId, std::size_t> PosOf;
+  for (std::size_t I = 0; I < Order.size(); ++I)
+    PosOf.emplace(Order[I], I);
+  std::set<std::pair<unsigned, unsigned>> Reported;
+  for (const graph::DataflowEdge &E : Edges) {
+    if (E.SameNode)
+      continue; // Internal to a fused node; ordered by shifts, which the
+                // plan-level simulation checks.
+    graph::NodeId P = G.stmtOfNest(E.ProducerNest);
+    graph::NodeId C = G.stmtOfNest(E.ConsumerNest);
+    if (!Reported.emplace(E.ProducerNest, E.ConsumerNest).second)
+      continue;
+    Diagnostic D;
+    D.Sev = Severity::Error;
+    D.CheckId = CheckLostDependence;
+    D.Array = E.Array;
+    if (P == graph::InvalidNode || C == graph::InvalidNode) {
+      std::ostringstream OS;
+      OS << "dataflow edge " << E.Array << " (nest " << E.ProducerNest
+         << " -> nest " << E.ConsumerNest
+         << ") lost: a statement node no longer contains the nest";
+      D.Message = OS.str();
+      Diags.add(std::move(D));
+      continue;
+    }
+    if (PosOf.at(P) > PosOf.at(C)) {
+      std::ostringstream OS;
+      OS << "schedule reverses dataflow edge " << E.Array << ": producer '"
+         << G.stmt(P).Label << "' is scheduled after consumer '"
+         << G.stmt(C).Label << "'";
+      D.Message = OS.str();
+      Diags.add(std::move(D));
+    }
+  }
+}

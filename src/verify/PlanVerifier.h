@@ -1,0 +1,105 @@
+//===- verify/PlanVerifier.h - Static legality verifier ---------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent static legality checker for lowered execution plans. The
+/// transform pipeline derives fusion shifts, reuse-distance buffer windows,
+/// task dependences, and batching caps — and then asserts its own results.
+/// The verifier re-derives everything from the plan's polyhedral footprints
+/// alone (loop bounds, guards, access streams, the (ArrayId, pre-wrap
+/// index) value identities) and certifies, or rejects with a concrete
+/// iteration-point witness, four invariant families:
+///
+///  * serial dataflow (V001/V004): a deterministic enumeration of every
+///    access in executed order simulates the content of each storage
+///    location; a read observing a foreign value exposes an under-sized
+///    modulo window (storage clobber) or a lost producer→consumer
+///    dependence (e.g. a corrupted fusion shift);
+///  * static races (V002): any two tasks with intersecting element
+///    footprints (a write involved) must be ordered by the transitive
+///    dependence closure, unless the runner orders them implicitly
+///    (same-tile grouping) or privatizes the space (tile-parallel
+///    temporaries);
+///  * batching safety (V003/V005): an exhaustive collision-distance search
+///    over each instruction's rows audits the RowPlan's MaxSegment cap,
+///    and flags scalar fallbacks whose cap was provable;
+///  * tile privatization (V006): under tile parallelism every tile must
+///    compute each privatized temporary value before reading it.
+///
+/// Checks are budgeted: plans too large to enumerate get a V007 warning
+/// instead of a silent pass. External (opaque callback) tasks cannot be
+/// footprinted and are reported once as a V000 note.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_VERIFY_PLANVERIFIER_H
+#define LCDFG_VERIFY_PLANVERIFIER_H
+
+#include "exec/RowPlan.h"
+#include "graph/Graph.h"
+#include "verify/Diagnostics.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lcdfg {
+namespace verify {
+
+/// Knobs for one verification run.
+struct VerifyOptions {
+  /// Kernel registry used to re-run the row-batching analysis. The
+  /// batching checks are skipped when neither this nor \p Rows is set.
+  const codegen::KernelRegistry *Kernels = nullptr;
+  /// Per-instruction row-plan override (index = instruction id). Engaged
+  /// entries are audited in place of RowPlan::analyze — the mutation tests
+  /// use this to feed the verifier a tampered MaxSegment.
+  const std::vector<std::optional<exec::RowPlan>> *Rows = nullptr;
+  /// Upper bound on enumerated statement instances / collision probes per
+  /// check family. Exceeding it abandons the family with a V007 warning.
+  std::int64_t Budget = std::int64_t{1} << 22;
+};
+
+/// The verifier. Holds only references; cheap to construct per plan.
+class PlanVerifier {
+public:
+  explicit PlanVerifier(const exec::ExecutionPlan &ThePlan,
+                        VerifyOptions TheOpts = {})
+      : Plan(ThePlan), Opts(TheOpts) {}
+  /// The verifier keeps a reference to the plan; a temporary would dangle
+  /// before verify() runs.
+  explicit PlanVerifier(exec::ExecutionPlan &&, VerifyOptions = {}) = delete;
+
+  /// Runs every check family and returns the findings.
+  Diagnostics verify();
+
+  /// V001 storage clobbers + V004 lost dependences, by simulating storage
+  /// content over the serial execution order.
+  void checkSerialDataflow(Diagnostics &Diags);
+  /// V002 races: conflicting task pairs not ordered by the dependence
+  /// closure.
+  void checkTaskRaces(Diagnostics &Diags);
+  /// V003 over-long segment caps + V005 provable-but-missed batching.
+  void checkRowBatching(Diagnostics &Diags);
+  /// V006 tile-parallel reads of privatized values the tile never wrote.
+  void checkTilePrivatization(Diagnostics &Diags);
+
+private:
+  const exec::ExecutionPlan &Plan;
+  VerifyOptions Opts;
+};
+
+/// Schedule-legality check at the M2DFG level (V004): every nest-level
+/// producer→consumer dependence of the chain must be preserved by the
+/// (possibly fused / rescheduled) graph \p G — same fused node, or the
+/// producer's node scheduled before the consumer's node.
+void checkGraphSchedule(const graph::Graph &G, Diagnostics &Diags);
+
+} // namespace verify
+} // namespace lcdfg
+
+#endif // LCDFG_VERIFY_PLANVERIFIER_H

@@ -46,7 +46,7 @@ std::vector<double> runSchedule(Graph &G, const Env &E, bool Reduce) {
   std::int64_t N = E.at("N");
   KernelRegistry Kernels;
   // Kernel ids already assigned on the shared chain (see fixture).
-  for (const std::string &C : {"rho", "u", "v", "e"}) {
+  for (const std::string C : {"rho", "u", "v", "e"}) {
     const poly::BoxSet &Extent = *G.chain().array("in_" + C).Extent;
     Extent.forEachPoint(E, [&](const std::vector<std::int64_t> &P) {
       Store.at("in_" + C, P) = inputValue("in_" + C, P[0], P[1]);
@@ -62,7 +62,7 @@ std::vector<double> runSchedule(Graph &G, const Env &E, bool Reduce) {
   execute(G, *Root, Kernels, Store, E);
 
   std::vector<double> Out;
-  for (const std::string &C : {"rho", "u", "v", "e"})
+  for (const std::string C : {"rho", "u", "v", "e"})
     for (std::int64_t Y = 0; Y < N; ++Y)
       for (std::int64_t X = 0; X < N; ++X)
         Out.push_back(Store.at("out_" + C, {Y, X}));
@@ -91,7 +91,7 @@ TEST(Interpreter, SeriesScheduleProducesFluxDifferences) {
   // are finite.
   bool AnyChanged = false;
   std::size_t I = 0;
-  for (const std::string &C : {"rho", "u", "v", "e"})
+  for (const std::string C : {"rho", "u", "v", "e"})
     for (std::int64_t Y = 0; Y < 4; ++Y)
       for (std::int64_t X = 0; X < 4; ++X, ++I) {
         EXPECT_TRUE(std::isfinite(Out[I]));

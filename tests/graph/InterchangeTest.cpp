@@ -127,8 +127,9 @@ TEST(Interchange, InterpretedExecutionUnchanged) {
   const std::int64_t N = 4;
   auto Run = [&](bool Rotate) {
     FusedZ F;
-    if (Rotate)
+    if (Rotate) {
       EXPECT_TRUE(interchange(F.G, F.Node, {1, 2, 0}));
+    }
     storage::reduceStorage(F.G);
     codegen::KernelRegistry Kernels;
     mfd::registerKernels(F.Chain, Kernels);

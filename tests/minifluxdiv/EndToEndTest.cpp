@@ -102,7 +102,7 @@ TEST(EndToEnd, ParsedChainTransformsAndExecutes) {
     std::map<std::string, std::int64_t, std::less<>> Env{{"N", 6}};
     storage::StoragePlan Plan = storage::StoragePlan::build(G);
     storage::ConcreteStorage Store(Plan, Env);
-    for (const std::string &A : {"in_rho", "in_u"})
+    for (const std::string A : {"in_rho", "in_u"})
       G.chain().array(A).Extent->forEachPoint(
           Env, [&](const std::vector<std::int64_t> &P) {
             Store.at(A, P) =

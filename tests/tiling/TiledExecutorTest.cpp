@@ -104,9 +104,10 @@ TEST(TiledExecutor, AllThreeDirectionsAreSeeded) {
   // Terminal statements are never expanded: across tiles each executes
   // exactly its domain.
   for (unsigned I = 0; I < S.Chain.numNests(); ++I)
-    if (S.Chain.readersOf(S.Chain.nest(I).Write.Array).empty())
+    if (S.Chain.readersOf(S.Chain.nest(I).Write.Array).empty()) {
       EXPECT_EQ(Tiling.ExecutedPoints.at(I), Tiling.RequiredPoints.at(I))
           << S.Chain.nest(I).Name;
+    }
 
   storage::ConcreteStorage Store = S.freshStore();
   executeTiled(S.Chain, Tiling, S.Kernels, Store, S.Env);

@@ -30,9 +30,22 @@ cmake --build "${BUILD}" --target "${BENCHES[@]}" -j "${JOBS}"
 
 mkdir -p "${OUT}"
 for B in "${BENCHES[@]}"; do
+  BIN="${BUILD}/bench/${B}"
+  if [ ! -x "${BIN}" ]; then
+    echo "bench: error: ${BIN} is missing or not executable" >&2
+    exit 1
+  fi
   JSON="${OUT}/BENCH_${B#bench_}.json"
   echo "== ${B} -> ${JSON} =="
-  BENCH_JSON="${JSON}" "${BUILD}/bench/${B}"
+  # Write to a temp file and move into place only on success, so a failed
+  # run never leaves a truncated BENCH_*.json behind for the perf history.
+  TMP="${JSON}.tmp"
+  if ! BENCH_JSON="${TMP}" "${BIN}"; then
+    rm -f "${TMP}"
+    echo "bench: error: ${B} failed; no ${JSON} written" >&2
+    exit 1
+  fi
+  mv "${TMP}" "${JSON}"
 done
 
 echo "bench: wrote ${#BENCHES[@]} reports under ${OUT}/"

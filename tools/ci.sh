@@ -7,10 +7,17 @@
 # smoke (exec tests + one quick bench_fig6_small iteration) that catches
 # batched-path regressions. Run from the repo root:
 #
-#   tools/ci.sh            # default + tsan + bench smoke
+#   tools/ci.sh            # default + tsan + bench smoke + verify
 #   tools/ci.sh default    # just one preset
 #   tools/ci.sh asan       # the ASan+UBSan sibling
 #   tools/ci.sh bench      # just the bench smoke
+#   tools/ci.sh verify     # just the static legality lint
+#
+# The tsan stage additionally re-runs the execution-layer tests with the
+# worker pool capped at 2 and 4 threads, so the scheduler's every
+# cross-thread handoff is exercised under the race detector. The verify
+# stage sweeps every example chain and MiniFluxDiv recipe through
+# lcdfg-lint --strict, which exits nonzero on any legality ERROR.
 #
 #===------------------------------------------------------------------------===#
 
@@ -20,7 +27,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(default tsan bench)
+  PRESETS=(default tsan bench verify)
 fi
 
 bench_smoke() {
@@ -32,14 +39,33 @@ bench_smoke() {
   echo "bench smoke: ${JSON} has batched rows"
 }
 
+verify_lint() {
+  ./build/tools/lcdfg-lint --strict examples/chains
+}
+
 for PRESET in "${PRESETS[@]}"; do
   echo "== preset: ${PRESET} =="
+  if [ "${PRESET}" = verify ]; then
+    cmake --preset default
+    cmake --build --preset default -j "${JOBS}" --target lcdfg-lint
+    verify_lint
+    continue
+  fi
   cmake --preset "${PRESET}"
   cmake --build --preset "${PRESET}" -j "${JOBS}"
   if [ "${PRESET}" = bench ]; then
     bench_smoke
   else
     ctest --preset "${PRESET}" -j "${JOBS}"
+  fi
+  if [ "${PRESET}" = tsan ]; then
+    # The ctest pass runs with the pool's default sizing; re-run the
+    # execution-layer suite with the worker pool pinned small so handoffs
+    # between few workers are the common case TSan watches.
+    for T in 2 4; do
+      echo "== tsan: test_exec with LCDFG_THREADS=${T} =="
+      LCDFG_THREADS="${T}" ./build-tsan/tests/test_exec
+    done
   fi
 done
 

@@ -1,0 +1,347 @@
+//===- tools/lcdfg-lint.cpp - Static legality sweep -----------------------===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+// Runs the static legality verifier over the repository's schedule corpus:
+// every example chain (original, scripted, auto-scheduled, storage-reduced,
+// widened, and overlap-tiled lowerings) and every MiniFluxDiv recipe. Each
+// lowering is compiled to an ExecutionPlan and checked for storage
+// clobbers, static races, batching-cap safety, lost dependences, and tile
+// privatization holes.
+//
+//   lcdfg-lint [--strict] [--json] [--size=N] [<chains-dir>]
+//     --strict   exit nonzero when any configuration reports an ERROR
+//     --json     emit one JSON object per line instead of text
+//     --size=N   concrete size for the chain-file sweeps (default 8)
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Generator.h"
+#include "exec/ExecutionPlan.h"
+#include "graph/AutoScheduler.h"
+#include "graph/GraphBuilder.h"
+#include "minifluxdiv/Spec.h"
+#include "parser/PragmaParser.h"
+#include "parser/ScriptRunner.h"
+#include "storage/ReuseDistance.h"
+#include "storage/StorageMap.h"
+#include "tiling/Tiling.h"
+#include "verify/PlanVerifier.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lcdfg;
+
+namespace {
+
+/// Batched form of the synthetic stand-in body used for parsed chains
+/// (same shape as lcdfg-opt's): sum of reads accumulated into the target.
+template <int Arity>
+void batchedSum(double *W, const double *const *R, const std::int64_t *S,
+                std::int64_t WS, std::int64_t N) {
+  for (std::int64_t I = 0; I < N; ++I) {
+    double Sum = W[I * WS];
+    for (int J = 0; J < Arity; ++J)
+      Sum += R[J][I * S[J]];
+    W[I * WS] = Sum;
+  }
+}
+
+codegen::BatchedKernel batchedSumForArity(std::size_t Arity) {
+  static constexpr codegen::BatchedKernel Table[] = {
+      batchedSum<0>, batchedSum<1>, batchedSum<2>, batchedSum<3>,
+      batchedSum<4>, batchedSum<5>, batchedSum<6>, batchedSum<7>,
+      batchedSum<8>};
+  return Arity < sizeof(Table) / sizeof(Table[0]) ? Table[Arity] : nullptr;
+}
+
+/// Assigns synthetic kernels (scalar + batched) to every nest of a parsed
+/// chain that has none.
+void assignSyntheticKernels(ir::LoopChain &Chain,
+                            codegen::KernelRegistry &Kernels) {
+  std::map<std::size_t, int> ByArity;
+  for (unsigned N = 0; N < Chain.numNests(); ++N) {
+    if (Chain.nest(N).KernelId >= 0)
+      continue;
+    std::size_t Arity = 0;
+    for (const ir::Access &A : Chain.nest(N).Reads)
+      Arity += A.Offsets.size();
+    auto It = ByArity.find(Arity);
+    if (It == ByArity.end()) {
+      int Id = Kernels.add(
+          [](const std::vector<double> &Reads, double Current) {
+            double Sum = Current;
+            for (double R : Reads)
+              Sum += R;
+            return Sum;
+          },
+          batchedSumForArity(Arity));
+      It = ByArity.emplace(Arity, Id).first;
+    }
+    Chain.nest(N).KernelId = It->second;
+  }
+}
+
+struct LintReport {
+  bool Json = false;
+  int Runs = 0;
+  int RunsWithErrors = 0;
+  std::size_t Errors = 0, Warnings = 0, Notes = 0;
+
+  void add(const std::string &Name, const verify::Diagnostics &Diags) {
+    ++Runs;
+    if (Diags.hasErrors())
+      ++RunsWithErrors;
+    Errors += Diags.count(verify::Severity::Error);
+    Warnings += Diags.count(verify::Severity::Warning);
+    Notes += Diags.count(verify::Severity::Note);
+    if (Json) {
+      std::printf("{\"config\":\"%s\",\"report\":%s}\n", Name.c_str(),
+                  Diags.toJson().c_str());
+      return;
+    }
+    if (Diags.all().empty()) {
+      std::printf("ok    %s\n", Name.c_str());
+      return;
+    }
+    std::printf("%s %s\n", Diags.hasErrors() ? "FAIL " : "warn ",
+                Name.c_str());
+    for (const verify::Diagnostic &D : Diags.all())
+      std::printf("      %s\n", D.toString().c_str());
+  }
+};
+
+/// Lowers the scheduled graph to an ExecutionPlan and runs every verifier
+/// family plus the graph-level schedule check.
+verify::Diagnostics verifyGraph(const graph::Graph &G,
+                                const codegen::KernelRegistry &Kernels,
+                                std::int64_t SizeN, bool UseAllocation,
+                                unsigned Widen) {
+  exec::ParamEnv Env{{"N", SizeN}};
+  storage::StoragePlan SPlan =
+      storage::StoragePlan::build(G, UseAllocation, Widen);
+  storage::ConcreteStorage Store(SPlan, Env);
+  codegen::AstPtr Ast = codegen::generate(G);
+  exec::ExecutionPlan Plan = exec::ExecutionPlan::fromAst(G, *Ast, Store, Env);
+  verify::VerifyOptions Opts;
+  Opts.Kernels = &Kernels;
+  verify::PlanVerifier Verifier(Plan, Opts);
+  verify::Diagnostics Diags = Verifier.verify();
+  verify::checkGraphSchedule(G, Diags);
+  return Diags;
+}
+
+/// Lowers an overlapped tiling of the untransformed chain and verifies it,
+/// including the seed-disjointness cross-check.
+verify::Diagnostics verifyTiled(const ir::LoopChain &Chain,
+                                const codegen::KernelRegistry &Kernels,
+                                std::int64_t SizeN, std::int64_t TileSize) {
+  exec::ParamEnv Env{{"N", SizeN}};
+  graph::Graph G = graph::buildGraph(Chain);
+  const ir::LoopNest &Last = Chain.nest(Chain.numNests() - 1);
+  std::vector<std::int64_t> Sizes(Last.Domain.rank(), TileSize);
+  tiling::ChainTiling Tiling = tiling::overlappedTiling(Chain, Sizes, Env);
+  storage::StoragePlan SPlan =
+      storage::StoragePlan::build(G, /*UseAllocation=*/false);
+  storage::ConcreteStorage Store(SPlan, Env);
+  exec::ExecutionPlan Plan =
+      exec::ExecutionPlan::fromTiling(Chain, Tiling, Store, Env, &G);
+  verify::VerifyOptions Opts;
+  Opts.Kernels = &Kernels;
+  verify::PlanVerifier Verifier(Plan, Opts);
+  verify::Diagnostics Diags = Verifier.verify();
+  if (!Tiling.seedsDisjoint(Env)) {
+    verify::Diagnostic D;
+    D.Sev = verify::Severity::Error;
+    D.CheckId = verify::CheckTaskRace;
+    D.Message = "overlapped tiling has intersecting seed tiles: terminal "
+                "writes of different tiles collide";
+    Diags.add(std::move(D));
+  }
+  return Diags;
+}
+
+bool readFile(const std::filesystem::path &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// Sweeps one .lc chain file through its lowering configurations.
+bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
+                    LintReport &Report) {
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return false;
+  }
+  parser::ParseResult Parsed = parser::parseLoopChain(Source);
+  if (!Parsed) {
+    std::fprintf(stderr, "%s:%u: error: %s\n", Path.c_str(), Parsed.Line,
+                 Parsed.Error.c_str());
+    return false;
+  }
+  ir::LoopChain Chain = std::move(*Parsed.Chain);
+  codegen::KernelRegistry Kernels;
+  assignSyntheticKernels(Chain, Kernels);
+  const std::string Stem = Path.stem().string();
+
+  {
+    graph::Graph G = graph::buildGraph(Chain);
+    Report.add(Stem + ":original", verifyGraph(G, Kernels, SizeN,
+                                               /*UseAllocation=*/true, 1));
+  }
+
+  std::filesystem::path ScriptPath = Path;
+  ScriptPath.replace_extension(".script");
+  std::string Script;
+  if (readFile(ScriptPath, Script)) {
+    for (unsigned Widen : {1u, 2u}) {
+      graph::Graph G = graph::buildGraph(Chain);
+      parser::ScriptResult R = parser::runScript(G, Script);
+      if (!R) {
+        std::fprintf(stderr, "%s:%u: error: %s\n", ScriptPath.c_str(), R.Line,
+                     R.Error.c_str());
+        return false;
+      }
+      storage::reduceStorage(G);
+      std::ostringstream Name;
+      Name << Stem << ":script-reduced-widen" << Widen;
+      Report.add(Name.str(), verifyGraph(G, Kernels, SizeN,
+                                         /*UseAllocation=*/true, Widen));
+    }
+  }
+
+  {
+    graph::Graph G = graph::buildGraph(Chain);
+    (void)graph::autoSchedule(G, {});
+    storage::reduceStorage(G);
+    Report.add(Stem + ":autoschedule-reduced",
+               verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1));
+  }
+
+  Report.add(Stem + ":tiled4", verifyTiled(Chain, Kernels, SizeN, 4));
+  return true;
+}
+
+/// Sweeps the MiniFluxDiv recipes at a small concrete size.
+void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, LintReport &Report) {
+  struct Recipe {
+    const char *Name;
+    void (*Apply)(graph::Graph &);
+    bool Reduce;
+    unsigned Widen;
+  };
+  const Recipe Recipes[] = {
+      {"series", nullptr, false, 1},
+      {"fuseAmong", mfd::applyFuseAmongDirections, true, 1},
+      {"fuseWithin", mfd::applyFuseWithinDirections, true, 1},
+      {"fuseWithin-widen2", mfd::applyFuseWithinDirections, true, 2},
+      {"fuseAll", mfd::applyFuseAllLevels, true, 1},
+      {"fuseAll-widen2", mfd::applyFuseAllLevels, true, 2},
+  };
+  const char *Prefix = ThreeD ? "mfd3d" : "mfd2d";
+  for (const Recipe &R : Recipes) {
+    ir::LoopChain Chain = ThreeD ? mfd::buildChain3D() : mfd::buildChain2D();
+    codegen::KernelRegistry Kernels;
+    mfd::registerKernels(Chain, Kernels);
+    graph::Graph G = graph::buildGraph(Chain);
+    if (R.Apply)
+      R.Apply(G);
+    if (R.Reduce)
+      storage::reduceStorage(G);
+    std::ostringstream Name;
+    Name << Prefix << ":" << R.Name;
+    Report.add(Name.str(),
+               verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true,
+                           R.Widen));
+  }
+  if (!ThreeD) {
+    ir::LoopChain Chain = mfd::buildChain2D();
+    codegen::KernelRegistry Kernels;
+    mfd::registerKernels(Chain, Kernels);
+    graph::Graph G = graph::buildGraph(Chain);
+    (void)graph::autoSchedule(G, {});
+    storage::reduceStorage(G);
+    Report.add(std::string(Prefix) + ":autoschedule-reduced",
+               verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1));
+  }
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--strict] [--json] [--size=N] [<chains-dir>]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Strict = false, Json = false;
+  std::int64_t SizeN = 8;
+  std::string ChainsDir = "examples/chains";
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--strict") {
+      Strict = true;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg.rfind("--size=", 0) == 0) {
+      SizeN = std::atoll(Arg.c_str() + 7);
+      if (SizeN < 2) {
+        std::fprintf(stderr, "error: --size must be at least 2\n");
+        return 2;
+      }
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      ChainsDir = Arg;
+    }
+  }
+
+  LintReport Report;
+  Report.Json = Json;
+
+  std::error_code EC;
+  std::vector<std::filesystem::path> ChainFiles;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(ChainsDir, EC)) {
+    if (Entry.path().extension() == ".lc")
+      ChainFiles.push_back(Entry.path());
+  }
+  if (EC) {
+    std::fprintf(stderr, "error: cannot list %s: %s\n", ChainsDir.c_str(),
+                 EC.message().c_str());
+    return 1;
+  }
+  std::sort(ChainFiles.begin(), ChainFiles.end());
+  for (const std::filesystem::path &Path : ChainFiles)
+    if (!sweepChainFile(Path, SizeN, Report))
+      return 1;
+
+  sweepMiniFluxDiv(/*ThreeD=*/false, /*SizeN=*/6, Report);
+  sweepMiniFluxDiv(/*ThreeD=*/true, /*SizeN=*/4, Report);
+
+  if (!Json)
+    std::printf("lint: %d configuration(s), %d with errors (%zu error(s), "
+                "%zu warning(s), %zu note(s))\n",
+                Report.Runs, Report.RunsWithErrors, Report.Errors,
+                Report.Warnings, Report.Notes);
+  return Strict && Report.RunsWithErrors ? 1 : 0;
+}

@@ -23,6 +23,9 @@
 //     --batched=on|off     row-batched kernel execution for the timed
 //                          run (default on)
 //     --dump-plan          print the compiled ExecutionPlan
+//     --verify[=strict]    run the static legality verifier over the
+//                          compiled plan and the scheduled graph; strict
+//                          mode exits nonzero when any ERROR is found
 //     --size=N             concrete size for --stats/--dump-plan (default 8)
 //     --threads=K          parallelism for --stats runs
 //     -o <file>            write output to a file instead of stdout
@@ -44,6 +47,7 @@
 #include "parser/ScriptRunner.h"
 #include "storage/ReuseDistance.h"
 #include "storage/StorageMap.h"
+#include "verify/PlanVerifier.h"
 
 #include <cstdint>
 #include <cstdio>
@@ -70,6 +74,8 @@ int usage(const char *Argv0) {
       "                      measured-vs-model traffic\n"
       "  --batched=on|off    row-batched execution for the timed run\n"
       "  --dump-plan         print the compiled execution plan\n"
+      "  --verify[=strict]   static legality checks; strict exits nonzero\n"
+      "                      on any ERROR\n"
       "  --size=N            concrete size for --stats/--dump-plan\n"
       "  --threads=K         parallelism for --stats runs\n"
       "  -o <file>           output file (default stdout)\n",
@@ -117,6 +123,7 @@ int main(int argc, char **argv) {
   std::string Emit = "text";
   bool AutoSchedule = false, Reduce = false;
   bool Stats = false, DumpPlan = false, Batched = true;
+  bool Verify = false, VerifyStrict = false;
   std::int64_t SizeN = 8;
   int Threads = 1;
   unsigned Streams = 4;
@@ -146,6 +153,10 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--dump-plan") {
       DumpPlan = true;
+    } else if (Arg == "--verify") {
+      Verify = true;
+    } else if (Arg == "--verify=strict") {
+      Verify = VerifyStrict = true;
     } else if (Arg.rfind("--size=", 0) == 0) {
       SizeN = std::atoll(Arg.c_str() + 7);
       if (SizeN < 1) {
@@ -207,8 +218,9 @@ int main(int argc, char **argv) {
   if (Reduce)
     storage::reduceStorage(G);
 
+  bool VerifyFailed = false;
   std::string Output;
-  if (Stats || DumpPlan) {
+  if (Stats || DumpPlan || Verify) {
     // Compile the (transformed) schedule to an ExecutionPlan at the
     // concrete size and, for --stats, execute it with instrumentation.
     // Parsed chains carry no executable kernels; a synthetic body
@@ -258,6 +270,16 @@ int main(int argc, char **argv) {
     std::ostringstream OS;
     if (DumpPlan)
       OS << Plan.dump();
+    if (Verify) {
+      verify::VerifyOptions VOpts;
+      VOpts.Kernels = &Kernels;
+      verify::PlanVerifier Verifier(Plan, VOpts);
+      verify::Diagnostics Diags = Verifier.verify();
+      verify::checkGraphSchedule(G, Diags);
+      OS << Diags.toString();
+      if (VerifyStrict && Diags.hasErrors())
+        VerifyFailed = true;
+    }
     if (Stats) {
       exec::RunOptions Opts;
       Opts.Threads = Threads;
@@ -316,5 +338,5 @@ int main(int argc, char **argv) {
     }
     Out << Output;
   }
-  return 0;
+  return VerifyFailed ? 1 : 0;
 }
