@@ -5,6 +5,7 @@
 #include "exec/ExecutionPlan.h"
 #include "exec/PlanRunner.h"
 #include "support/Errors.h"
+#include "support/Status.h"
 
 using namespace lcdfg;
 using namespace lcdfg::codegen;
@@ -17,7 +18,8 @@ int KernelRegistry::add(Kernel K, BatchedKernel B) {
 
 const KernelRegistry::Kernel &KernelRegistry::get(int Id) const {
   if (Id < 0 || Id >= static_cast<int>(Kernels.size()))
-    reportFatalError("kernel registry: unknown kernel id " +
+    support::raise(support::ErrorCode::KernelMissing,
+                   "kernel registry: unknown kernel id " +
                      std::to_string(Id));
   return Kernels[static_cast<std::size_t>(Id)];
 }

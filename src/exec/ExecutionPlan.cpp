@@ -8,6 +8,7 @@
 #include "exec/ExecutionPlan.h"
 
 #include "support/Errors.h"
+#include "support/Status.h"
 
 #include <algorithm>
 #include <map>
@@ -88,8 +89,9 @@ Stream makeStream(const storage::ConcreteStorage &Store,
   storage::ConcreteStorage::Resolved R = Store.resolve(Array);
   unsigned Rank = Nest.Domain.rank();
   if (R.Lowers.size() != Rank)
-    reportFatalError("execution plan: rank mismatch between nest " +
-                     Nest.Name + " and array " + Array);
+    support::raise(support::ErrorCode::PlanInvalid,
+                   "execution plan: rank mismatch between nest " + Nest.Name +
+                       " and array " + Array);
   Stream S;
   S.Space = R.Space;
   S.Modulo = R.Modulo;
@@ -103,8 +105,9 @@ Stream makeStream(const storage::ConcreteStorage &Store,
       return L.Iter == Name;
     });
     if (It == Loops.end())
-      reportFatalError("execution plan: unbound iterator " + Name +
-                       " in nest " + Nest.Name);
+      support::raise(support::ErrorCode::PlanInvalid,
+                     "execution plan: unbound iterator " + Name + " in nest " +
+                         Nest.Name);
     std::int64_t Sh = Shift.empty() ? 0 : Shift[D];
     S.LevelStrides[It - Loops.begin()] += R.Strides[D];
     S.Base += (Off[D] - Sh - R.Lowers[D]) * R.Strides[D];
@@ -304,8 +307,9 @@ ExecutionPlan ExecutionPlan::fromAst(const graph::Graph &G,
               Instr.Loops.begin(), Instr.Loops.end(),
               [&](const LoopLevel &L) { return L.Iter == Dim.Name; });
           if (It == Instr.Loops.end())
-            reportFatalError("execution plan: guard on unbound iterator " +
-                             Dim.Name);
+            support::raise(support::ErrorCode::PlanInvalid,
+                           "execution plan: guard on unbound iterator " +
+                               Dim.Name);
           unsigned Level = static_cast<unsigned>(It - Instr.Loops.begin());
           std::int64_t Lo = Dim.Lower.evaluate(Env);
           std::int64_t Hi = Dim.Upper.evaluate(Env);
@@ -407,7 +411,8 @@ std::vector<std::vector<bool>> ExecutionPlan::dependenceClosure() const {
   for (std::size_t J = 0; J < Tasks.size(); ++J) {
     for (int D : Tasks[J].Deps) {
       if (D < 0 || static_cast<std::size_t>(D) >= J)
-        reportFatalError("execution plan: dependence not topological");
+        support::raise(support::ErrorCode::PlanInvalid,
+                       "execution plan: dependence not topological");
       Closure[J][static_cast<std::size_t>(D)] = true;
       for (std::size_t I = 0; I < Tasks.size(); ++I)
         if (Closure[static_cast<std::size_t>(D)][I])
@@ -420,7 +425,8 @@ std::vector<std::vector<bool>> ExecutionPlan::dependenceClosure() const {
 void ExecutionPlan::addDependence(int Before, int After) {
   if (Before < 0 || After < 0 || Before >= static_cast<int>(Tasks.size()) ||
       After >= static_cast<int>(Tasks.size()) || Before == After)
-    reportFatalError("execution plan: invalid dependence");
+    support::raise(support::ErrorCode::PlanInvalid,
+                   "execution plan: invalid dependence");
   Tasks[After].Deps.push_back(Before);
 }
 
@@ -483,4 +489,38 @@ std::string ExecutionPlan::dump() const {
     OS << "\n";
   }
   return OS.str();
+}
+
+support::Expected<ExecutionPlan>
+ExecutionPlan::tryFromChain(const ir::LoopChain &Chain,
+                            const storage::ConcreteStorage &Store,
+                            const ParamEnv &Env, const graph::Graph *G) {
+  auto R =
+      support::tryInvoke([&] { return fromChain(Chain, Store, Env, G); });
+  if (!R)
+    return R.takeError().withContext("compiling chain " + Chain.name());
+  return R;
+}
+
+support::Expected<ExecutionPlan>
+ExecutionPlan::tryFromAst(const graph::Graph &G, const codegen::AstNode &Root,
+                          const storage::ConcreteStorage &Store,
+                          const ParamEnv &Env) {
+  auto R = support::tryInvoke([&] { return fromAst(G, Root, Store, Env); });
+  if (!R)
+    return R.takeError().withContext("compiling transformed schedule");
+  return R;
+}
+
+support::Expected<ExecutionPlan>
+ExecutionPlan::tryFromTiling(const ir::LoopChain &Chain,
+                             const tiling::ChainTiling &Tiling,
+                             const storage::ConcreteStorage &Store,
+                             const ParamEnv &Env, const graph::Graph *G) {
+  auto R = support::tryInvoke(
+      [&] { return fromTiling(Chain, Tiling, Store, Env, G); });
+  if (!R)
+    return R.takeError().withContext("compiling tiled schedule for chain " +
+                                     Chain.name());
+  return R;
 }

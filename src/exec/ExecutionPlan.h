@@ -30,6 +30,7 @@
 #include "codegen/Ast.h"
 #include "graph/Graph.h"
 #include "storage/StorageMap.h"
+#include "support/Status.h"
 #include "tiling/Tiling.h"
 
 #include <cstdint>
@@ -161,6 +162,20 @@ public:
                                   const storage::ConcreteStorage &Store,
                                   const ParamEnv &Env,
                                   const graph::Graph *G = nullptr);
+
+  /// Validating forms of the three compilers: an E008-plan-invalid (or
+  /// E003/E007 storage) Status instead of a thrown StatusError when the
+  /// schedule cannot be lowered against the given concrete storage.
+  static support::Expected<ExecutionPlan>
+  tryFromChain(const ir::LoopChain &Chain, const storage::ConcreteStorage &Store,
+               const ParamEnv &Env, const graph::Graph *G = nullptr);
+  static support::Expected<ExecutionPlan>
+  tryFromAst(const graph::Graph &G, const codegen::AstNode &Root,
+             const storage::ConcreteStorage &Store, const ParamEnv &Env);
+  static support::Expected<ExecutionPlan>
+  tryFromTiling(const ir::LoopChain &Chain, const tiling::ChainTiling &Tiling,
+                const storage::ConcreteStorage &Store, const ParamEnv &Env,
+                const graph::Graph *G = nullptr);
 
   /// Appends an external task; returns its task index.
   int addExternalTask(std::string Label, std::function<void(int)> Work,

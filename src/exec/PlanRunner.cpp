@@ -7,13 +7,17 @@
 
 #include "exec/PlanRunner.h"
 
+#include "exec/FaultInjector.h"
 #include "exec/RowPlan.h"
 #include "exec/TaskGraph.h"
 #include "exec/ThreadPool.h"
 #include "support/Errors.h"
+#include "support/Status.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -214,12 +218,20 @@ void runTask(const ExecutionPlan &Plan, int T,
              int Participant) {
   int InstrIdx = Plan.Tasks[T].Instr;
   const NestInstr &I = Plan.Instrs[InstrIdx];
+  FaultInjector &FI = FaultInjector::global();
+  if (FI.shouldFire(FaultSite::Task))
+    support::raise(support::ErrorCode::FaultInjected,
+                   "injected task failure: task " + std::to_string(T) +
+                       " (" + I.Label + ")");
   if (I.External) {
     Clock::time_point Start = Clock::now();
     I.External(Participant);
     C.credit(InstrIdx, secondsSince(Start), 0, 0);
     return;
   }
+  if (FI.shouldFire(FaultSite::Kernel))
+    support::raise(support::ErrorCode::FaultInjected,
+                   "injected kernel exception in " + I.Label);
   if (Rows && Rows[InstrIdx]) {
     Clock::time_point Start = Clock::now();
     std::int64_t Points = 0, RawReads = 0;
@@ -252,6 +264,81 @@ PlanStats finish(const ExecutionPlan &Plan, Collector &C, double Seconds,
   }
   return Stats;
 }
+
+/// Plan-vs-storage validation: every compiled stream must address its
+/// space within bounds. The hull math matches the Collector's, refined by
+/// each statement's guards; modulo streams wrap into [0, ModSize), so for
+/// them only the window itself must fit. A plan compiled against storage
+/// that later shrank (or a tampered plan) fails here with a structured
+/// diagnostic instead of reading or writing out of bounds.
+void validatePlan(const ExecutionPlan &Plan,
+                  const storage::ConcreteStorage &Store) {
+  if (Plan.NumSpaces > Store.numSpaces())
+    support::raise(support::ErrorCode::PlanInvalid,
+                   "plan addresses " + std::to_string(Plan.NumSpaces) +
+                       " spaces but storage has " +
+                       std::to_string(Store.numSpaces()));
+  for (const NestInstr &I : Plan.Instrs) {
+    if (I.External)
+      continue;
+    bool EmptyNest = false;
+    for (const LoopLevel &L : I.Loops)
+      EmptyNest = EmptyNest || L.Lo > L.Hi;
+    if (EmptyNest)
+      continue;
+    for (const StmtRecord &S : I.Stmts) {
+      auto Check = [&](const Stream &St, const char *What) {
+        if (St.Space >= Store.numSpaces())
+          support::raise(support::ErrorCode::PlanInvalid,
+                         "instruction " + I.Label + ": " + What +
+                             " stream addresses unknown space " +
+                             std::to_string(St.Space));
+        const auto Size =
+            static_cast<std::int64_t>(Store.space(St.Space).size());
+        if (St.Modulo) {
+          if (St.ModSize < 1 || St.ModSize > Size)
+            support::raise(support::ErrorCode::PlanInvalid,
+                           "instruction " + I.Label + ": modulo window " +
+                               std::to_string(St.ModSize) +
+                               " does not fit space " +
+                               std::to_string(St.Space) + " of size " +
+                               std::to_string(Size));
+          return;
+        }
+        std::int64_t Lo = St.Base, Hi = St.Base;
+        for (std::size_t Lv = 0; Lv < I.Loops.size(); ++Lv) {
+          std::int64_t L0 = I.Loops[Lv].Lo, H0 = I.Loops[Lv].Hi;
+          for (const GuardBound &Gd : S.Guards)
+            if (Gd.Level == Lv) {
+              L0 = std::max(L0, Gd.Lo);
+              H0 = std::min(H0, Gd.Hi);
+            }
+          if (L0 > H0)
+            return; // Guard-empty statement: never runs.
+          const std::int64_t A = L0 * St.LevelStrides[Lv];
+          const std::int64_t B = H0 * St.LevelStrides[Lv];
+          Lo += std::min(A, B);
+          Hi += std::max(A, B);
+        }
+        if (Lo < 0 || Hi >= Size)
+          support::raise(support::ErrorCode::PlanInvalid,
+                         "instruction " + I.Label + ": " + What +
+                             " stream spans [" + std::to_string(Lo) + ", " +
+                             std::to_string(Hi) + "] outside space " +
+                             std::to_string(St.Space) + " of size " +
+                             std::to_string(Size));
+      };
+      Check(S.Write, "write");
+      for (const Stream &R : S.Reads)
+        Check(R, "read");
+    }
+  }
+}
+
+/// Redzone padding (elements) on each side of a hardened shadow buffer.
+constexpr std::size_t RedzonePad = 16;
+/// Recognizable canary value; any overwrite (including NaN) trips it.
+constexpr double RedzoneCanary = -6.02214076e123;
 
 } // namespace
 
@@ -288,6 +375,7 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
                         const codegen::KernelRegistry &Kernels,
                         storage::ConcreteStorage &Store,
                         const RunOptions &Opts) {
+  validatePlan(Plan, Store);
   const int Requested = ThreadPool::effectiveThreads(Opts.Threads);
   int Threads = Requested;
   const bool Serialized = Opts.CollectStats && Requested > 1;
@@ -309,10 +397,57 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
 
   Clock::time_point Start = Clock::now();
 
-  // The caller's space table addresses the real storage.
+  // The caller's space table addresses the real storage — or, under
+  // hardened mode, redzone-padded shadow buffers: persistent interiors
+  // copied from the store, temporaries NaN-poisoned so a read-before-write
+  // propagates a recognizable value instead of a silent stale zero.
+  std::vector<std::vector<double>> Shadow;
   std::vector<double *> Shared(Plan.NumSpaces);
-  for (std::size_t S = 0; S < Plan.NumSpaces; ++S)
-    Shared[S] = Store.space(S).data();
+  if (Opts.Harden) {
+    Shadow.resize(Plan.NumSpaces);
+    for (std::size_t S = 0; S < Plan.NumSpaces; ++S) {
+      const std::vector<double> &Real = Store.space(S);
+      Shadow[S].assign(Real.size() + 2 * RedzonePad, RedzoneCanary);
+      if (Plan.SpacePersistent[S])
+        std::copy(Real.begin(), Real.end(), Shadow[S].begin() + RedzonePad);
+      else
+        std::fill(Shadow[S].begin() + static_cast<std::ptrdiff_t>(RedzonePad),
+                  Shadow[S].end() - static_cast<std::ptrdiff_t>(RedzonePad),
+                  std::numeric_limits<double>::quiet_NaN());
+      Shared[S] = Shadow[S].data() + RedzonePad;
+    }
+  } else {
+    for (std::size_t S = 0; S < Plan.NumSpaces; ++S)
+      Shared[S] = Store.space(S).data();
+  }
+
+  // Post-run guard: check every redzone, scan persistent interiors for
+  // escaped NaN, then publish the shadow interiors back to the store.
+  // Raises E013-guard-tripped (leaving the store untouched) on violation.
+  auto HardenGuard = [&]() {
+    if (!Opts.Harden)
+      return;
+    for (std::size_t S = 0; S < Plan.NumSpaces; ++S) {
+      const std::vector<double> &B = Shadow[S];
+      for (std::size_t P = 0; P < RedzonePad; ++P)
+        if (B[P] != RedzoneCanary || B[B.size() - 1 - P] != RedzoneCanary)
+          support::raise(support::ErrorCode::GuardTripped,
+                         "redzone violated on space " + std::to_string(S));
+      if (Plan.SpacePersistent[S])
+        for (std::size_t E = RedzonePad; E < B.size() - RedzonePad; ++E)
+          if (std::isnan(B[E]))
+            support::raise(support::ErrorCode::GuardTripped,
+                           "NaN escaped into persistent space " +
+                               std::to_string(S) + " at element " +
+                               std::to_string(E - RedzonePad) +
+                               " (read-before-write)");
+    }
+    for (std::size_t S = 0; S < Plan.NumSpaces; ++S)
+      if (Plan.SpacePersistent[S])
+        std::copy(Shadow[S].begin() + RedzonePad,
+                  Shadow[S].end() - static_cast<std::ptrdiff_t>(RedzonePad),
+                  Store.space(S).begin());
+  };
 
   if (Threads <= 1 || Plan.Tasks.empty()) {
     // Serial: task order (always a valid topological order) — this is the
@@ -320,7 +455,10 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
     for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
       runTask(Plan, static_cast<int>(T), Kernels, Shared.data(), RowsPtr, C,
               0);
-    return finish(Plan, C, secondsSince(Start), Requested, 1, Serialized);
+    PlanStats St =
+        finish(Plan, C, secondsSince(Start), Requested, 1, Serialized);
+    HardenGuard();
+    return St;
   }
 
   if (!Plan.TileParallel) {
@@ -337,7 +475,10 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
       for (int D : Plan.Tasks[T].Deps)
         TG.addDependence(D, static_cast<int>(T));
     TG.run(Threads);
-    return finish(Plan, C, secondsSince(Start), Requested, Threads, false);
+    PlanStats St =
+        finish(Plan, C, secondsSince(Start), Requested, Threads, false);
+    HardenGuard();
+    return St;
   }
 
   // Tile-parallel: each tile's instructions run back to back on one
@@ -354,7 +495,12 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
     Tables[P] = Shared;
     for (std::size_t S = 0; S < Plan.NumSpaces; ++S)
       if (!Plan.SpacePersistent[S]) {
-        Private[P][S].assign(Store.space(S).size(), 0.0);
+        // Tiles recompute every temporary they read, so zero-filled
+        // private buffers suffice; hardened runs poison them too.
+        Private[P][S].assign(Store.space(S).size(),
+                             Opts.Harden
+                                 ? std::numeric_limits<double>::quiet_NaN()
+                                 : 0.0);
         Tables[P][S] = Private[P][S].data();
       }
   }
@@ -389,14 +535,18 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
         TG.addDependence(From, To);
     }
   TG.run(Threads);
-  return finish(Plan, C, secondsSince(Start), Requested, Threads, false);
+  PlanStats St =
+      finish(Plan, C, secondsSince(Start), Requested, Threads, false);
+  HardenGuard();
+  return St;
 }
 
 PlanStats exec::runPlan(const ExecutionPlan &Plan, const RunOptions &Opts) {
   for (const NestInstr &I : Plan.Instrs)
     if (!I.External)
-      reportFatalError("runPlan: compiled instruction requires kernels and "
-                       "storage");
+      support::raise(support::ErrorCode::KernelMissing,
+                     "runPlan: compiled instruction requires kernels and "
+                     "storage");
   static const codegen::KernelRegistry NoKernels;
   int Threads = ThreadPool::effectiveThreads(Opts.Threads);
   Collector C(Plan, /*CountEdges=*/false);

@@ -84,6 +84,14 @@ struct RunOptions {
   /// qualify fall back to the scalar interpreter. Stats runs always use
   /// the scalar path (it is the element-counting oracle).
   bool Batched = true;
+  /// Hardened mode: run against canary-padded (redzone) shadow buffers
+  /// with NaN-poisoned temporaries. After the run the redzones are checked
+  /// and the persistent spaces scanned for NaN (a poisoned temporary that
+  /// leaked into an output exposes a read-before-write in the schedule);
+  /// any violation raises an E013-guard-tripped StatusError and the
+  /// caller's storage is left untouched. On success the persistent spaces
+  /// are copied back.
+  bool Harden = false;
 };
 
 /// Runs \p Plan against \p Store. Every statement record's kernel must be

@@ -1,0 +1,234 @@
+//===- exec/Recovery.cpp --------------------------------------------------===//
+
+#include "exec/Recovery.h"
+
+#include "exec/FaultInjector.h"
+#include "exec/RowPlan.h"
+#include "exec/ThreadPool.h"
+#include "verify/PlanVerifier.h"
+
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::exec;
+using support::ErrorCode;
+using support::Status;
+
+namespace {
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += ' ';
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+/// First error line of a diagnostics set, for descent details.
+std::string firstError(const verify::Diagnostics &Diags) {
+  for (const verify::Diagnostic &D : Diags.all())
+    if (D.Sev == verify::Severity::Error)
+      return D.toString();
+  return "verifier reported errors";
+}
+
+} // namespace
+
+std::string RunReport::toString() const {
+  std::ostringstream OS;
+  OS << "run report: "
+     << (Completed ? (Recovered ? "recovered" : "completed") : "failed")
+     << " at rung " << FinalRung << "\n";
+  for (const Descent &D : Descents)
+    OS << "  descent from " << D.Rung << " [" << D.Reason << "]: " << D.Detail
+       << "\n";
+  if (!Completed)
+    OS << "  error: " << Error.toString() << "\n";
+  return OS.str();
+}
+
+std::string RunReport::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"completed\":" << (Completed ? "true" : "false")
+     << ",\"recovered\":" << (Recovered ? "true" : "false")
+     << ",\"final_rung\":\"" << jsonEscape(FinalRung) << "\",\"descents\":[";
+  for (std::size_t I = 0; I < Descents.size(); ++I) {
+    if (I)
+      OS << ",";
+    OS << "{\"rung\":\"" << jsonEscape(Descents[I].Rung) << "\",\"reason\":\""
+       << jsonEscape(Descents[I].Reason) << "\",\"detail\":\""
+       << jsonEscape(Descents[I].Detail) << "\"}";
+  }
+  OS << "]";
+  if (!Completed)
+    OS << ",\"error\":" << Error.toJson();
+  OS << "}";
+  return OS.str();
+}
+
+RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
+                                const codegen::KernelRegistry &Kernels,
+                                storage::ConcreteStorage &Store,
+                                const RecoverOptions &Opts) {
+  RunReport R;
+  const ExecutionPlan *Cur = &Plan;
+  storage::ConcreteStorage *CurStore = &Store;
+  RunOptions O = Opts.Run;
+  bool OnFallback = false;
+
+  auto RungName = [&]() {
+    std::string Name = O.Batched ? "batched" : "scalar";
+    Name += ThreadPool::effectiveThreads(O.Threads) > 1 ? "-parallel"
+                                                        : "-serial";
+    if (OnFallback)
+      Name = "fallback-" + Name;
+    return Name;
+  };
+
+  // Switches the ladder to the untransformed fallback plan (scalar,
+  // serial). Returns false when there is nowhere left to descend.
+  auto ToFallback = [&]() {
+    if (OnFallback || !Opts.Fallback)
+      return false;
+    OnFallback = true;
+    Cur = Opts.Fallback;
+    CurStore = Opts.FallbackStore ? Opts.FallbackStore : &Store;
+    O.Batched = false;
+    O.Threads = 1;
+    return true;
+  };
+
+  // Structural fault campaigns mutate the system before the first rung: a
+  // corrupted modulo window lives on a plan copy (the caller's plan stays
+  // pristine), a truncated input mutates the store itself.
+  ExecutionPlan Corrupted;
+  FaultInjector &FI = FaultInjector::global();
+  if (FI.armedFor(FaultSite::Modulo)) {
+    Corrupted = Plan;
+    if (FI.applyPlanFault(Corrupted))
+      Cur = &Corrupted;
+  }
+  FI.applyStorageFault(*Cur, Store);
+
+  const ExecutionPlan *Verified = nullptr;
+  for (;;) {
+    // Strict gate: statically verify each distinct plan before running it.
+    if (Opts.StrictVerify && Cur != Verified) {
+      verify::VerifyOptions VO;
+      VO.Kernels = Opts.VerifyKernels;
+      VO.Budget = Opts.VerifyBudget;
+      verify::PlanVerifier V(*Cur, VO);
+      verify::Diagnostics Diags = V.verify();
+      Verified = Cur;
+      if (Diags.hasErrors()) {
+        std::string Detail = firstError(Diags);
+        R.Descents.push_back({RungName(), ReasonVerifierError, Detail});
+        if (ToFallback())
+          continue;
+        R.FinalRung = RungName();
+        R.Error = Status::error(ErrorCode::Exhausted,
+                                "verifier rejected the plan and no fallback "
+                                "is available: " +
+                                    Detail);
+        return R;
+      }
+    }
+
+    // Batched-compile refusal: an instruction whose statement interleave
+    // has no provable segment cap keeps the whole run on the scalar path
+    // (the per-instruction fallback inside runPlan covers the benign
+    // refusal classes silently; the unsafe class is worth reporting).
+    if (O.Batched) {
+      for (const NestInstr &I : Cur->Instrs) {
+        if (I.External)
+          continue;
+        if (RowPlan::analyze(I, Kernels).Refusal ==
+            RowRefusal::UnsafeInterleave) {
+          R.Descents.push_back(
+              {RungName(), ReasonBatchedRefusal,
+               "instruction " + I.Label + ": no safe segment cap provable"});
+          O.Batched = false;
+          break;
+        }
+      }
+    }
+
+    Status Err;
+    try {
+      R.Stats = runPlan(*Cur, Kernels, *CurStore, O);
+      R.Completed = true;
+      R.Recovered = !R.Descents.empty();
+      R.FinalRung = RungName();
+      return R;
+    } catch (const support::StatusError &E) {
+      Err = E.status();
+    } catch (const std::exception &E) {
+      Err = Status::error(ErrorCode::Internal, E.what());
+    }
+
+    switch (Err.code()) {
+    case ErrorCode::PlanInvalid:
+    case ErrorCode::StorageInvalid:
+    case ErrorCode::UnknownArray:
+    case ErrorCode::KernelMissing:
+    case ErrorCode::InvalidChain:
+    case ErrorCode::VerifierRejected: {
+      // Deterministic rejections: the same rung would fail identically, so
+      // jump straight to the fallback plan.
+      R.Descents.push_back({RungName(), ReasonPlanInvalid, Err.toString()});
+      if (ToFallback())
+        continue;
+      break;
+    }
+    case ErrorCode::GuardTripped: {
+      const char *Reason =
+          Err.message().find("redzone") != std::string::npos ? ReasonRedzone
+                                                             : ReasonNanGuard;
+      R.Descents.push_back({RungName(), Reason, Err.toString()});
+      if (ToFallback())
+        continue;
+      break;
+    }
+    default: {
+      // Runtime failures (worker exceptions, injected faults): retry one
+      // rung down — batched->scalar, then parallel->serial, then the
+      // fallback plan.
+      R.Descents.push_back({RungName(), ReasonWorkerException,
+                            Err.toString()});
+      if (O.Batched) {
+        O.Batched = false;
+        continue;
+      }
+      if (ThreadPool::effectiveThreads(O.Threads) > 1) {
+        O.Threads = 1;
+        continue;
+      }
+      if (ToFallback())
+        continue;
+      break;
+    }
+    }
+
+    R.FinalRung = RungName();
+    R.Error = Status::error(ErrorCode::Exhausted,
+                            "every degradation rung failed; last error: " +
+                                Err.toString());
+    return R;
+  }
+}

@@ -9,6 +9,7 @@
 
 #include "exec/ThreadPool.h"
 #include "support/Errors.h"
+#include "support/Status.h"
 
 #include <utility>
 
@@ -50,7 +51,8 @@ std::vector<std::vector<int>> TaskGraph::wavefronts() const {
     Ready = std::move(Next);
   }
   if (Done != N)
-    reportFatalError("TaskGraph: dependence cycle detected");
+    support::raise(support::ErrorCode::DependenceCycle,
+                   "TaskGraph: dependence cycle detected");
   return Levels;
 }
 

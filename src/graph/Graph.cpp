@@ -3,6 +3,7 @@
 #include "graph/Graph.h"
 
 #include "support/Errors.h"
+#include "support/Status.h"
 
 #include <algorithm>
 #include <cassert>
@@ -197,11 +198,13 @@ void Graph::verify() const {
     if (E.FromKind == EndpointKind::Value) {
       if (E.From >= Values.size() || E.To >= Stmts.size() ||
           Values[E.From].Dead || Stmts[E.To].Dead)
-        reportFatalError("graph verify: dangling read edge");
+        support::raise(support::ErrorCode::GraphInvalid,
+                       "graph verify: dangling read edge");
     } else {
       if (E.From >= Stmts.size() || E.To >= Values.size() ||
           Stmts[E.From].Dead || Values[E.To].Dead)
-        reportFatalError("graph verify: dangling write edge");
+        support::raise(support::ErrorCode::GraphInvalid,
+                       "graph verify: dangling write edge");
     }
   }
   // Each temporary value has at most one producer; persistent outputs may
@@ -213,8 +216,9 @@ void Graph::verify() const {
       ++Producers[E.To];
   for (NodeId I = 0; I < Values.size(); ++I)
     if (!Values[I].Dead && !Values[I].Persistent && Producers[I] > 1)
-      reportFatalError("graph verify: temporary value " + Values[I].Array +
-                       " has multiple producers");
+      support::raise(support::ErrorCode::GraphInvalid,
+                     "graph verify: temporary value " + Values[I].Array +
+                         " has multiple producers");
   // Rows respect dataflow: a consumer's row is strictly after its
   // producer's row.
   for (NodeId S = 0; S < Stmts.size(); ++S) {
@@ -227,8 +231,9 @@ void Graph::verify() const {
       if (Producer == InvalidNode || Producer == S)
         continue;
       if (Stmts[Producer].Row >= Stmts[S].Row)
-        reportFatalError("graph verify: row order violates dataflow from " +
-                         Stmts[Producer].Label + " to " + Stmts[S].Label);
+        support::raise(support::ErrorCode::GraphInvalid,
+                       "graph verify: row order violates dataflow from " +
+                           Stmts[Producer].Label + " to " + Stmts[S].Label);
     }
   }
 }

@@ -3,11 +3,21 @@
 #include "graph/GraphBuilder.h"
 
 #include "support/Errors.h"
+#include "support/Status.h"
 
 #include <map>
 
 using namespace lcdfg;
 using namespace lcdfg::graph;
+
+support::Expected<Graph> graph::tryBuildGraph(const ir::LoopChain &Chain,
+                                              const BuildOptions &Options) {
+  auto R = support::tryInvoke([&] { return buildGraph(Chain, Options); });
+  if (!R)
+    return R.takeError().withContext("building M2DFG for chain " +
+                                     Chain.name());
+  return R;
+}
 
 std::string graph::rowGroupLabel(std::string_view NestName) {
   auto Pos = NestName.rfind('_');
@@ -74,12 +84,14 @@ Graph graph::buildGraph(const ir::LoopChain &Chain,
     for (const ir::Access &R : Nest.Reads) {
       auto It = ValueIds.find(R.Array);
       if (It == ValueIds.end())
-        reportFatalError("graph build: unknown array " + R.Array);
+        support::raise(support::ErrorCode::UnknownArray,
+                       "graph build: unknown array " + R.Array);
       G.addReadEdge(It->second, StmtId);
     }
     auto It = ValueIds.find(Nest.Write.Array);
     if (It == ValueIds.end())
-      reportFatalError("graph build: unknown array " + Nest.Write.Array);
+      support::raise(support::ErrorCode::UnknownArray,
+                     "graph build: unknown array " + Nest.Write.Array);
     G.addWriteEdge(StmtId, It->second);
   }
 

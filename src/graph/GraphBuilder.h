@@ -18,6 +18,7 @@
 #define LCDFG_GRAPH_GRAPHBUILDER_H
 
 #include "graph/Graph.h"
+#include "support/Status.h"
 
 namespace lcdfg {
 namespace graph {
@@ -41,6 +42,12 @@ struct BuildOptions {
 /// Builds the initial (series-of-loops schedule) M2DFG for \p Chain. The
 /// chain must be finalized.
 Graph buildGraph(const ir::LoopChain &Chain, const BuildOptions &Options = {});
+
+/// Validating form of buildGraph: an E003-unknown-array or
+/// E004-graph-invalid Status instead of a thrown StatusError when the
+/// chain references undeclared arrays or the built graph fails verify().
+support::Expected<Graph> tryBuildGraph(const ir::LoopChain &Chain,
+                                       const BuildOptions &Options = {});
 
 /// Returns the row-group label of a nest name: the prefix before the last
 /// '_' when present ("Fx1_rho" -> "Fx1"), otherwise the whole name.

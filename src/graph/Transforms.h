@@ -20,6 +20,7 @@
 #define LCDFG_GRAPH_TRANSFORMS_H
 
 #include "graph/Graph.h"
+#include "support/Status.h"
 
 #include <string>
 
@@ -35,6 +36,14 @@ struct TransformResult {
   static TransformResult success() { return {}; }
   static TransformResult failure(std::string Msg) {
     return TransformResult{false, std::move(Msg)};
+  }
+
+  /// Folds the legacy Ok/Error pair into the common diagnostics
+  /// vocabulary: ok(), or an E005-illegal-transform Status.
+  support::Status status() const {
+    if (Ok)
+      return support::Status::ok();
+    return support::Status::error(support::ErrorCode::IllegalTransform, Error);
   }
 };
 

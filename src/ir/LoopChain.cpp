@@ -6,15 +6,17 @@
 #include "support/Errors.h"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
 #include <sstream>
 
 using namespace lcdfg;
 using namespace lcdfg::ir;
+using support::ErrorCode;
 
 std::vector<std::int64_t> Access::minOffsets() const {
-  assert(!Offsets.empty() && "access with no stencil points");
+  if (Offsets.empty())
+    support::raise(ErrorCode::InvalidChain,
+                   "access " + Array + " has no stencil points");
   std::vector<std::int64_t> Min = Offsets.front();
   for (const auto &O : Offsets)
     for (std::size_t I = 0; I < Min.size(); ++I)
@@ -23,7 +25,9 @@ std::vector<std::int64_t> Access::minOffsets() const {
 }
 
 std::vector<std::int64_t> Access::maxOffsets() const {
-  assert(!Offsets.empty() && "access with no stencil points");
+  if (Offsets.empty())
+    support::raise(ErrorCode::InvalidChain,
+                   "access " + Array + " has no stencil points");
   std::vector<std::int64_t> Max = Offsets.front();
   for (const auto &O : Offsets)
     for (std::size_t I = 0; I < Max.size(); ++I)
@@ -50,24 +54,75 @@ std::string Access::toString() const {
 }
 
 poly::BoxSet LoopNest::writeFootprint() const {
-  assert(Write.Offsets.size() == 1 && "write must be a single point");
+  if (Write.Offsets.size() != 1)
+    support::raise(ErrorCode::InvalidChain,
+                   "nest " + Name + ": write must be a single point");
   return Domain.translated(Write.Offsets.front());
 }
 
 poly::BoxSet LoopNest::readFootprint(unsigned I) const {
-  assert(I < Reads.size() && "read index out of range");
+  if (I >= Reads.size())
+    support::raise(ErrorCode::InvalidChain,
+                   "nest " + Name + ": read index " + std::to_string(I) +
+                       " out of range (" + std::to_string(Reads.size()) +
+                       " reads)");
   const Access &A = Reads[I];
+  if (A.Offsets.empty())
+    support::raise(ErrorCode::InvalidChain,
+                   "nest " + Name + ": read " + A.Array +
+                       " has no stencil points");
   poly::BoxSet FP = Domain.translated(A.Offsets.front());
   for (std::size_t P = 1; P < A.Offsets.size(); ++P)
     FP = FP.hull(Domain.translated(A.Offsets[P]));
   return FP;
 }
 
-unsigned LoopChain::addNest(LoopNest Nest) {
-  assert(Nest.Write.Offsets.size() == 1 &&
-         "loop chain nests write exactly one point per iteration");
+support::Status LoopNest::validate(unsigned Rank) const {
+  auto Invalid = [&](std::string Msg) {
+    return support::Status::error(ErrorCode::InvalidChain,
+                                  "nest " + Name + ": " + std::move(Msg));
+  };
+  if (Write.Offsets.empty())
+    return Invalid("write access " + Write.Array + " has an empty stencil");
+  if (Write.Offsets.size() != 1)
+    return Invalid("write access " + Write.Array + " has " +
+                   std::to_string(Write.Offsets.size()) +
+                   " points; loop chain nests write exactly one point per "
+                   "iteration");
+  auto CheckRank = [&](const Access &A) -> support::Status {
+    if (A.Offsets.empty())
+      return Invalid("access " + A.Array + " has an empty stencil");
+    for (const std::vector<std::int64_t> &O : A.Offsets)
+      if (O.size() != Rank)
+        return Invalid("access " + A.Array + " offset rank " +
+                       std::to_string(O.size()) + " does not match domain "
+                       "rank " + std::to_string(Rank));
+    return support::Status::ok();
+  };
+  if (support::Status S = CheckRank(Write); !S)
+    return S;
+  for (const Access &R : Reads)
+    if (support::Status S = CheckRank(R); !S)
+      return S;
+  return support::Status::ok();
+}
+
+support::Expected<unsigned> LoopChain::tryAddNest(LoopNest Nest) {
+  if (support::Status S = Nest.validate(Nest.Domain.rank()); !S)
+    return S.withContext("adding nest to chain " + Name);
   Nests.push_back(std::move(Nest));
   return static_cast<unsigned>(Nests.size() - 1);
+}
+
+unsigned LoopChain::addNest(LoopNest Nest) {
+  return tryAddNest(std::move(Nest)).expect("LoopChain::addNest");
+}
+
+support::Status LoopChain::validate() const {
+  for (const LoopNest &Nest : Nests)
+    if (support::Status S = Nest.validate(Nest.Domain.rank()); !S)
+      return S.withContext("validating chain " + Name);
+  return support::Status::ok();
 }
 
 void LoopChain::declareArray(ArrayInfo Info) {
@@ -87,7 +142,8 @@ bool LoopChain::hasArray(std::string_view Name) const {
 const ArrayInfo &LoopChain::array(std::string_view Name) const {
   auto It = Arrays.find(Name);
   if (It == Arrays.end())
-    reportFatalError("unknown array: " + std::string(Name));
+    support::raise(ErrorCode::UnknownArray,
+                   "unknown array: " + std::string(Name));
   return It->second;
 }
 
@@ -156,8 +212,9 @@ Polynomial LoopChain::valueSize(std::string_view ArrayName,
                                 std::string_view Symbol) const {
   const ArrayInfo &Info = array(ArrayName);
   if (!Info.Extent)
-    reportFatalError("array has no extent (finalize() not called?): " +
-                     std::string(ArrayName));
+    support::raise(ErrorCode::StorageInvalid,
+                   "array has no extent (finalize() not called?): " +
+                       std::string(ArrayName));
   return Info.Extent->cardinality(Symbol);
 }
 

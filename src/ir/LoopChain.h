@@ -19,6 +19,7 @@
 
 #include "poly/BoxSet.h"
 #include "support/Polynomial.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <map>
@@ -65,6 +66,12 @@ struct LoopNest {
   /// Image of the I-th read access over the domain (hull over the stencil
   /// points).
   poly::BoxSet readFootprint(unsigned I) const;
+
+  /// Structural validation of one nest against the loop-chain model:
+  /// exactly one single-point write tuple, every access non-empty, every
+  /// stencil offset of the domain's rank. Parser-reachable — malformed
+  /// chains must report in Release builds too, so these are not asserts.
+  support::Status validate(unsigned Rank) const;
 };
 
 /// How an array relates to the chain (Section 3.1: persistent value sets are
@@ -91,8 +98,18 @@ public:
   const std::string &scheduleHint() const { return ScheduleHint; }
   void setScheduleHint(std::string Hint) { ScheduleHint = std::move(Hint); }
 
-  /// Appends a nest; returns its index.
+  /// Appends a nest; returns its index. Aborts on a structurally invalid
+  /// nest (programmatic builders construct valid nests by construction);
+  /// parser-reachable paths use tryAddNest.
   unsigned addNest(LoopNest Nest);
+
+  /// Validating form of addNest: returns the new index, or an
+  /// E002-invalid-chain Status describing the first violation (empty
+  /// stencil, multi-point write, offset/domain rank mismatch).
+  support::Expected<unsigned> tryAddNest(LoopNest Nest);
+
+  /// Re-validates every nest (the tryAddNest checks over the whole chain).
+  support::Status validate() const;
 
   unsigned numNests() const { return static_cast<unsigned>(Nests.size()); }
   const LoopNest &nest(unsigned I) const { return Nests[I]; }

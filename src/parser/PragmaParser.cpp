@@ -71,10 +71,13 @@ Cursor preprocess(std::string_view Source) {
   return C;
 }
 
-ParseResult makeError(std::string Msg, unsigned Line) {
+ParseResult makeError(std::string Msg, unsigned Line, unsigned Column = 0,
+                      std::string Snippet = "") {
   ParseResult R;
   R.Error = std::move(Msg);
   R.Line = Line;
+  R.Column = Column;
+  R.Snippet = std::move(Snippet);
   return R;
 }
 
@@ -189,6 +192,21 @@ ParseResult parser::parseLoopChain(std::string_view Source) {
   while (!C.atEnd()) {
     std::string_view Line = C.peek();
     unsigned LineNo = C.lineNo();
+    // Columns are 1-based offsets into the *logical* line (continuations
+    // joined), which is also the snippet the caret renders into.
+    auto ColOf = [&](std::string_view Sub, std::size_t Off) -> unsigned {
+      if (Sub.data() < Line.data() ||
+          Sub.data() > Line.data() + Line.size())
+        return 0;
+      std::size_t Base = static_cast<std::size_t>(Sub.data() - Line.data());
+      std::size_t Col = Base + Off;
+      if (Col >= Line.size())
+        Col = Line.empty() ? 0 : Line.size() - 1;
+      return static_cast<unsigned>(Col) + 1;
+    };
+    auto Err = [&](std::string Msg, unsigned Column) {
+      return makeError(std::move(Msg), LineNo, Column, std::string(Line));
+    };
     // Accept both "#pragma omplc ..." and bare "omplc ..." directives.
     std::string_view Rest = Line;
     bool IsPragma = consumePrefix(Rest, "#pragma omplc") ||
@@ -203,38 +221,39 @@ ParseResult parser::parseLoopChain(std::string_view Source) {
       std::size_t Pos = 0;
       auto Hint = takeParenGroup(Rest, Pos);
       if (!Hint)
-        return makeError("expected (schedule) after 'parallel'", LineNo);
+        return Err("expected (schedule) after 'parallel'", ColOf(Rest, Pos));
       Chain.setScheduleHint(std::string(trim(*Hint)));
       SawParallel = true;
       C.advance();
       continue;
     }
     if (!consumePrefix(Rest, "for"))
-      return makeError("unknown omplc directive: " + std::string(Rest),
-                       LineNo);
+      return Err("unknown omplc directive: " + std::string(Rest),
+                 ColOf(Rest, 0));
 
     // --- domain(...) ---
     std::string S(Rest);
+    auto SCol = [&](std::size_t Off) { return ColOf(Rest, Off); };
     std::size_t DomPos = S.find("domain");
     if (DomPos == std::string::npos)
-      return makeError("omplc for: missing domain clause", LineNo);
+      return Err("omplc for: missing domain clause", SCol(0));
     std::size_t Pos = DomPos + 6;
     auto DomBody = takeParenGroup(S, Pos);
     if (!DomBody)
-      return makeError("omplc for: malformed domain clause", LineNo);
+      return Err("omplc for: malformed domain clause", SCol(DomPos));
     std::vector<std::string> Ranges = splitTopLevel(*DomBody, ',');
 
     // --- with (...) ---
     std::size_t WithPos = S.find("with", Pos);
     if (WithPos == std::string::npos)
-      return makeError("omplc for: missing with clause", LineNo);
+      return Err("omplc for: missing with clause", SCol(Pos));
     std::size_t WPos = WithPos + 4;
     auto WithBody = takeParenGroup(S, WPos);
     if (!WithBody)
-      return makeError("omplc for: malformed with clause", LineNo);
+      return Err("omplc for: malformed with clause", SCol(WithPos));
     std::vector<std::string> Iters = split(*WithBody, ',');
     if (Iters.size() != Ranges.size())
-      return makeError("omplc for: domain/with arity mismatch", LineNo);
+      return Err("omplc for: domain/with arity mismatch", SCol(WithPos));
 
     // --- optional order (...) ---
     std::vector<std::string> Order;
@@ -244,7 +263,7 @@ ParseResult parser::parseLoopChain(std::string_view Source) {
       std::size_t OPos = OrderPos + 5;
       auto OrderBody = takeParenGroup(S, OPos);
       if (!OrderBody)
-        return makeError("omplc for: malformed order clause", LineNo);
+        return Err("omplc for: malformed order clause", SCol(OrderPos));
       Order = split(*OrderBody, ',');
       AccessStart = OPos;
     } else {
@@ -252,7 +271,8 @@ ParseResult parser::parseLoopChain(std::string_view Source) {
       Order.assign(Iters.rbegin(), Iters.rend());
     }
     if (Order.size() != Iters.size())
-      return makeError("omplc for: order/with arity mismatch", LineNo);
+      return Err("omplc for: order/with arity mismatch",
+                 SCol(OrderPos == std::string::npos ? WithPos : OrderPos));
 
     // Map with-tuple position -> domain dimension index (loop order).
     std::vector<unsigned> IterToDim(Iters.size(), 0);
@@ -265,7 +285,8 @@ ParseResult parser::parseLoopChain(std::string_view Source) {
           break;
         }
       if (!Found)
-        return makeError("order clause missing iterator " + Iters[P], LineNo);
+        return Err("order clause missing iterator " + Iters[P],
+                   SCol(OrderPos == std::string::npos ? WithPos : OrderPos));
     }
 
     // Build the domain in loop order (outermost first).
@@ -273,14 +294,13 @@ ParseResult parser::parseLoopChain(std::string_view Source) {
     for (std::size_t P = 0; P < Ranges.size(); ++P) {
       std::vector<std::string> Parts = split(Ranges[P], ':');
       if (Parts.size() != 2)
-        return makeError("domain range '" + Ranges[P] +
-                             "' must be lower:upper",
-                         LineNo);
+        return Err("domain range '" + Ranges[P] + "' must be lower:upper",
+                   SCol(DomPos));
       auto Lo = poly::AffineExpr::parse(Parts[0]);
       auto Hi = poly::AffineExpr::parse(Parts[1]);
       if (!Lo || !Hi)
-        return makeError("cannot parse domain bounds '" + Ranges[P] + "'",
-                         LineNo);
+        return Err("cannot parse domain bounds '" + Ranges[P] + "'",
+                   SCol(DomPos));
       Dims[IterToDim[P]] = poly::Dim{Iters[P], *Lo, *Hi};
     }
 
@@ -296,33 +316,35 @@ ParseResult parser::parseLoopChain(std::string_view Source) {
         ++TPos;
       if (TPos >= Tail.size())
         break;
-      std::string Err;
+      std::string AccessErr;
+      std::size_t ClauseStart = TPos;
+      auto TCol = [&](std::size_t Off) { return SCol(AccessStart + Off); };
       if (Tail.substr(TPos, 5) == "write") {
         TPos += 5;
-        auto A = takeAccess(Tail, TPos, Iters, IterToDim, Err);
+        auto A = takeAccess(Tail, TPos, Iters, IterToDim, AccessErr);
         if (!A)
-          return makeError(Err, LineNo);
+          return Err(std::move(AccessErr), TCol(TPos));
         if (SawWrite)
-          return makeError("multiple write clauses in one nest", LineNo);
+          return Err("multiple write clauses in one nest", TCol(ClauseStart));
         if (A->Offsets.size() != 1)
-          return makeError("write access must have exactly one tuple",
-                           LineNo);
+          return Err("write access must have exactly one tuple",
+                     TCol(ClauseStart));
         Nest.Write = std::move(*A);
         SawWrite = true;
       } else if (Tail.substr(TPos, 4) == "read") {
         TPos += 4;
-        auto A = takeAccess(Tail, TPos, Iters, IterToDim, Err);
+        auto A = takeAccess(Tail, TPos, Iters, IterToDim, AccessErr);
         if (!A)
-          return makeError(Err, LineNo);
+          return Err(std::move(AccessErr), TCol(TPos));
         Nest.Reads.push_back(std::move(*A));
       } else {
-        return makeError("expected 'write' or 'read', got '" +
-                             std::string(Tail.substr(TPos, 10)) + "'",
-                         LineNo);
+        return Err("expected 'write' or 'read', got '" +
+                       std::string(Tail.substr(TPos, 10)) + "'",
+                   TCol(TPos));
       }
     }
     if (!SawWrite)
-      return makeError("omplc for: missing write clause", LineNo);
+      return Err("omplc for: missing write clause", SCol(0));
 
     // --- statement body: following non-pragma lines up to ';' ---
     C.advance();
@@ -358,15 +380,47 @@ ParseResult parser::parseLoopChain(std::string_view Source) {
       Name = "S" + std::to_string(++StmtCounter);
     Nest.Name = Name;
     Nest.BodyText = Body;
-    Chain.addNest(std::move(Nest));
+    if (auto Added = Chain.tryAddNest(std::move(Nest)); !Added)
+      return makeError(Added.error().toString(), LineNo, 0,
+                       std::string(Line));
   }
 
   if (Chain.numNests() == 0)
     return makeError("no loop nests found", 1);
   if (!SawParallel)
     Chain.setScheduleHint("");
-  Chain.finalize();
+  try {
+    Chain.finalize();
+  } catch (const support::StatusError &E) {
+    return makeError(E.status().toString(), 1);
+  }
   ParseResult R;
   R.Chain = std::move(Chain);
   return R;
+}
+
+std::string ParseResult::formatted() const {
+  if (Chain)
+    return "ok";
+  std::ostringstream OS;
+  OS << "line " << Line;
+  if (Column)
+    OS << ", column " << Column;
+  OS << ": " << Error;
+  if (!Snippet.empty()) {
+    OS << "\n  " << Snippet;
+    if (Column)
+      OS << "\n  " << std::string(Column - 1, ' ') << '^';
+  }
+  return OS.str();
+}
+
+support::Status ParseResult::status() const {
+  if (Chain)
+    return support::Status::ok();
+  support::Status S =
+      support::Status::error(support::ErrorCode::Parse, Error);
+  S.withContext("parsing pragma text at line " + std::to_string(Line) +
+                (Column ? ", column " + std::to_string(Column) : ""));
+  return S;
 }

@@ -33,6 +33,7 @@
 #define LCDFG_PARSER_PRAGMAPARSER_H
 
 #include "ir/LoopChain.h"
+#include "support/Status.h"
 
 #include <optional>
 #include <string>
@@ -41,13 +42,29 @@
 namespace lcdfg {
 namespace parser {
 
-/// Result of a parse: either a chain or a diagnostic.
+/// Result of a parse: either a chain or a diagnostic. Diagnostics carry
+/// the 1-based line and column of the failure plus the offending logical
+/// source line (continuations joined, comments stripped) so callers can
+/// render a caret snippet.
 struct ParseResult {
   std::optional<ir::LoopChain> Chain;
-  std::string Error; // empty on success
-  unsigned Line = 0; // 1-based line of the error
+  std::string Error;   // empty on success
+  unsigned Line = 0;   // 1-based line of the error
+  unsigned Column = 0; // 1-based column within Snippet (0 = unknown)
+  std::string Snippet; // the logical source line the error points into
 
   explicit operator bool() const { return Chain.has_value(); }
+
+  /// "line L, column C: message", followed by the snippet and a caret
+  /// line when position information is available:
+  ///   line 3, column 17: omplc for: malformed domain clause
+  ///     omplc for domain 0:8) with (x) write A{(x)}
+  ///                      ^
+  std::string formatted() const;
+
+  /// Folds the diagnostic into the common vocabulary: ok() on success,
+  /// otherwise an E001-parse Status with the position as context.
+  support::Status status() const;
 };
 
 /// Parses an annotated source fragment into a LoopChain. The chain is

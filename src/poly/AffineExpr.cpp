@@ -3,6 +3,7 @@
 #include "poly/AffineExpr.h"
 
 #include "support/Errors.h"
+#include "support/Status.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
@@ -87,7 +88,8 @@ std::int64_t AffineExpr::evaluate(
   for (const auto &[Name, C] : Coeffs) {
     auto It = Env.find(Name);
     if (It == Env.end())
-      reportFatalError("unbound variable in AffineExpr::evaluate: " + Name);
+      support::raise(support::ErrorCode::InvalidChain,
+                     "unbound variable in AffineExpr::evaluate: " + Name);
     Result += C * It->second;
   }
   return Result;
@@ -97,7 +99,8 @@ Polynomial AffineExpr::toPolynomial(std::string_view Symbol) const {
   Polynomial P(Constant);
   for (const auto &[Name, C] : Coeffs) {
     if (Name != Symbol)
-      reportFatalError("AffineExpr::toPolynomial: stray variable " + Name);
+      support::raise(support::ErrorCode::InvalidChain,
+                     "AffineExpr::toPolynomial: stray variable " + Name);
     P += Polynomial::term(C, 1);
   }
   return P;

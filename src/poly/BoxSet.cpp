@@ -3,6 +3,7 @@
 #include "poly/BoxSet.h"
 
 #include "support/Errors.h"
+#include "support/Status.h"
 
 #include <cassert>
 #include <sstream>
@@ -19,8 +20,11 @@ AffineExpr poly::affineMax(const AffineExpr &A, const AffineExpr &B) {
   case AffineExpr::SignKind::NonPositive:
     return B;
   case AffineExpr::SignKind::Unknown:
-    reportFatalError("affineMax: ambiguous bound comparison between " +
-                     A.toString() + " and " + B.toString());
+    // Reachable from hostile chain sources (multi-parameter or shifted
+    // bounds); must surface as a diagnostic, not kill the process.
+    support::raise(support::ErrorCode::InvalidChain,
+                   "affineMax: ambiguous bound comparison between " +
+                       A.toString() + " and " + B.toString());
   }
   LCDFG_UNREACHABLE("covered switch");
 }
@@ -34,8 +38,9 @@ AffineExpr poly::affineMin(const AffineExpr &A, const AffineExpr &B) {
   case AffineExpr::SignKind::NonNegative:
     return B;
   case AffineExpr::SignKind::Unknown:
-    reportFatalError("affineMin: ambiguous bound comparison between " +
-                     A.toString() + " and " + B.toString());
+    support::raise(support::ErrorCode::InvalidChain,
+                   "affineMin: ambiguous bound comparison between " +
+                       A.toString() + " and " + B.toString());
   }
   LCDFG_UNREACHABLE("covered switch");
 }

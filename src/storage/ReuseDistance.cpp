@@ -3,6 +3,7 @@
 #include "storage/ReuseDistance.h"
 
 #include "support/Errors.h"
+#include "support/Status.h"
 
 #include <cassert>
 
@@ -41,7 +42,8 @@ Polynomial storage::reducedSize(const Graph &G, NodeId ValueId,
     if (G.chain().nest(Node.Nests[I]).Write.Array == Value.Array)
       WriterIdx = static_cast<int>(I);
   if (WriterIdx < 0)
-    reportFatalError("reducedSize: no member writes " + Value.Array);
+    support::raise(support::ErrorCode::StorageInvalid,
+                   "reducedSize: no member writes " + Value.Array);
   const ir::LoopNest &WNest = G.chain().nest(Node.Nests[WriterIdx]);
   const std::vector<std::int64_t> &WOff = WNest.Write.Offsets.front();
   const std::vector<std::int64_t> &WShift = Node.Shifts[WriterIdx];

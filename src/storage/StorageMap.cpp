@@ -3,6 +3,7 @@
 #include "storage/StorageMap.h"
 
 #include "support/Errors.h"
+#include "support/Status.h"
 
 #include <cassert>
 #include <sstream>
@@ -48,7 +49,8 @@ StoragePlan StoragePlan::build(const Graph &G, bool UseAllocation,
       continue;
     const ir::ArrayInfo &Info = G.chain().array(Value.Array);
     if (!Info.Extent)
-      reportFatalError("storage plan: array without extent: " + Value.Array);
+      support::raise(support::ErrorCode::StorageInvalid,
+                     "storage plan: array without extent: " + Value.Array);
 
     StorageMap M;
     M.Array = Value.Array;
@@ -85,7 +87,8 @@ StoragePlan StoragePlan::build(const Graph &G, bool UseAllocation,
 const StorageMap &StoragePlan::map(std::string_view Array) const {
   auto It = Maps.find(Array);
   if (It == Maps.end())
-    reportFatalError("storage plan: no map for array " + std::string(Array));
+    support::raise(support::ErrorCode::UnknownArray,
+                   "storage plan: no map for array " + std::string(Array));
   return It->second;
 }
 
@@ -179,7 +182,8 @@ const ConcreteStorage::ArrayLayout &
 ConcreteStorage::layout(std::string_view Array) const {
   auto It = Layouts.find(Array);
   if (It == Layouts.end())
-    reportFatalError("concrete storage: unknown array " + std::string(Array));
+    support::raise(support::ErrorCode::UnknownArray,
+                   "concrete storage: unknown array " + std::string(Array));
   return It->second;
 }
 
@@ -229,4 +233,14 @@ void ConcreteStorage::clear() {
 
 std::vector<double> &ConcreteStorage::spaceOf(std::string_view Array) {
   return Spaces[layout(Array).Space];
+}
+
+support::Expected<StoragePlan> StoragePlan::tryBuild(const graph::Graph &G,
+                                                     bool UseAllocation,
+                                                     unsigned ModuloWiden) {
+  auto R = support::tryInvoke(
+      [&] { return build(G, UseAllocation, ModuloWiden); });
+  if (!R)
+    return R.takeError().withContext("building storage plan");
+  return R;
 }

@@ -21,6 +21,7 @@
 #include "graph/Graph.h"
 #include "storage/LivenessAllocator.h"
 #include "support/Polynomial.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <map>
@@ -77,6 +78,13 @@ public:
   /// lengthen the wrap-free runs of small windows.
   static StoragePlan build(const graph::Graph &G, bool UseAllocation = true,
                            unsigned ModuloWiden = 1);
+
+  /// Validating form of build: an E007-storage-invalid or
+  /// E003-unknown-array Status instead of a thrown StatusError when the
+  /// graph carries extent-less live arrays.
+  static support::Expected<StoragePlan>
+  tryBuild(const graph::Graph &G, bool UseAllocation = true,
+           unsigned ModuloWiden = 1);
 
   const StorageMap &map(std::string_view Array) const;
   bool hasMap(std::string_view Array) const;

@@ -1,0 +1,113 @@
+//===- support/Status.cpp -------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include "support/Errors.h"
+
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::support;
+
+std::string_view support::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::None:
+    return "ok";
+  case ErrorCode::Parse:
+    return "E001-parse";
+  case ErrorCode::InvalidChain:
+    return "E002-invalid-chain";
+  case ErrorCode::UnknownArray:
+    return "E003-unknown-array";
+  case ErrorCode::GraphInvalid:
+    return "E004-graph-invalid";
+  case ErrorCode::IllegalTransform:
+    return "E005-illegal-transform";
+  case ErrorCode::TilingInvalid:
+    return "E006-tiling-invalid";
+  case ErrorCode::StorageInvalid:
+    return "E007-storage-invalid";
+  case ErrorCode::PlanInvalid:
+    return "E008-plan-invalid";
+  case ErrorCode::KernelMissing:
+    return "E009-kernel-missing";
+  case ErrorCode::DependenceCycle:
+    return "E010-dependence-cycle";
+  case ErrorCode::VerifierRejected:
+    return "E011-verifier-rejected";
+  case ErrorCode::FaultInjected:
+    return "E012-fault-injected";
+  case ErrorCode::GuardTripped:
+    return "E013-guard-tripped";
+  case ErrorCode::Exhausted:
+    return "E014-exhausted";
+  case ErrorCode::Internal:
+    return "E015-internal";
+  }
+  return "E015-internal";
+}
+
+std::string Status::toString() const {
+  if (isOk())
+    return "ok";
+  std::ostringstream OS;
+  OS << errorCodeName(Code) << ": " << Msg;
+  for (const std::string &Frame : Chain)
+    OS << " (while " << Frame << ")";
+  return OS.str();
+}
+
+namespace {
+
+void appendJsonEscaped(std::ostringstream &OS, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::string Status::toJson() const {
+  std::ostringstream OS;
+  OS << "{\"code\":\"" << errorCodeName(Code) << "\",\"message\":\"";
+  appendJsonEscaped(OS, Msg);
+  OS << "\",\"context\":[";
+  for (std::size_t I = 0; I < Chain.size(); ++I) {
+    OS << (I ? "," : "") << "\"";
+    appendJsonEscaped(OS, Chain[I]);
+    OS << "\"";
+  }
+  OS << "]}";
+  return OS.str();
+}
+
+void Status::expectOk(std::string_view What) const {
+  if (isOk())
+    return;
+  reportFatalError(std::string(What) + ": " + toString());
+}
+
+void support::raise(ErrorCode Code, std::string Msg) {
+  throw StatusError(Status::error(Code, std::move(Msg)));
+}

@@ -3,6 +3,7 @@
 #include "tiling/Tiling.h"
 
 #include "support/Errors.h"
+#include "support/Status.h"
 
 #include <algorithm>
 #include <cassert>
@@ -86,7 +87,8 @@ ChainTiling tiling::overlappedTiling(const ir::LoopChain &Chain,
                                          &TileSizes,
                                      const ParamEnv &Env) {
   if (Chain.numNests() == 0)
-    reportFatalError("overlappedTiling: empty chain");
+    support::raise(support::ErrorCode::TilingInvalid,
+                   "overlappedTiling: empty chain");
   unsigned Last = Chain.numNests() - 1;
   unsigned Rank = Chain.nest(Last).Domain.rank();
 
@@ -211,4 +213,15 @@ std::string tiling::renderTiling1D(const ir::LoopChain &Chain,
     }
   }
   return OS.str();
+}
+
+support::Expected<ChainTiling>
+tiling::tryOverlappedTiling(const ir::LoopChain &Chain,
+                            const std::vector<std::int64_t> &TileSizes,
+                            const ParamEnv &Env) {
+  auto R = support::tryInvoke(
+      [&] { return overlappedTiling(Chain, TileSizes, Env); });
+  if (!R)
+    return R.takeError().withContext("tiling chain " + Chain.name());
+  return R;
 }

@@ -82,6 +82,13 @@ ChainTiling overlappedTiling(const ir::LoopChain &Chain,
                              const std::vector<std::int64_t> &TileSizes,
                              const ParamEnv &Env);
 
+/// Validating form of overlappedTiling: an E006-tiling-invalid Status
+/// instead of a thrown StatusError when the tiling preconditions fail.
+support::Expected<ChainTiling>
+tryOverlappedTiling(const ir::LoopChain &Chain,
+                    const std::vector<std::int64_t> &TileSizes,
+                    const ParamEnv &Env);
+
 /// Renders a 1D chain tiling in the style of Figure 5: one line per nest
 /// per tile, listing the executed iterations.
 std::string renderTiling1D(const ir::LoopChain &Chain, const ChainTiling &T,

@@ -3,6 +3,7 @@
 #include "tiling/Wavefront.h"
 
 #include "support/Errors.h"
+#include "support/Status.h"
 
 #include <algorithm>
 #include <cassert>
@@ -59,8 +60,9 @@ WavefrontPlan tiling::wavefrontTiling(const Graph &G, NodeId Stmt,
   unsigned Rank = Node.Domain.rank();
   assert(TileSizes.size() == Rank && "tile size arity mismatch");
   if (!Node.DimOrder.empty())
-    reportFatalError("wavefrontTiling: interchange the node after tiling "
-                     "decisions, not before (DimOrder must be natural)");
+    support::raise(support::ErrorCode::TilingInvalid,
+                   "wavefrontTiling: interchange the node after tiling "
+                   "decisions, not before (DimOrder must be natural)");
 
   WavefrontPlan Plan;
   Plan.Tiles = classicTiles(Node.Domain, TileSizes, Env);
@@ -82,10 +84,11 @@ WavefrontPlan tiling::wavefrontTiling(const Graph &G, NodeId Stmt,
     for (unsigned K = 0; K < Rank; ++K) {
       std::int64_t T = TileSizes[K] > 0 ? TileSizes[K] : Extent[K];
       if (std::abs(D[K]) > T)
-        reportFatalError(
+        support::raise(
+            support::ErrorCode::TilingInvalid,
             "wavefrontTiling: dependence distance exceeds the tile size "
             "in dimension " +
-            Node.Domain.dim(K).Name);
+                Node.Domain.dim(K).Name);
     }
   std::set<std::vector<int>> Signs;
   for (const auto &D : Distances) {

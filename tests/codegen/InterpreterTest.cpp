@@ -12,6 +12,7 @@
 #include "graph/GraphBuilder.h"
 #include "minifluxdiv/Spec.h"
 #include "storage/ReuseDistance.h"
+#include "support/Status.h"
 
 #include <gtest/gtest.h>
 
@@ -166,5 +167,11 @@ TEST(Interpreter, KernelRegistryRejectsUnknownIds) {
     return 0.0;
   });
   EXPECT_EQ(Id, 0);
-  EXPECT_DEATH(Kernels.get(7), "unknown kernel");
+  try {
+    Kernels.get(7);
+    FAIL() << "expected StatusError";
+  } catch (const support::StatusError &E) {
+    EXPECT_EQ(E.status().code(), support::ErrorCode::KernelMissing);
+    EXPECT_NE(E.status().message().find("unknown kernel"), std::string::npos);
+  }
 }

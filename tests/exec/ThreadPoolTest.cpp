@@ -11,6 +11,7 @@
 #include "exec/ThreadPool.h"
 
 #include "runtime/Parallel.h"
+#include "support/Status.h"
 
 #include <gtest/gtest.h>
 
@@ -165,11 +166,84 @@ TEST(TaskGraph, RunRespectsDependences) {
   EXPECT_EQ(Done.size(), 4u);
 }
 
-TEST(TaskGraphDeathTest, CycleIsFatal) {
+TEST(ThreadPool, FirstExceptionWinsUnderContention) {
+  // Many iterations throw; exactly one exception surfaces and the pool
+  // drains cleanly at both throttled thread counts.
+  for (const char *Threads : {"2", "4"}) {
+    ScopedThreadsEnv Env(Threads);
+    std::atomic<int> Ran{0};
+    try {
+      ThreadPool::global().parallelFor(100, 8, [&](int I) {
+        if (I % 10 == 3)
+          throw std::runtime_error("injected worker fault " +
+                                   std::to_string(I));
+        ++Ran;
+      });
+      FAIL() << "expected the injected fault to propagate";
+    } catch (const std::runtime_error &E) {
+      EXPECT_NE(std::string(E.what()).find("injected worker fault"),
+                std::string::npos);
+    }
+    // Drained: a follow-up region on the same pool covers every index.
+    std::atomic<int> Sum{0};
+    ThreadPool::global().parallelFor(32, 8, [&](int I) { Sum += I; });
+    EXPECT_EQ(Sum.load(), 32 * 31 / 2) << "LCDFG_THREADS=" << Threads;
+  }
+}
+
+TEST(TaskGraph, WorkerExceptionPropagatesAndPoolSurvives) {
+  // A failing task-graph node must surface its exception at run() without
+  // deadlocking the wavefront scheduler, and the graph/pool must be
+  // reusable for a clean run afterwards.
+  for (const char *Threads : {"2", "4"}) {
+    ScopedThreadsEnv Env(Threads);
+    std::atomic<int> Completed{0};
+    TaskGraph Failing;
+    int A = Failing.addTask([&](int) { ++Completed; });
+    int B = Failing.addTask(
+        [](int) { throw std::runtime_error("node fault"); });
+    Failing.addDependence(A, B);
+    EXPECT_THROW(Failing.run(4), std::runtime_error);
+    EXPECT_EQ(Completed.load(), 1) << "dependency ran before the fault";
+
+    TaskGraph Clean;
+    std::atomic<int> Ran{0};
+    for (int I = 0; I < 16; ++I)
+      Clean.addTask([&](int) { ++Ran; });
+    Clean.run(4);
+    EXPECT_EQ(Ran.load(), 16) << "LCDFG_THREADS=" << Threads;
+  }
+}
+
+TEST(TaskGraph, StatusErrorCrossesWorkerBoundaryIntact) {
+  // Structured errors raised inside a worker (the fault injector's
+  // delivery path) must arrive at the caller as StatusError, code and
+  // message preserved — the degradation ladder classifies on both.
+  TaskGraph TG;
+  TG.addTask([](int) {
+    support::raise(support::ErrorCode::FaultInjected,
+                   "injected fault: kernel:throw");
+  });
+  try {
+    TG.run(2);
+    FAIL() << "expected StatusError";
+  } catch (const support::StatusError &E) {
+    EXPECT_EQ(E.status().code(), support::ErrorCode::FaultInjected);
+    EXPECT_NE(E.status().message().find("kernel:throw"), std::string::npos);
+  }
+}
+
+TEST(TaskGraph, CycleRaisesStructuredError) {
   TaskGraph TG;
   int A = TG.addTask([](int) {});
   int B = TG.addTask([](int) {});
   TG.addDependence(A, B);
   TG.addDependence(B, A);
-  EXPECT_DEATH(TG.wavefronts(), "cycle");
+  try {
+    TG.wavefronts();
+    FAIL() << "expected StatusError";
+  } catch (const support::StatusError &E) {
+    EXPECT_EQ(E.status().code(), support::ErrorCode::DependenceCycle);
+    EXPECT_NE(E.status().message().find("cycle"), std::string::npos);
+  }
 }

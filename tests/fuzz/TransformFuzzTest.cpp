@@ -1,0 +1,174 @@
+//===- tests/fuzz/TransformFuzzTest.cpp -----------------------------------===//
+//
+// Random transform-sequence stress tester. Random scripts (legal and
+// hostile) run against random chains; whatever state the graph lands in
+// must (a) keep the M2DFG invariants, (b) pass the static plan verifier,
+// and (c) execute bit-identically to the untransformed original — the
+// transforms check their own preconditions, so every sequence that the
+// script runner accepts is a survivor and must compare clean. Hostile
+// commands (unknown statements, bogus ops) must fail structurally.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../common/RandomChain.h"
+
+#include "codegen/Generator.h"
+#include "exec/ExecutionPlan.h"
+#include "exec/PlanRunner.h"
+#include "graph/GraphBuilder.h"
+#include "parser/ScriptRunner.h"
+#include "storage/StorageMap.h"
+#include "verify/PlanVerifier.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace lcdfg;
+using namespace lcdfg::testutil;
+
+namespace {
+
+/// One random script command; roughly half target real statements, the
+/// rest are hostile (unknown labels, junk arguments).
+std::string randomCommand(std::mt19937_64 &Rng, unsigned NumNests) {
+  auto Stmt = [&] {
+    // Mostly valid labels, sometimes out of range.
+    return "S" + std::to_string(Rng() % (NumNests + 2));
+  };
+  std::ostringstream OS;
+  switch (Rng() % 8) {
+  case 0:
+    OS << "fusepc " << Stmt() << " " << Stmt();
+    break;
+  case 1:
+    OS << "fuserr " << Stmt() << " " << Stmt();
+    break;
+  case 2:
+    OS << "collapse tmp" << Rng() % (NumNests + 1) << " " << Stmt();
+    break;
+  case 3:
+    OS << "interchange " << Stmt() << " " << Rng() % 3 << " " << Rng() % 3;
+    break;
+  case 4:
+    OS << "reschedule " << Stmt() << " " << Rng() % 8;
+    break;
+  case 5:
+    OS << "reduce";
+    break;
+  case 6:
+    OS << "compact";
+    break;
+  case 7:
+    OS << (Rng() % 2 ? "frobnicate S0" : "fusepc S0"); // hostile
+    break;
+  }
+  return OS.str();
+}
+
+using Env = std::map<std::string, std::int64_t, std::less<>>;
+
+void seed(ir::LoopChain &Chain, storage::ConcreteStorage &Store,
+          const Env &E) {
+  for (const std::string &Name : Chain.arrayNames()) {
+    if (Chain.array(Name).Kind != ir::StorageKind::PersistentInput)
+      continue;
+    Chain.array(Name).Extent->forEachPoint(
+        E, [&](const std::vector<std::int64_t> &P) {
+          double V = 1.0;
+          for (std::size_t D = 0; D < P.size(); ++D)
+            V += 0.01 * static_cast<double>((D + 2) * P[D] + 1);
+          Store.at(Name, P) = V;
+        });
+  }
+}
+
+std::vector<double> collect(ir::LoopChain &Chain,
+                            storage::ConcreteStorage &Store, const Env &E) {
+  std::vector<double> Out;
+  for (const std::string &Name : Chain.arrayNames()) {
+    if (Chain.array(Name).Kind != ir::StorageKind::PersistentOutput)
+      continue;
+    Chain.array(Name).Extent->forEachPoint(
+        E, [&](const std::vector<std::int64_t> &P) {
+          Out.push_back(Store.at(Name, P));
+        });
+  }
+  return Out;
+}
+
+} // namespace
+
+class TransformFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransformFuzz, RandomSequencesVerifyAndCompareBitIdentical) {
+  std::mt19937_64 Rng(GetParam() * 0x9e3779b97f4a7c15ull + 1);
+  RandomChainOptions Options;
+  Options.Seed = GetParam();
+  Options.Rank = 1 + GetParam() % 3;
+  Options.NumNests = 3 + GetParam() % 4;
+  ir::LoopChain Chain = randomChain(Options);
+  codegen::KernelRegistry Kernels;
+  registerGenericKernels(Chain, Kernels);
+  Env E{{"N", 6}};
+
+  // Oracle: the untransformed chain on the scalar-serial rung.
+  graph::Graph Ref = graph::buildGraph(Chain);
+  storage::StoragePlan RefPlan =
+      storage::StoragePlan::build(Ref, /*UseAllocation=*/false);
+  storage::ConcreteStorage RefStore(RefPlan, E);
+  seed(Chain, RefStore, E);
+  exec::ExecutionPlan OraclePlan =
+      exec::ExecutionPlan::fromChain(Chain, RefStore, E);
+  exec::RunOptions Serial;
+  Serial.Batched = false;
+  exec::runPlan(OraclePlan, Kernels, RefStore, Serial);
+  std::vector<double> Expected = collect(Chain, RefStore, E);
+
+  graph::Graph G = graph::buildGraph(Chain);
+  unsigned NumCommands = 1 + Rng() % 6;
+  std::ostringstream Script;
+  for (unsigned C = 0; C < NumCommands; ++C)
+    Script << randomCommand(Rng, Options.NumNests) << "\n";
+
+  parser::ScriptResult SR = parser::runScript(G, Script.str());
+  if (!SR.Ok) {
+    EXPECT_FALSE(SR.Error.empty()) << Script.str();
+  }
+
+  // Whatever prefix of the script applied, the graph must still satisfy
+  // its invariants (transforms refuse rather than corrupt).
+  try {
+    G.verify();
+  } catch (const support::StatusError &Err) {
+    FAIL() << "script corrupted the graph:\n"
+           << Script.str() << Err.status().toString();
+  }
+
+  // Lower and statically verify the surviving schedule.
+  storage::StoragePlan SPlan = storage::StoragePlan::build(G);
+  storage::ConcreteStorage Store(SPlan, E);
+  seed(Chain, Store, E);
+  codegen::AstPtr Ast = codegen::generate(G);
+  auto Plan = exec::ExecutionPlan::tryFromAst(G, *Ast, Store, E);
+  ASSERT_TRUE(static_cast<bool>(Plan))
+      << "script:\n" << Script.str() << Plan.error().toString();
+
+  verify::PlanVerifier V(*Plan);
+  verify::Diagnostics Diags = V.verify();
+  EXPECT_FALSE(Diags.hasErrors())
+      << "script:\n" << Script.str() << Diags.toString();
+  if (Diags.hasErrors())
+    return; // Rejected survivor: structured refusal, nothing to compare.
+
+  exec::runPlan(*Plan, Kernels, Store, Serial);
+  std::vector<double> Got = collect(Chain, Store, E);
+  ASSERT_EQ(Expected.size(), Got.size());
+  for (std::size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(Expected[I], Got[I])
+        << "flat index " << I << ", script:\n" << Script.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));

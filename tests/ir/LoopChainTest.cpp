@@ -127,3 +127,75 @@ TEST(LoopChain, MiniFluxDiv3DShape) {
   EXPECT_EQ(Chain.valueSize("F1x_u").toString(), "N^3+N^2");
   EXPECT_EQ(Chain.valueSize("out_rho").toString(), "N^3");
 }
+
+TEST(LoopChainValidate, RejectsHostileNestsWithStructuredErrors) {
+  // Hostile (e.g. fuzz-mutated) nests must be refused with E002 values in
+  // every build type, not by a Debug-only assert.
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet Cells({Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+
+  auto Reject = [](ir::LoopNest Nest, const char *Needle) {
+    ir::LoopChain Chain("hostile", "fuse");
+    auto R = Chain.tryAddNest(std::move(Nest));
+    ASSERT_FALSE(static_cast<bool>(R)) << Needle;
+    EXPECT_EQ(R.error().code(), support::ErrorCode::InvalidChain);
+    EXPECT_NE(R.error().message().find(Needle), std::string::npos)
+        << R.error().toString();
+    EXPECT_EQ(Chain.numNests(), 0u) << "rejected nests must not be added";
+  };
+
+  ir::LoopNest Empty;
+  Empty.Name = "S";
+  Empty.Domain = Cells;
+  Empty.Write = ir::Access{"A", {}};
+  Reject(Empty, "empty");
+
+  ir::LoopNest Multi;
+  Multi.Name = "S";
+  Multi.Domain = Cells;
+  Multi.Write = ir::Access{"A", {{0}, {1}}};
+  Reject(Multi, "exactly one point");
+
+  ir::LoopNest BadRank;
+  BadRank.Name = "S";
+  BadRank.Domain = Cells;
+  BadRank.Write = ir::Access{"A", {{0, 0}}}; // 2-d offset, 1-d domain
+  Reject(BadRank, "rank");
+
+  ir::LoopNest BadRead;
+  BadRead.Name = "S";
+  BadRead.Domain = Cells;
+  BadRead.Write = ir::Access{"A", {{0}}};
+  BadRead.Reads = {ir::Access{"B", {{0, 1}}}};
+  Reject(BadRead, "rank");
+}
+
+TEST(LoopChainValidate, AcceptsWellFormedNestsAndWholeChain) {
+  ir::LoopChain Chain = figure1Chain();
+  support::Status S = Chain.validate();
+  EXPECT_TRUE(S.isOk()) << S.toString();
+
+  AffineExpr N = AffineExpr::var("N");
+  BoxSet Cells({Dim{"y", AffineExpr(0), N - AffineExpr(1)},
+                Dim{"x", AffineExpr(0), N - AffineExpr(1)}});
+  ir::LoopNest Good;
+  Good.Name = "S4";
+  Good.Domain = Cells;
+  Good.Write = ir::Access{"VAL_4", {{0, 0}}};
+  Good.Reads = {ir::Access{"VAL_3", {{0, 0}}}};
+  auto Idx = Chain.tryAddNest(std::move(Good));
+  ASSERT_TRUE(static_cast<bool>(Idx)) << Idx.error().toString();
+  EXPECT_EQ(*Idx, 3u);
+}
+
+TEST(LoopChainValidate, UnknownArrayLookupRaisesE003) {
+  ir::LoopChain Chain = figure1Chain();
+  Chain.finalize();
+  try {
+    (void)Chain.array("NOPE");
+    FAIL() << "expected StatusError";
+  } catch (const support::StatusError &E) {
+    EXPECT_EQ(E.status().code(), support::ErrorCode::UnknownArray);
+    EXPECT_NE(E.status().message().find("NOPE"), std::string::npos);
+  }
+}

@@ -142,3 +142,76 @@ INSTANTIATE_TEST_SUITE_P(
                   "write A{(2x)} read B{(x)}\nA;",
                   "must be iterator"},
         ErrorCase{"", "no loop nests"}));
+
+TEST(PragmaParserDiagnostics, ErrorsCarryColumnAndSnippet) {
+  // The malformed domain bound sits mid-line; the diagnostic must point a
+  // 1-based column into the logical (continuation-joined) source line.
+  parser::ParseResult R = parseLoopChain(
+      "#pragma omplc for domain(0:N, oops) with (x, y) \\\n"
+      "    write A{(x,y)} read B{(x,y)}\n"
+      "S1: A(x,y) = f(B(x,y));\n");
+  ASSERT_FALSE(R);
+  EXPECT_GE(R.Line, 1u);
+  ASSERT_GT(R.Column, 0u) << R.Error;
+  ASSERT_FALSE(R.Snippet.empty());
+  EXPECT_LE(R.Column, R.Snippet.size());
+  // The column lands on (or inside) the offending clause text.
+  EXPECT_NE(R.Snippet.find("oops"), std::string::npos);
+  EXPECT_GE(R.Column, R.Snippet.find("domain") + 1);
+}
+
+TEST(PragmaParserDiagnostics, FormattedRendersAlignedCaret) {
+  parser::ParseResult R = parseLoopChain(
+      "#pragma omplc for domain(0:N) with (x) write A{(x)} read B{bad}\n"
+      "S1: A(x) = f(B(x));\n");
+  ASSERT_FALSE(R);
+  ASSERT_GT(R.Column, 0u);
+  std::string F = R.formatted();
+  EXPECT_NE(F.find("line "), std::string::npos) << F;
+  EXPECT_NE(F.find("column "), std::string::npos) << F;
+  EXPECT_NE(F.find(R.Snippet), std::string::npos) << F;
+  // The caret line: newline, (Column - 1) spaces inside the indented
+  // snippet block, then '^'.
+  std::size_t Caret = F.rfind('^');
+  ASSERT_NE(Caret, std::string::npos) << F;
+  std::size_t LineStart = F.rfind('\n', Caret);
+  ASSERT_NE(LineStart, std::string::npos);
+  std::size_t SnippetPos = F.find(R.Snippet);
+  std::size_t SnippetLineStart = F.rfind('\n', SnippetPos);
+  ASSERT_NE(SnippetLineStart, std::string::npos);
+  std::size_t Indent = SnippetPos - SnippetLineStart - 1;
+  EXPECT_EQ(Caret - LineStart - 1, Indent + R.Column - 1)
+      << "caret must sit under column " << R.Column << ":\n"
+      << F;
+}
+
+TEST(PragmaParserDiagnostics, StatusFoldsIntoCommonVocabulary) {
+  parser::ParseResult Bad = parseLoopChain("#pragma omplc for\nS: x;\n");
+  ASSERT_FALSE(Bad);
+  support::Status S = Bad.status();
+  EXPECT_EQ(S.code(), support::ErrorCode::Parse);
+  EXPECT_FALSE(S.message().empty());
+
+  parser::ParseResult Good = parseLoopChain(Figure1Source);
+  ASSERT_TRUE(Good) << Good.Error;
+  EXPECT_TRUE(Good.status().isOk());
+}
+
+TEST(PragmaParserDiagnostics, HostileInputsNeverAbort) {
+  // A grab-bag of malformed fragments that historically hit asserts
+  // (empty stencils, rank mismatches) must all come back as diagnostics.
+  const char *Hostile[] = {
+      "#pragma omplc for domain(0:N) with (x) write A{} \nS: x;\n",
+      "#pragma omplc for domain(0:N) with (x) write A{(x,y)}\nS: x;\n",
+      "#pragma omplc for domain(0:N) with (x) write A{(x)} "
+      "read B{(x,y,z)}\nS: x;\n",
+      "#pragma omplc for domain() with () write A{()}\nS: x;\n",
+      "#pragma omplc parallel(fuse)\n{\n",
+      "{}",
+  };
+  for (const char *Source : Hostile) {
+    parser::ParseResult R = parseLoopChain(Source);
+    EXPECT_FALSE(R) << "hostile input parsed: " << Source;
+    EXPECT_FALSE(R.Error.empty());
+  }
+}

@@ -1,0 +1,116 @@
+//===- tests/support/StatusTest.cpp ---------------------------------------===//
+//
+// The recoverable-error vocabulary: stable E0xx code strings, context
+// chaining, JSON rendering, Expected round trips, and the StatusError /
+// tryInvoke module-boundary adapter everything above support/ leans on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+using namespace lcdfg;
+using namespace lcdfg::support;
+
+TEST(Status, OkIsOkAndPrintsOk) {
+  Status S = Status::ok();
+  EXPECT_TRUE(S.isOk());
+  EXPECT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(S.code(), ErrorCode::None);
+  EXPECT_EQ(S.toString(), "ok");
+  // Context frames on success are dropped: there is nothing to explain.
+  S.withContext("while doing nothing");
+  EXPECT_TRUE(S.contexts().empty());
+}
+
+TEST(Status, ErrorCodesHaveStableNames) {
+  // Tests and CI match on these strings; renaming one is a breaking
+  // change that must be reflected in docs/ROBUSTNESS.md.
+  EXPECT_EQ(errorCodeName(ErrorCode::Parse), "E001-parse");
+  EXPECT_EQ(errorCodeName(ErrorCode::InvalidChain), "E002-invalid-chain");
+  EXPECT_EQ(errorCodeName(ErrorCode::UnknownArray), "E003-unknown-array");
+  EXPECT_EQ(errorCodeName(ErrorCode::GraphInvalid), "E004-graph-invalid");
+  EXPECT_EQ(errorCodeName(ErrorCode::IllegalTransform),
+            "E005-illegal-transform");
+  EXPECT_EQ(errorCodeName(ErrorCode::TilingInvalid), "E006-tiling-invalid");
+  EXPECT_EQ(errorCodeName(ErrorCode::StorageInvalid), "E007-storage-invalid");
+  EXPECT_EQ(errorCodeName(ErrorCode::PlanInvalid), "E008-plan-invalid");
+  EXPECT_EQ(errorCodeName(ErrorCode::KernelMissing), "E009-kernel-missing");
+  EXPECT_EQ(errorCodeName(ErrorCode::DependenceCycle),
+            "E010-dependence-cycle");
+  EXPECT_EQ(errorCodeName(ErrorCode::VerifierRejected),
+            "E011-verifier-rejected");
+  EXPECT_EQ(errorCodeName(ErrorCode::FaultInjected), "E012-fault-injected");
+  EXPECT_EQ(errorCodeName(ErrorCode::GuardTripped), "E013-guard-tripped");
+  EXPECT_EQ(errorCodeName(ErrorCode::Exhausted), "E014-exhausted");
+  EXPECT_EQ(errorCodeName(ErrorCode::Internal), "E015-internal");
+}
+
+TEST(Status, ContextChainRendersInnermostFirst) {
+  Status S = Status::error(ErrorCode::StorageInvalid, "array without extent")
+                 .withContext("building storage plan")
+                 .withContext("compiling fig1:original");
+  EXPECT_FALSE(S.isOk());
+  EXPECT_EQ(S.toString(), "E007-storage-invalid: array without extent "
+                          "(while building storage plan) "
+                          "(while compiling fig1:original)");
+}
+
+TEST(Status, JsonCarriesCodeMessageAndContext) {
+  Status S = Status::error(ErrorCode::Parse, "unexpected \"token\"")
+                 .withContext("line 3");
+  std::string J = S.toJson();
+  EXPECT_NE(J.find("\"code\":\"E001-parse\""), std::string::npos) << J;
+  EXPECT_NE(J.find("unexpected \\\"token\\\""), std::string::npos)
+      << "quotes must be escaped: " << J;
+  EXPECT_NE(J.find("line 3"), std::string::npos) << J;
+}
+
+TEST(Expected, HoldsValueOrError) {
+  Expected<int> V(42);
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(*V, 42);
+  EXPECT_EQ(std::move(V).expect("test"), 42);
+
+  Expected<int> E(Status::error(ErrorCode::TilingInvalid, "empty chain"));
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.error().code(), ErrorCode::TilingInvalid);
+  EXPECT_EQ(E.error().message(), "empty chain");
+}
+
+TEST(Expected, RefusesOkStatusAsError) {
+  // Constructing an Expected error from an ok Status is a bug in the
+  // caller; it degrades to a diagnosable internal error, never to a
+  // half-initialized success.
+  Expected<int> E{Status::ok()};
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.error().code(), ErrorCode::Internal);
+}
+
+TEST(StatusErrorTest, RaiseThrowsWithRenderedWhat) {
+  try {
+    raise(ErrorCode::KernelMissing, "unknown kernel id 7");
+    FAIL() << "raise must throw";
+  } catch (const StatusError &E) {
+    EXPECT_EQ(E.status().code(), ErrorCode::KernelMissing);
+    EXPECT_NE(std::string(E.what()).find("E009-kernel-missing"),
+              std::string::npos);
+    EXPECT_NE(std::string(E.what()).find("unknown kernel id 7"),
+              std::string::npos);
+  }
+}
+
+TEST(TryInvoke, ConvertsStatusErrorToExpected) {
+  Expected<int> Ok = tryInvoke([] { return 7; });
+  ASSERT_TRUE(static_cast<bool>(Ok));
+  EXPECT_EQ(*Ok, 7);
+
+  Expected<int> Err = tryInvoke([]() -> int {
+    raise(ErrorCode::GraphInvalid, "node without statement");
+  });
+  ASSERT_FALSE(static_cast<bool>(Err));
+  EXPECT_EQ(Err.error().code(), ErrorCode::GraphInvalid);
+}

@@ -7,6 +7,7 @@
 #include "graph/GraphBuilder.h"
 #include "graph/Transforms.h"
 #include "pipelines/UnsharpMask.h"
+#include "support/Status.h"
 
 #include <gtest/gtest.h>
 
@@ -161,8 +162,14 @@ TEST(Wavefront, RejectsTilesSmallerThanTheStencil) {
   NodeId Node = G.findStmt("blurx+blury");
   ParamEnv Env{{"N", 16}};
   // The y dependence distance reaches 4; a tile of 2 cannot contain it.
-  EXPECT_DEATH(wavefrontTiling(G, Node, {2, 8}, Env),
-               "dependence distance exceeds");
+  try {
+    wavefrontTiling(G, Node, {2, 8}, Env);
+    FAIL() << "expected StatusError";
+  } catch (const support::StatusError &E) {
+    EXPECT_EQ(E.status().code(), support::ErrorCode::TilingInvalid);
+    EXPECT_NE(E.status().message().find("dependence distance exceeds"),
+              std::string::npos);
+  }
 }
 
 TEST(Wavefront, UntiledDimensionsAreSupported) {

@@ -7,17 +7,27 @@
 # smoke (exec tests + one quick bench_fig6_small iteration) that catches
 # batched-path regressions. Run from the repo root:
 #
-#   tools/ci.sh            # default + tsan + bench smoke + verify
+#   tools/ci.sh            # default + tsan + bench smoke + verify + faults
 #   tools/ci.sh default    # just one preset
 #   tools/ci.sh asan       # the ASan+UBSan sibling
 #   tools/ci.sh bench      # just the bench smoke
 #   tools/ci.sh verify     # just the static legality lint
+#   tools/ci.sh faults     # just the fault-injection campaign
 #
 # The tsan stage additionally re-runs the execution-layer tests with the
 # worker pool capped at 2 and 4 threads, so the scheduler's every
 # cross-thread handoff is exercised under the race detector. The verify
 # stage sweeps every example chain and MiniFluxDiv recipe through
 # lcdfg-lint --strict, which exits nonzero on any legality ERROR.
+#
+# The faults stage drives the graceful-degradation ladder end to end:
+# every LCDFG_FAULT class is injected into `lcdfg-opt --report` (built
+# under ASan+UBSan) and must recover with its documented L00x reason code;
+# a hardened (redzone + NaN-guard) clean pass must not false-positive; the
+# fuzz smoke (10k mutated parses + the transform stress tester) runs under
+# ASan; and the injected-exception pool tests re-run under TSan with the
+# worker pool pinned to 2 and 4 threads. docs/ROBUSTNESS.md documents the
+# codes this stage greps for.
 #
 #===------------------------------------------------------------------------===#
 
@@ -27,7 +37,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(default tsan bench verify)
+  PRESETS=(default tsan bench verify faults)
 fi
 
 bench_smoke() {
@@ -43,12 +53,67 @@ verify_lint() {
   ./build/tools/lcdfg-lint --strict examples/chains
 }
 
+# One fault-matrix row: inject $1 into lcdfg-opt --report and require a
+# completed run whose JSON report carries the expected L00x reason ($2).
+# Remaining arguments select the lowering (script, threads, ...).
+run_fault() {
+  local SPEC="$1" EXPECT="$2" OUT
+  shift 2
+  OUT="$(LCDFG_FAULT="${SPEC}" ./build-asan/tools/lcdfg-opt --report=json \
+         "$@" examples/chains/fig1.lc 2>/dev/null)"
+  if ! grep -q '"completed":true' <<<"${OUT}"; then
+    echo "fault ${SPEC}: ladder did not complete: ${OUT}" >&2
+    return 1
+  fi
+  if ! grep -q "${EXPECT}" <<<"${OUT}"; then
+    echo "fault ${SPEC}: report missing ${EXPECT}: ${OUT}" >&2
+    return 1
+  fi
+  echo "fault ${SPEC}: recovered [${EXPECT}]"
+}
+
+fault_campaign() {
+  # Transient faults descend one rung (L002); the structural ones are
+  # caught deterministically — modulo corruption by the strict verifier
+  # gate (L003, needs the modulo-windowed script+reduce lowering) and
+  # input truncation by plan-vs-storage validation (L006).
+  run_fault kernel:throw L002-worker-exception --threads=2
+  run_fault task:fail L002-worker-exception --threads=2
+  run_fault modulo:corrupt L003-verifier-error \
+    --script examples/chains/fig1.script --reduce
+  run_fault input:truncate L006-plan-invalid
+  # Hardened clean pass: the redzone canaries and the NaN read-before-write
+  # guard must stay silent on a legal schedule, at every rung.
+  ./build-asan/tools/lcdfg-opt --report --harden --threads=2 \
+    examples/chains/fig1.lc >/dev/null
+  ./build-asan/tools/lcdfg-opt --report --harden --batched=off \
+    examples/chains/fig1.lc >/dev/null
+  echo "fault campaign: hardened clean passes stayed silent"
+  # Fuzz smoke under ASan+UBSan: 10k mutated pragma parses plus the random
+  # transform-sequence stress tester.
+  ./build-asan/tests/test_fuzz
+  # Injected worker exceptions under the race detector, pool pinned small.
+  for T in 2 4; do
+    echo "== faults: tsan exec suite with LCDFG_THREADS=${T} =="
+    LCDFG_THREADS="${T}" ./build-tsan/tests/test_exec \
+      --gtest_filter='Recovery.*:FaultInjector.*:FaultSpecParse.*:ThreadPool.*:TaskGraph.*'
+  done
+}
+
 for PRESET in "${PRESETS[@]}"; do
   echo "== preset: ${PRESET} =="
   if [ "${PRESET}" = verify ]; then
     cmake --preset default
     cmake --build --preset default -j "${JOBS}" --target lcdfg-lint
     verify_lint
+    continue
+  fi
+  if [ "${PRESET}" = faults ]; then
+    cmake --preset asan
+    cmake --build --preset asan -j "${JOBS}" --target lcdfg-opt test_fuzz
+    cmake --preset tsan
+    cmake --build --preset tsan -j "${JOBS}" --target test_exec
+    fault_campaign
     continue
   fi
   cmake --preset "${PRESET}"

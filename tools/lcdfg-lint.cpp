@@ -26,10 +26,12 @@
 #include "parser/ScriptRunner.h"
 #include "storage/ReuseDistance.h"
 #include "storage/StorageMap.h"
+#include "support/Status.h"
 #include "tiling/Tiling.h"
 #include "verify/PlanVerifier.h"
 
 #include <algorithm>
+#include <functional>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -96,7 +98,23 @@ struct LintReport {
   bool Json = false;
   int Runs = 0;
   int RunsWithErrors = 0;
+  int CompileFailures = 0;
   std::size_t Errors = 0, Warnings = 0, Notes = 0;
+
+  /// A configuration whose lowering itself failed: the recipe could not be
+  /// compiled to a plan at all. Reported in the common Status vocabulary
+  /// (E00x code + context chain) rather than aborting the sweep.
+  void fail(const std::string &Name, const support::Status &S) {
+    ++Runs;
+    ++RunsWithErrors;
+    ++CompileFailures;
+    if (Json) {
+      std::printf("{\"config\":\"%s\",\"error\":%s}\n", Name.c_str(),
+                  S.toJson().c_str());
+      return;
+    }
+    std::printf("FAIL  %s\n      %s\n", Name.c_str(), S.toString().c_str());
+  }
 
   void add(const std::string &Name, const verify::Diagnostics &Diags) {
     ++Runs;
@@ -120,6 +138,18 @@ struct LintReport {
       std::printf("      %s\n", D.toString().c_str());
   }
 };
+
+/// Runs one configuration's verification, folding a lowering failure
+/// (thrown StatusError) into the report as a structured compile failure
+/// instead of letting it abort the whole sweep.
+void addGuarded(LintReport &Report, const std::string &Name,
+                const std::function<verify::Diagnostics()> &Fn) {
+  try {
+    Report.add(Name, Fn());
+  } catch (const support::StatusError &E) {
+    Report.fail(Name, E.status());
+  }
+}
 
 /// Lowers the scheduled graph to an ExecutionPlan and runs every verifier
 /// family plus the graph-level schedule check.
@@ -202,8 +232,9 @@ bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
 
   {
     graph::Graph G = graph::buildGraph(Chain);
-    Report.add(Stem + ":original", verifyGraph(G, Kernels, SizeN,
-                                               /*UseAllocation=*/true, 1));
+    addGuarded(Report, Stem + ":original", [&] {
+      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1);
+    });
   }
 
   std::filesystem::path ScriptPath = Path;
@@ -221,8 +252,9 @@ bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
       storage::reduceStorage(G);
       std::ostringstream Name;
       Name << Stem << ":script-reduced-widen" << Widen;
-      Report.add(Name.str(), verifyGraph(G, Kernels, SizeN,
-                                         /*UseAllocation=*/true, Widen));
+      addGuarded(Report, Name.str(), [&] {
+        return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, Widen);
+      });
     }
   }
 
@@ -230,11 +262,13 @@ bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
     graph::Graph G = graph::buildGraph(Chain);
     (void)graph::autoSchedule(G, {});
     storage::reduceStorage(G);
-    Report.add(Stem + ":autoschedule-reduced",
-               verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1));
+    addGuarded(Report, Stem + ":autoschedule-reduced", [&] {
+      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1);
+    });
   }
 
-  Report.add(Stem + ":tiled4", verifyTiled(Chain, Kernels, SizeN, 4));
+  addGuarded(Report, Stem + ":tiled4",
+             [&] { return verifyTiled(Chain, Kernels, SizeN, 4); });
   return true;
 }
 
@@ -266,9 +300,9 @@ void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, LintReport &Report) {
       storage::reduceStorage(G);
     std::ostringstream Name;
     Name << Prefix << ":" << R.Name;
-    Report.add(Name.str(),
-               verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true,
-                           R.Widen));
+    addGuarded(Report, Name.str(), [&] {
+      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, R.Widen);
+    });
   }
   if (!ThreeD) {
     ir::LoopChain Chain = mfd::buildChain2D();
@@ -277,8 +311,9 @@ void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, LintReport &Report) {
     graph::Graph G = graph::buildGraph(Chain);
     (void)graph::autoSchedule(G, {});
     storage::reduceStorage(G);
-    Report.add(std::string(Prefix) + ":autoschedule-reduced",
-               verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1));
+    addGuarded(Report, std::string(Prefix) + ":autoschedule-reduced", [&] {
+      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1);
+    });
   }
 }
 
@@ -289,9 +324,7 @@ int usage(const char *Argv0) {
   return 2;
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
+int runLint(int argc, char **argv) {
   bool Strict = false, Json = false;
   std::int64_t SizeN = 8;
   std::string ChainsDir = "examples/chains";
@@ -340,8 +373,26 @@ int main(int argc, char **argv) {
 
   if (!Json)
     std::printf("lint: %d configuration(s), %d with errors (%zu error(s), "
-                "%zu warning(s), %zu note(s))\n",
+                "%zu warning(s), %zu note(s), %d compile failure(s))\n",
                 Report.Runs, Report.RunsWithErrors, Report.Errors,
-                Report.Warnings, Report.Notes);
+                Report.Warnings, Report.Notes, Report.CompileFailures);
+  // A configuration that would not even compile is a failure regardless of
+  // --strict; legality ERRORs gate the exit code only under --strict.
+  if (Report.CompileFailures)
+    return 1;
   return Strict && Report.RunsWithErrors ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Backstop: a StatusError escaping the per-configuration guards (corpus
+  // discovery, recipe setup) still exits with a structured JSON diagnostic
+  // on stderr instead of std::terminate.
+  try {
+    return runLint(argc, argv);
+  } catch (const support::StatusError &E) {
+    std::fprintf(stderr, "{\"error\":%s}\n", E.status().toJson().c_str());
+    return 1;
+  }
 }

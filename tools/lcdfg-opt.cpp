@@ -26,6 +26,17 @@
 //     --verify[=strict]    run the static legality verifier over the
 //                          compiled plan and the scheduled graph; strict
 //                          mode exits nonzero when any ERROR is found
+//     --report[=json]      execute through the graceful-degradation ladder
+//                          (exec::runWithRecovery) with the untransformed
+//                          chain as the fallback plan, and print the
+//                          RunReport: every rung descent with its stable
+//                          L00x reason code, the rung that completed, and
+//                          the E014 diagnostic when the ladder exhausts.
+//                          Exits nonzero only when no rung completed.
+//                          Honors an armed LCDFG_FAULT spec, so this is
+//                          the fault-campaign entry point for tools/ci.sh.
+//     --harden             run --report rungs against canary-padded shadow
+//                          buffers with NaN-poisoned temporaries
 //     --size=N             concrete size for --stats/--dump-plan (default 8)
 //     --threads=K          parallelism for --stats runs
 //     -o <file>            write output to a file instead of stdout
@@ -37,6 +48,7 @@
 #include "codegen/IsccExport.h"
 #include "exec/ExecutionPlan.h"
 #include "exec/PlanRunner.h"
+#include "exec/Recovery.h"
 #include "graph/AutoScheduler.h"
 #include "graph/CostModel.h"
 #include "graph/DotExport.h"
@@ -47,6 +59,7 @@
 #include "parser/ScriptRunner.h"
 #include "storage/ReuseDistance.h"
 #include "storage/StorageMap.h"
+#include "support/Status.h"
 #include "verify/PlanVerifier.h"
 
 #include <cstdint>
@@ -76,6 +89,11 @@ int usage(const char *Argv0) {
       "  --dump-plan         print the compiled execution plan\n"
       "  --verify[=strict]   static legality checks; strict exits nonzero\n"
       "                      on any ERROR\n"
+      "  --report[=json]     execute through the degradation ladder and\n"
+      "                      print the recovery report; exits nonzero only\n"
+      "                      when every rung fails (honors LCDFG_FAULT)\n"
+      "  --harden            redzone + NaN-guard shadow buffers for\n"
+      "                      --report runs\n"
       "  --size=N            concrete size for --stats/--dump-plan\n"
       "  --threads=K         parallelism for --stats runs\n"
       "  -o <file>           output file (default stdout)\n",
@@ -106,6 +124,29 @@ codegen::BatchedKernel batchedSumForArity(std::size_t Arity) {
   return Arity < sizeof(Table) / sizeof(Table[0]) ? Table[Arity] : nullptr;
 }
 
+/// Pure variant for hardened runs: the accumulating body above reads its
+/// own (unwritten) target first, which under NaN-poisoned temporaries is
+/// exactly the read-before-write pattern the guard exists to catch. The
+/// hardened stand-in must define every output point from its reads alone.
+template <int Arity>
+void batchedPureSum(double *W, const double *const *R, const std::int64_t *S,
+                    std::int64_t WS, std::int64_t N) {
+  for (std::int64_t I = 0; I < N; ++I) {
+    double Sum = 0.0;
+    for (int J = 0; J < Arity; ++J)
+      Sum += R[J][I * S[J]];
+    W[I * WS] = Sum;
+  }
+}
+
+codegen::BatchedKernel batchedPureSumForArity(std::size_t Arity) {
+  static constexpr codegen::BatchedKernel Table[] = {
+      batchedPureSum<0>, batchedPureSum<1>, batchedPureSum<2>,
+      batchedPureSum<3>, batchedPureSum<4>, batchedPureSum<5>,
+      batchedPureSum<6>, batchedPureSum<7>, batchedPureSum<8>};
+  return Arity < sizeof(Table) / sizeof(Table[0]) ? Table[Arity] : nullptr;
+}
+
 bool readFile(const std::string &Path, std::string &Out) {
   std::ifstream In(Path);
   if (!In)
@@ -116,14 +157,13 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
+int runTool(int argc, char **argv) {
   std::string InputPath, ScriptPath, OutputPath;
   std::string Emit = "text";
   bool AutoSchedule = false, Reduce = false;
   bool Stats = false, DumpPlan = false, Batched = true;
   bool Verify = false, VerifyStrict = false;
+  bool Report = false, ReportJson = false, Harden = false;
   std::int64_t SizeN = 8;
   int Threads = 1;
   unsigned Streams = 4;
@@ -157,6 +197,12 @@ int main(int argc, char **argv) {
       Verify = true;
     } else if (Arg == "--verify=strict") {
       Verify = VerifyStrict = true;
+    } else if (Arg == "--report") {
+      Report = true;
+    } else if (Arg == "--report=json") {
+      Report = ReportJson = true;
+    } else if (Arg == "--harden") {
+      Harden = true;
     } else if (Arg.rfind("--size=", 0) == 0) {
       SizeN = std::atoll(Arg.c_str() + 7);
       if (SizeN < 1) {
@@ -185,8 +231,10 @@ int main(int argc, char **argv) {
   }
   parser::ParseResult Parsed = parser::parseLoopChain(Source);
   if (!Parsed) {
-    std::fprintf(stderr, "%s:%u: error: %s\n", InputPath.c_str(),
-                 Parsed.Line, Parsed.Error.c_str());
+    // formatted() renders "line L, column C: message" plus the offending
+    // logical line and an aligned caret when position info is available.
+    std::fprintf(stderr, "%s: error: %s\n", InputPath.c_str(),
+                 Parsed.formatted().c_str());
     return 1;
   }
   ir::LoopChain Chain = std::move(*Parsed.Chain);
@@ -218,9 +266,9 @@ int main(int argc, char **argv) {
   if (Reduce)
     storage::reduceStorage(G);
 
-  bool VerifyFailed = false;
+  bool VerifyFailed = false, ReportFailed = false;
   std::string Output;
-  if (Stats || DumpPlan || Verify) {
+  if (Stats || DumpPlan || Verify || Report) {
     // Compile the (transformed) schedule to an ExecutionPlan at the
     // concrete size and, for --stats, execute it with instrumentation.
     // Parsed chains carry no executable kernels; a synthetic body
@@ -232,14 +280,23 @@ int main(int argc, char **argv) {
       auto It = SyntheticByArity.find(Arity);
       if (It != SyntheticByArity.end())
         return It->second;
-      int Id = Kernels.add(
-          [](const std::vector<double> &Reads, double Current) {
-            double Sum = Current;
-            for (double R : Reads)
-              Sum += R;
-            return Sum;
-          },
-          batchedSumForArity(Arity));
+      int Id =
+          Harden ? Kernels.add(
+                       [](const std::vector<double> &Reads, double) {
+                         double Sum = 0.0;
+                         for (double R : Reads)
+                           Sum += R;
+                         return Sum;
+                       },
+                       batchedPureSumForArity(Arity))
+                 : Kernels.add(
+                       [](const std::vector<double> &Reads, double Current) {
+                         double Sum = Current;
+                         for (double R : Reads)
+                           Sum += R;
+                         return Sum;
+                       },
+                       batchedSumForArity(Arity));
       SyntheticByArity.emplace(Arity, Id);
       return Id;
     };
@@ -304,6 +361,33 @@ int main(int argc, char **argv) {
          << ", threads " << TPS.ThreadsUsed << "): " << TPS.Seconds
          << " s\n";
     }
+    if (Report) {
+      // The fallback rung runs the untransformed chain's original schedule
+      // against its own storage plan — the transformed plan's store may
+      // have collapsed arrays the fallback still writes in full.
+      graph::Graph RefG = graph::buildGraph(Chain);
+      storage::StoragePlan FbSPlan = storage::StoragePlan::build(RefG);
+      storage::ConcreteStorage FbStore(FbSPlan, Env);
+      seedInputs(FbStore);
+      exec::ExecutionPlan FbPlan =
+          exec::ExecutionPlan::fromChain(Chain, FbStore, Env, &RefG);
+
+      storage::ConcreteStorage ReportStore(SPlan, Env);
+      seedInputs(ReportStore);
+      exec::RecoverOptions ROpts;
+      ROpts.Run.Threads = Threads;
+      ROpts.Run.Batched = Batched;
+      ROpts.Run.Harden = Harden;
+      ROpts.StrictVerify = true;
+      ROpts.VerifyKernels = &Kernels;
+      ROpts.Fallback = &FbPlan;
+      ROpts.FallbackStore = &FbStore;
+      exec::RunReport RR =
+          exec::runWithRecovery(Plan, Kernels, ReportStore, ROpts);
+      OS << (ReportJson ? RR.toJson() + "\n" : RR.toString());
+      if (!RR.Completed)
+        ReportFailed = true;
+    }
     Output = OS.str();
   } else if (Emit == "text") {
     Output = graph::toText(G);
@@ -338,5 +422,18 @@ int main(int argc, char **argv) {
     }
     Out << Output;
   }
-  return VerifyFailed ? 1 : 0;
+  return (VerifyFailed || ReportFailed) ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // The library reports recoverable failures as StatusError; anything that
+  // escapes to here becomes a structured diagnostic, never a terminate().
+  try {
+    return runTool(argc, argv);
+  } catch (const support::StatusError &E) {
+    std::fprintf(stderr, "error: %s\n", E.status().toString().c_str());
+    return 1;
+  }
 }
