@@ -196,8 +196,10 @@ bool FaultInjector::applyStorageFault(const ExecutionPlan &Plan,
   for (std::size_t S = 0; S < Plan.NumSpaces && S < Store.numSpaces(); ++S) {
     if (!Plan.SpacePersistent[S] || Store.space(S).size() <= 1)
       continue;
+    // Every eligible space is one occurrence of the site: keep scanning on
+    // a miss so input:truncate:<nth> with nth > 1 can still fire.
     if (!shouldFire(FaultSite::Input))
-      return false;
+      continue;
     Store.space(S).resize(Store.space(S).size() / 2);
     return true;
   }

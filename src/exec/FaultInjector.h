@@ -98,8 +98,9 @@ public:
   /// the fault fired and the plan was mutated.
   bool applyPlanFault(ExecutionPlan &Plan);
 
-  /// Applies an armed input:truncate fault to \p Store: halves the first
-  /// persistent backing space (per \p Plan's space table). Returns true
+  /// Applies an armed input:truncate fault to \p Store: halves the Nth
+  /// eligible persistent backing space (per \p Plan's space table; each
+  /// eligible space counts as one occurrence of the site). Returns true
   /// when the fault fired and the store was mutated.
   bool applyStorageFault(const ExecutionPlan &Plan,
                          storage::ConcreteStorage &Store);

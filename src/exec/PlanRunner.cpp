@@ -431,16 +431,21 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
       const std::vector<double> &B = Shadow[S];
       for (std::size_t P = 0; P < RedzonePad; ++P)
         if (B[P] != RedzoneCanary || B[B.size() - 1 - P] != RedzoneCanary)
-          support::raise(support::ErrorCode::GuardTripped,
-                         "redzone violated on space " + std::to_string(S));
+          throw support::StatusError(
+              support::Status::error(support::ErrorCode::GuardTripped,
+                                     "redzone violated on space " +
+                                         std::to_string(S))
+                  .withSubcode(GuardSubcodeRedzone));
       if (Plan.SpacePersistent[S])
         for (std::size_t E = RedzonePad; E < B.size() - RedzonePad; ++E)
           if (std::isnan(B[E]))
-            support::raise(support::ErrorCode::GuardTripped,
-                           "NaN escaped into persistent space " +
-                               std::to_string(S) + " at element " +
-                               std::to_string(E - RedzonePad) +
-                               " (read-before-write)");
+            throw support::StatusError(
+                support::Status::error(support::ErrorCode::GuardTripped,
+                                       "NaN escaped into persistent space " +
+                                           std::to_string(S) + " at element " +
+                                           std::to_string(E - RedzonePad) +
+                                           " (read-before-write)")
+                    .withSubcode(GuardSubcodeNanGuard));
     }
     for (std::size_t S = 0; S < Plan.NumSpaces; ++S)
       if (Plan.SpacePersistent[S])

@@ -29,6 +29,12 @@
 namespace lcdfg {
 namespace exec {
 
+/// Subcodes carried on E013-guard-tripped statuses, naming which hardened
+/// guard fired. The degradation ladder classifies its L004/L005 descents
+/// from these instead of parsing the human-readable message.
+inline constexpr const char *GuardSubcodeRedzone = "redzone";
+inline constexpr const char *GuardSubcodeNanGuard = "nan-guard";
+
 /// Runtime measurements of one plan execution.
 struct PlanStats {
   /// Per statement node (instructions aggregated by label, in first-run

@@ -5,9 +5,11 @@
 #include "exec/FaultInjector.h"
 #include "exec/RowPlan.h"
 #include "exec/ThreadPool.h"
+#include "storage/StorageMap.h"
 #include "verify/PlanVerifier.h"
 
 #include <sstream>
+#include <utility>
 
 using namespace lcdfg;
 using namespace lcdfg::exec;
@@ -126,6 +128,32 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
   }
   FI.applyStorageFault(*Cur, Store);
 
+  // A failed attempt is not side-effect-free: the pool lets in-flight
+  // tasks drain, so completed tasks have already published writes into
+  // persistent spaces, and kernels may accumulate into their write target
+  // — re-running the plan on the mutated store would silently diverge
+  // from the scalar-serial oracle. Snapshot every store before its first
+  // attempt (after any storage fault, so the fault environment persists
+  // across rungs) and restore it before each retry; hardened attempts get
+  // the same guarantee from their publish-on-success shadow buffers, but
+  // a descent can land on an unhardened rung, so restore unconditionally.
+  std::vector<std::pair<storage::ConcreteStorage *,
+                        std::vector<std::vector<double>>>>
+      Snapshots;
+  auto RestoreOrSnapshotStore = [&]() {
+    for (auto &[Snapped, Spaces] : Snapshots)
+      if (Snapped == CurStore) {
+        for (std::size_t S = 0; S < Spaces.size(); ++S)
+          Snapped->space(S) = Spaces[S];
+        return;
+      }
+    std::vector<std::vector<double>> Spaces;
+    Spaces.reserve(CurStore->numSpaces());
+    for (std::size_t S = 0; S < CurStore->numSpaces(); ++S)
+      Spaces.push_back(CurStore->space(S));
+    Snapshots.emplace_back(CurStore, std::move(Spaces));
+  };
+
   const ExecutionPlan *Verified = nullptr;
   for (;;) {
     // Strict gate: statically verify each distinct plan before running it.
@@ -170,6 +198,7 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
     }
 
     Status Err;
+    RestoreOrSnapshotStore();
     try {
       R.Stats = runPlan(*Cur, Kernels, *CurStore, O);
       R.Completed = true;
@@ -197,9 +226,9 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
       break;
     }
     case ErrorCode::GuardTripped: {
-      const char *Reason =
-          Err.message().find("redzone") != std::string::npos ? ReasonRedzone
-                                                             : ReasonNanGuard;
+      const char *Reason = Err.subcode() == GuardSubcodeRedzone
+                               ? ReasonRedzone
+                               : ReasonNanGuard;
       R.Descents.push_back({RungName(), Reason, Err.toString()});
       if (ToFallback())
         continue;

@@ -32,6 +32,12 @@
 /// happened) or every rung is exhausted and the report carries an
 /// E014-exhausted Status wrapping the last failure.
 ///
+/// A failed attempt may have published partial results — the pool drains
+/// in-flight tasks, and kernels may accumulate into persistent spaces —
+/// so each store is snapshotted before its first attempt and restored
+/// before every retry, keeping recovered outputs bit-identical to the
+/// scalar-serial oracle no matter how late a fault fires.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LCDFG_EXEC_RECOVERY_H

@@ -4,6 +4,7 @@
 
 #include "support/Errors.h"
 
+#include <cstdio>
 #include <sstream>
 
 using namespace lcdfg;
@@ -92,7 +93,13 @@ std::string Status::toJson() const {
   std::ostringstream OS;
   OS << "{\"code\":\"" << errorCodeName(Code) << "\",\"message\":\"";
   appendJsonEscaped(OS, Msg);
-  OS << "\",\"context\":[";
+  OS << "\"";
+  if (!Sub.empty()) {
+    OS << ",\"subcode\":\"";
+    appendJsonEscaped(OS, Sub);
+    OS << "\"";
+  }
+  OS << ",\"context\":[";
   for (std::size_t I = 0; I < Chain.size(); ++I) {
     OS << (I ? "," : "") << "\"";
     appendJsonEscaped(OS, Chain[I]);

@@ -91,6 +91,7 @@ public:
 
   ErrorCode code() const { return Code; }
   const std::string &message() const { return Msg; }
+  const std::string &subcode() const { return Sub; }
   const std::vector<std::string> &contexts() const { return Chain; }
 
   /// Appends one context frame (no-op on success).
@@ -100,10 +101,20 @@ public:
     return *this;
   }
 
+  /// Attaches a stable machine-readable discriminator within an error
+  /// code (e.g. which of the E013 guards tripped), so callers classify
+  /// structurally instead of matching message text (no-op on success).
+  Status &withSubcode(std::string Subcode) {
+    if (!isOk())
+      Sub = std::move(Subcode);
+    return *this;
+  }
+
   /// "E00x-name: message (while ...) (while ...)", or "ok".
   std::string toString() const;
   /// {"code":"E00x-name","message":"...","context":["...",...]} — the
-  /// shape lcdfg-lint --json and the run report embed.
+  /// shape lcdfg-lint --json and the run report embed. A non-empty
+  /// subcode is emitted as "subcode":"...".
   std::string toJson() const;
 
   /// Aborts via reportFatalError with the rendered chain when this is an
@@ -113,6 +124,7 @@ public:
 private:
   ErrorCode Code = ErrorCode::None;
   std::string Msg;
+  std::string Sub;
   std::vector<std::string> Chain;
 };
 

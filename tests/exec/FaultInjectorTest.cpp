@@ -205,3 +205,37 @@ TEST(FaultInjector, StorageFaultHalvesOnePersistentSpace) {
   EXPECT_EQ(Halved, 1);
   EXPECT_FALSE(FI.applyStorageFault(Plan, Store)) << "one-shot";
 }
+
+TEST(FaultInjector, StorageFaultNthSelectsLaterSpace) {
+  // Each eligible persistent space is one occurrence of the input site:
+  // input:truncate:2 must keep scanning past the first eligible space and
+  // halve the second, not silently fizzle.
+  ir::LoopChain Chain = parseFig1();
+  graph::Graph G = graph::buildGraph(Chain);
+  exec::ParamEnv Env{{"N", 8}};
+  storage::StoragePlan SPlan =
+      storage::StoragePlan::build(G, /*UseAllocation=*/false);
+  storage::ConcreteStorage Store(SPlan, Env);
+  ExecutionPlan Plan = ExecutionPlan::fromChain(Chain, Store, Env);
+
+  std::vector<std::size_t> Eligible;
+  for (std::size_t S = 0; S < Store.numSpaces(); ++S)
+    if (Plan.SpacePersistent[S] && Store.space(S).size() > 1)
+      Eligible.push_back(S);
+  ASSERT_GE(Eligible.size(), 2u) << "fig1 should carry VAL_0 and VAL_2";
+
+  std::vector<std::size_t> Before;
+  for (std::size_t S = 0; S < Store.numSpaces(); ++S)
+    Before.push_back(Store.space(S).size());
+
+  FaultInjector FI;
+  FI.arm(FaultSpec{FaultSite::Input, FaultKind::Truncate, 2});
+  ASSERT_TRUE(FI.applyStorageFault(Plan, Store));
+  EXPECT_EQ(FI.firedCount(), 1u);
+  for (std::size_t S = 0; S < Store.numSpaces(); ++S) {
+    if (S == Eligible[1])
+      EXPECT_EQ(Store.space(S).size(), Before[S] / 2);
+    else
+      EXPECT_EQ(Store.space(S).size(), Before[S]);
+  }
+}

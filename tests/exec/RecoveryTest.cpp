@@ -145,6 +145,37 @@ TEST(Recovery, InjectedKernelThrowDescendsOneRungBitIdentical) {
   expectBitIdentical(Expected, S.outputs(Store));
 }
 
+TEST(Recovery, LateKernelThrowRestoresStoreBitIdentical) {
+  // A fault that fires on the LAST task of the first attempt: every
+  // earlier task has already completed and published its writes into
+  // persistent spaces, and mfd's Diff kernels accumulate into the live
+  // output (Current + DiffScale * ...). The retry rung must start from
+  // the pre-attempt store — without the snapshot/restore, the completed
+  // accumulating tasks apply twice and the recovered output silently
+  // diverges from the oracle.
+  Harness S(mfd::buildChain2D(), 8);
+  std::vector<double> Expected = S.oracle();
+
+  storage::ConcreteStorage Store = S.freshStore();
+  ExecutionPlan Plan = ExecutionPlan::fromChain(S.Chain, Store, S.Env);
+  ASSERT_GT(Plan.Tasks.size(), 1u);
+
+  ScopedGlobalFault Fault(
+      FaultSpec{FaultSite::Kernel, FaultKind::Throw,
+                static_cast<unsigned>(Plan.Tasks.size())});
+  RecoverOptions Opts;
+  Opts.Run.Threads = 1; // Serial first rung: completions are deterministic.
+  RunReport R = runWithRecovery(Plan, S.Kernels, Store, Opts);
+
+  EXPECT_TRUE(R.Completed) << R.toString();
+  EXPECT_TRUE(R.Recovered);
+  ASSERT_EQ(R.Descents.size(), 1u) << R.toString();
+  EXPECT_EQ(R.Descents[0].Reason, ReasonWorkerException);
+  EXPECT_EQ(R.FinalRung, "scalar-serial");
+  EXPECT_EQ(FaultInjector::global().firedCount(), 1u);
+  expectBitIdentical(Expected, S.outputs(Store));
+}
+
 TEST(Recovery, InjectedTaskFailureFallsBackFromTiledPlan) {
   // A transformed (tile-parallel) plan as the fast path, the untransformed
   // chain lowering as the fallback: a task-level fault at the lowest

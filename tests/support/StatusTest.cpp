@@ -69,6 +69,24 @@ TEST(Status, JsonCarriesCodeMessageAndContext) {
   EXPECT_NE(J.find("line 3"), std::string::npos) << J;
 }
 
+TEST(Status, SubcodeDiscriminatesWithinACode) {
+  // The structured sub-discriminator (e.g. which E013 guard fired): set
+  // and read as a value, serialized in JSON, dropped on success.
+  Status S = Status::error(ErrorCode::GuardTripped, "redzone violated")
+                 .withSubcode("redzone");
+  EXPECT_EQ(S.subcode(), "redzone");
+  EXPECT_NE(S.toJson().find("\"subcode\":\"redzone\""), std::string::npos)
+      << S.toJson();
+
+  Status NoSub = Status::error(ErrorCode::GuardTripped, "NaN escaped");
+  EXPECT_TRUE(NoSub.subcode().empty());
+  EXPECT_EQ(NoSub.toJson().find("\"subcode\""), std::string::npos);
+
+  Status Ok = Status::ok();
+  Ok.withSubcode("ignored");
+  EXPECT_TRUE(Ok.subcode().empty());
+}
+
 TEST(Expected, HoldsValueOrError) {
   Expected<int> V(42);
   ASSERT_TRUE(static_cast<bool>(V));

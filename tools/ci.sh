@@ -78,6 +78,9 @@ fault_campaign() {
   # gate (L003, needs the modulo-windowed script+reduce lowering) and
   # input truncation by plan-vs-storage validation (L006).
   run_fault kernel:throw L002-worker-exception --threads=2
+  # Late occurrence: earlier tasks complete (and publish writes) before
+  # the fault fires, exercising the ladder's store snapshot/restore.
+  run_fault kernel:throw:2 L002-worker-exception --threads=2
   run_fault task:fail L002-worker-exception --threads=2
   run_fault modulo:corrupt L003-verifier-error \
     --script examples/chains/fig1.script --reduce
