@@ -93,7 +93,17 @@ bool JsonReport::write() const {
   std::ofstream Out(Path);
   if (!Out)
     return false;
+  const char *Commit = std::getenv("BENCH_COMMIT");
+  const Config C = Config::fromEnvironment();
   Out << "{\n";
+  // The run's provenance, so a committed baseline records what produced
+  // it; bench_compare ignores this variant when diffing.
+  Out << "  \"_meta\": {\"compiler\": \"" << __VERSION__ << "\", "
+      << "\"commit\": \"" << (Commit && *Commit ? Commit : "unknown")
+      << "\", \"cells\": " << C.TotalCells << ", \"large_box\": "
+      << C.LargeBox << ", \"reps\": " << C.Reps << ", \"threads\": "
+      << C.MaxThreads << ", \"widen\": " << FuseAllModuloWiden << "}"
+      << (Order.empty() ? "" : ",") << "\n";
   for (std::size_t V = 0; V < Order.size(); ++V) {
     const auto &Keys = Rows.at(Order[V]);
     Out << "  \"" << Order[V] << "\": {";
@@ -179,7 +189,7 @@ void bench::timeCompiledSchedules(std::int64_t N, int Reps,
     mfd::applyFuseAllLevels(G);
     storage::reduceStorage(G);
     storage::StoragePlan SPlan = storage::StoragePlan::build(
-        G, /*UseAllocation=*/false, /*ModuloWiden=*/8);
+        G, /*UseAllocation=*/false, FuseAllModuloWiden);
     storage::ConcreteStorage Store(SPlan, Env);
     seed(Chain, Store);
     codegen::AstPtr Ast = codegen::generate(G);

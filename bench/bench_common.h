@@ -49,6 +49,12 @@ struct Config {
   std::vector<int> threadSweep() const;
 };
 
+/// Modulo-window widening factor used by the fuseAll-reduced compiled
+/// schedule (widened windows let row batching cover whole rows; exact
+/// windows would cap segments at the producer/consumer lag). Recorded in
+/// the reports' "_meta" block.
+inline constexpr unsigned FuseAllModuloWiden = 8;
+
 /// Best-of-Reps wall-clock seconds of \p Fn (one warm-up first).
 double timeBestOf(int Reps, const std::function<void()> &Fn);
 
@@ -69,6 +75,11 @@ std::string fmtSeconds(double S);
 /// as JSON to the path named by the BENCH_JSON environment variable (a
 /// no-op when the variable is unset), so benchmark runs leave a machine-
 /// readable trajectory next to the human-readable tables.
+///
+/// Every report opens with a "_meta" variant describing the run
+/// (compiler, commit from the BENCH_COMMIT environment variable, and the
+/// MFD_* problem-size knobs), which tools/bench_compare skips when it
+/// diffs two reports.
 class JsonReport {
 public:
   void record(const std::string &Variant, const std::string &Key,

@@ -3,6 +3,7 @@
 #include "exec/FaultInjector.h"
 
 #include "exec/ExecutionPlan.h"
+#include "obs/Trace.h"
 #include "storage/StorageMap.h"
 #include "support/Errors.h"
 #include "support/StringUtils.h"
@@ -156,8 +157,19 @@ bool FaultInjector::shouldFire(FaultSite Site) {
     return false;
   // One-shot: retries down the degradation ladder see a healthy system.
   ++Fired;
+  const FaultSpec FiredSpec = Spec;
   Spec = FaultSpec{};
   Armed.store(false, std::memory_order_relaxed);
+  // Annotate the firing on the trace timeline (the tracer never calls back
+  // into the injector, so taking its lock under Mu cannot invert).
+  obs::Tracer &Tr = obs::Tracer::global();
+  if (Tr.enabled()) {
+    std::string Label = "fault:" +
+                        std::string(faultSiteName(FiredSpec.Site)) + ":" +
+                        std::string(faultKindName(FiredSpec.Kind));
+    Tr.instant(obs::SpanKind::Marker, Tr.intern(Label));
+    Tr.add(obs::Counter::FaultsFired, 1);
+  }
   return true;
 }
 

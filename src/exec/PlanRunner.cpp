@@ -11,6 +11,7 @@
 #include "exec/RowPlan.h"
 #include "exec/TaskGraph.h"
 #include "exec/ThreadPool.h"
+#include "obs/Trace.h"
 #include "support/Errors.h"
 #include "support/Status.h"
 
@@ -69,10 +70,29 @@ struct Collector {
   /// the report is deterministic.
   std::vector<PlanStats::NodeStat> Nodes;
   std::vector<std::size_t> InstrNode; ///< Instr index -> Nodes index.
+  /// Per-participant breakdown of the same credits (the load-imbalance
+  /// view PlanStats::Workers reports).
+  std::vector<PlanStats::WorkerStat> Workers;
   std::mutex NodeMu;
 
-  explicit Collector(const ExecutionPlan &Plan, bool CountEdges)
+  /// Non-null while the global tracer is recording this run; TraceLabels
+  /// then holds one interned label per instruction and TraceRun0 the
+  /// run's start in tracer time (for the whole-run span).
+  obs::Tracer *Tr = nullptr;
+  std::vector<std::int32_t> TraceLabels;
+  std::int64_t TraceRun0 = 0;
+
+  Collector(const ExecutionPlan &Plan, bool CountEdges, int Threads)
       : CountEdges(CountEdges) {
+    Workers.resize(static_cast<std::size_t>(Threads < 1 ? 1 : Threads));
+    obs::Tracer &Tracer = obs::Tracer::global();
+    if (Tracer.enabled()) {
+      Tr = &Tracer;
+      TraceLabels.reserve(Plan.Instrs.size());
+      for (const NestInstr &I : Plan.Instrs)
+        TraceLabels.push_back(Tracer.intern(I.Label));
+      TraceRun0 = Tracer.nowNs();
+    }
     if (CountEdges) {
       std::vector<std::int64_t> Min(Plan.Edges.size(), 0);
       std::vector<std::int64_t> Max(Plan.Edges.size(), -1);
@@ -122,26 +142,39 @@ struct Collector {
     }
   }
 
-  void credit(std::size_t Instr, double Seconds, std::int64_t Points,
-              std::int64_t RawReads) {
+  void credit(std::size_t Instr, int Participant, double Seconds,
+              std::int64_t Points, std::int64_t RawReads) {
     std::lock_guard<std::mutex> Lock(NodeMu);
     PlanStats::NodeStat &N = Nodes[InstrNode[Instr]];
     N.Seconds += Seconds;
     N.Points += Points;
     N.RawReads += RawReads;
+    // Nested inline regions report participant 0; clamp defensively so a
+    // stray id can never write out of bounds.
+    const std::size_t W =
+        Participant >= 0 && static_cast<std::size_t>(Participant) <
+                                Workers.size()
+            ? static_cast<std::size_t>(Participant)
+            : 0;
+    PlanStats::WorkerStat &WS = Workers[W];
+    WS.Seconds += Seconds;
+    ++WS.Tasks;
+    WS.Points += Points;
+    WS.RawReads += RawReads;
   }
 };
 
 /// Interprets one compiled instruction against the space table \p Spaces
 /// (index = space id, value = buffer base pointer).
 void runInstr(const NestInstr &I, const codegen::KernelRegistry &Kernels,
-              double *const *Spaces, Collector &C, std::size_t InstrIdx) {
+              double *const *Spaces, Collector &C, std::size_t InstrIdx,
+              int Participant) {
   Clock::time_point Start = Clock::now();
   const int L = static_cast<int>(I.Loops.size());
   std::vector<std::int64_t> Iter(L);
   for (int Lv = 0; Lv < L; ++Lv) {
     if (I.Loops[Lv].Lo > I.Loops[Lv].Hi) {
-      C.credit(InstrIdx, secondsSince(Start), 0, 0);
+      C.credit(InstrIdx, Participant, secondsSince(Start), 0, 0);
       return;
     }
     Iter[Lv] = I.Loops[Lv].Lo;
@@ -153,7 +186,7 @@ void runInstr(const NestInstr &I, const codegen::KernelRegistry &Kernels,
     Bodies.push_back(&Kernels.get(S.KernelId));
 
   std::vector<double> Reads;
-  std::int64_t Points = 0, RawReads = 0;
+  std::int64_t Points = 0, RawReads = 0, Wraps = 0;
   for (;;) {
     for (std::size_t SI = 0; SI < I.Stmts.size(); ++SI) {
       const StmtRecord &S = I.Stmts[SI];
@@ -175,6 +208,7 @@ void runInstr(const NestInstr &I, const codegen::KernelRegistry &Kernels,
           Idx %= R.ModSize;
           if (Idx < 0)
             Idx += R.ModSize;
+          Wraps += Idx != Lin;
         }
         Reads.push_back(Spaces[R.Space][Idx]);
         if (C.CountEdges && R.Edge >= 0) {
@@ -183,13 +217,15 @@ void runInstr(const NestInstr &I, const codegen::KernelRegistry &Kernels,
         }
       }
       const Stream &W = S.Write;
-      std::int64_t Lin = W.Base;
+      std::int64_t PreLin = W.Base;
       for (int Lv = 0; Lv < L; ++Lv)
-        Lin += Iter[Lv] * W.LevelStrides[Lv];
+        PreLin += Iter[Lv] * W.LevelStrides[Lv];
+      std::int64_t Lin = PreLin;
       if (W.Modulo) {
         Lin %= W.ModSize;
         if (Lin < 0)
           Lin += W.ModSize;
+        Wraps += Lin != PreLin;
       }
       double &Target = Spaces[W.Space][Lin];
       Target = (*Bodies[SI])(Reads, Target);
@@ -205,7 +241,13 @@ void runInstr(const NestInstr &I, const codegen::KernelRegistry &Kernels,
     if (Lv < 0)
       break;
   }
-  C.credit(InstrIdx, secondsSince(Start), Points, RawReads);
+  C.credit(InstrIdx, Participant, secondsSince(Start), Points, RawReads);
+  if (C.Tr) {
+    C.Tr->add(obs::Counter::PointsExecuted, Points);
+    C.Tr->add(obs::Counter::RawReads, RawReads);
+    C.Tr->add(obs::Counter::BytesMoved, 8 * (Points + RawReads));
+    C.Tr->add(obs::Counter::ModuloWraps, Wraps);
+  }
 }
 
 /// Runs task \p T of \p Plan with the given space table and participant.
@@ -223,10 +265,31 @@ void runTask(const ExecutionPlan &Plan, int T,
     support::raise(support::ErrorCode::FaultInjected,
                    "injected task failure: task " + std::to_string(T) +
                        " (" + I.Label + ")");
+  // Span bracket: a task that throws records no span (the trace then shows
+  // the task as never having completed, which is the truth).
+  obs::Tracer *Tr = C.Tr;
+  const std::int64_t Span0 = Tr ? Tr->nowNs() : 0;
+  auto EndSpan = [&] {
+    if (!Tr)
+      return;
+    obs::TraceSpan S;
+    S.T0 = Span0;
+    S.T1 = Tr->nowNs();
+    S.Kind = obs::SpanKind::Task;
+    S.Label = C.TraceLabels[static_cast<std::size_t>(InstrIdx)];
+    S.Task = T;
+    S.Instr = InstrIdx;
+    S.A0 = Participant;
+    Tr->record(S);
+    Tr->add(obs::Counter::TasksExecuted, 1);
+  };
   if (I.External) {
     Clock::time_point Start = Clock::now();
     I.External(Participant);
-    C.credit(InstrIdx, secondsSince(Start), 0, 0);
+    C.credit(InstrIdx, Participant, secondsSince(Start), 0, 0);
+    if (Tr)
+      Tr->add(obs::Counter::ExternalTasks, 1);
+    EndSpan();
     return;
   }
   if (FI.shouldFire(FaultSite::Kernel))
@@ -235,11 +298,24 @@ void runTask(const ExecutionPlan &Plan, int T,
   if (Rows && Rows[InstrIdx]) {
     Clock::time_point Start = Clock::now();
     std::int64_t Points = 0, RawReads = 0;
-    Rows[InstrIdx]->run(Spaces, Points, RawReads);
-    C.credit(InstrIdx, secondsSince(Start), Points, RawReads);
+    RowRunCounters RC;
+    Rows[InstrIdx]->run(Spaces, Points, RawReads, Tr ? &RC : nullptr);
+    C.credit(InstrIdx, Participant, secondsSince(Start), Points, RawReads);
+    if (Tr) {
+      Tr->add(obs::Counter::BatchedInstrs, 1);
+      Tr->add(obs::Counter::BatchedSegments, RC.Segments);
+      Tr->add(obs::Counter::ModuloWraps, RC.Wraps);
+      Tr->add(obs::Counter::PointsExecuted, Points);
+      Tr->add(obs::Counter::RawReads, RawReads);
+      Tr->add(obs::Counter::BytesMoved, 8 * (Points + RawReads));
+    }
+    EndSpan();
     return;
   }
-  runInstr(I, Kernels, Spaces, C, InstrIdx);
+  runInstr(I, Kernels, Spaces, C, InstrIdx, Participant);
+  if (Tr)
+    Tr->add(obs::Counter::ScalarInstrs, 1);
+  EndSpan();
 }
 
 PlanStats finish(const ExecutionPlan &Plan, Collector &C, double Seconds,
@@ -251,6 +327,7 @@ PlanStats finish(const ExecutionPlan &Plan, Collector &C, double Seconds,
   Stats.ThreadsUsed = ThreadsUsed;
   Stats.SerializedForStats = SerializedForStats;
   Stats.Nodes = std::move(C.Nodes);
+  Stats.Workers = std::move(C.Workers);
   if (C.CountEdges) {
     for (std::size_t E = 0; E < Plan.Edges.size(); ++E) {
       PlanStats::EdgeStat ES;
@@ -261,6 +338,15 @@ PlanStats finish(const ExecutionPlan &Plan, Collector &C, double Seconds,
       ES.Raw = C.EdgeRaw[E];
       Stats.Edges.push_back(std::move(ES));
     }
+  }
+  if (C.Tr) {
+    obs::TraceSpan S;
+    S.T0 = C.TraceRun0;
+    S.T1 = C.Tr->nowNs();
+    S.Kind = obs::SpanKind::Run;
+    S.Label = C.Tr->intern("plan-run");
+    S.A1 = ThreadsUsed;
+    C.Tr->record(S);
   }
   return Stats;
 }
@@ -362,6 +448,24 @@ std::string PlanStats::toString() const {
       OS << ", " << N.Points << " points, " << N.RawReads << " reads";
     OS << "\n";
   }
+  if (Workers.size() > 1) {
+    double MaxSec = 0.0, MinSec = -1.0;
+    for (std::size_t W = 0; W < Workers.size(); ++W) {
+      const WorkerStat &WS = Workers[W];
+      OS << "  worker " << W << ": " << WS.Seconds << " s, " << WS.Tasks
+         << " tasks";
+      if (WS.Points)
+        OS << ", " << WS.Points << " points, " << WS.RawReads << " reads";
+      OS << "\n";
+      if (WS.Tasks) {
+        MaxSec = std::max(MaxSec, WS.Seconds);
+        MinSec = MinSec < 0 ? WS.Seconds : std::min(MinSec, WS.Seconds);
+      }
+    }
+    if (MinSec > 0)
+      OS << "  imbalance: max/min worker busy time " << MaxSec / MinSec
+         << "x\n";
+  }
   for (const EdgeStat &E : Edges)
     OS << "  edge " << E.Array << " -> " << E.Consumer << " (x"
        << E.Multiplicity << "): " << E.Distinct << " distinct, " << E.Raw
@@ -381,7 +485,7 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
   const bool Serialized = Opts.CollectStats && Requested > 1;
   if (Opts.CollectStats)
     Threads = 1; // Element counting shares one collector.
-  Collector C(Plan, Opts.CollectStats);
+  Collector C(Plan, Opts.CollectStats, Threads);
 
   // Row-batch the instructions once per run; the compiled plans are
   // immutable and shared by every worker. Stats runs stay on the scalar
@@ -554,7 +658,7 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan, const RunOptions &Opts) {
                      "storage");
   static const codegen::KernelRegistry NoKernels;
   int Threads = ThreadPool::effectiveThreads(Opts.Threads);
-  Collector C(Plan, /*CountEdges=*/false);
+  Collector C(Plan, /*CountEdges=*/false, Threads);
   Clock::time_point Start = Clock::now();
   if (Threads <= 1) {
     for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)

@@ -63,6 +63,18 @@ struct PlanStats {
   };
   std::vector<EdgeStat> Edges;
 
+  /// Per-participant totals. The Collector always accumulates these (the
+  /// merge into Nodes used to discard the breakdown), so --metrics at T>1
+  /// can show load imbalance; index = participant id. Under serial or
+  /// stats-collecting runs there is exactly one entry.
+  struct WorkerStat {
+    double Seconds = 0.0;      ///< Sum of task wall times on this worker.
+    std::int64_t Tasks = 0;    ///< Plan tasks this worker ran.
+    std::int64_t Points = 0;   ///< Statement instances it executed.
+    std::int64_t RawReads = 0; ///< Operand loads it performed.
+  };
+  std::vector<WorkerStat> Workers;
+
   double Seconds = 0.0; ///< Whole-plan wall time.
 
   int ThreadsRequested = 1; ///< RunOptions::Threads after the env cap.

@@ -5,6 +5,7 @@
 #include "exec/FaultInjector.h"
 #include "exec/RowPlan.h"
 #include "exec/ThreadPool.h"
+#include "obs/Trace.h"
 #include "storage/StorageMap.h"
 #include "verify/PlanVerifier.h"
 
@@ -103,6 +104,20 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
     return Name;
   };
 
+  // Ladder observability: every descent is an instant event labelled with
+  // its stable L00x reason, every rung attempt a span, so a traced
+  // recovery reads directly off the Chrome timeline.
+  obs::Tracer &Tr = obs::Tracer::global();
+  auto NoteDescent = [&](const char *Reason, std::string Detail) {
+    if (Tr.enabled()) {
+      Tr.instant(obs::SpanKind::Marker,
+                 Tr.intern("descend:" + std::string(Reason)), -1, -1,
+                 static_cast<std::int32_t>(R.Descents.size()));
+      Tr.add(obs::Counter::RecoveryDescents, 1);
+    }
+    R.Descents.push_back({RungName(), Reason, std::move(Detail)});
+  };
+
   // Switches the ladder to the untransformed fallback plan (scalar,
   // serial). Returns false when there is nowhere left to descend.
   auto ToFallback = [&]() {
@@ -166,7 +181,7 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
       Verified = Cur;
       if (Diags.hasErrors()) {
         std::string Detail = firstError(Diags);
-        R.Descents.push_back({RungName(), ReasonVerifierError, Detail});
+        NoteDescent(ReasonVerifierError, Detail);
         if (ToFallback())
           continue;
         R.FinalRung = RungName();
@@ -188,9 +203,9 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
           continue;
         if (RowPlan::analyze(I, Kernels).Refusal ==
             RowRefusal::UnsafeInterleave) {
-          R.Descents.push_back(
-              {RungName(), ReasonBatchedRefusal,
-               "instruction " + I.Label + ": no safe segment cap provable"});
+          NoteDescent(ReasonBatchedRefusal,
+                      "instruction " + I.Label +
+                          ": no safe segment cap provable");
           O.Batched = false;
           break;
         }
@@ -199,8 +214,27 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
 
     Status Err;
     RestoreOrSnapshotStore();
+    std::int64_t Rung0 = 0;
+    std::int32_t RungLabel = -1;
+    if (Tr.enabled()) {
+      RungLabel = Tr.intern("rung:" + RungName());
+      Tr.add(obs::Counter::RecoveryRuns, 1);
+      Rung0 = Tr.nowNs();
+    }
+    auto EndRung = [&] {
+      if (RungLabel < 0)
+        return;
+      obs::TraceSpan S;
+      S.T0 = Rung0;
+      S.T1 = Tr.nowNs();
+      S.Kind = obs::SpanKind::Rung;
+      S.Label = RungLabel;
+      S.A0 = static_cast<std::int32_t>(R.Descents.size());
+      Tr.record(S);
+    };
     try {
       R.Stats = runPlan(*Cur, Kernels, *CurStore, O);
+      EndRung();
       R.Completed = true;
       R.Recovered = !R.Descents.empty();
       R.FinalRung = RungName();
@@ -210,6 +244,7 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
     } catch (const std::exception &E) {
       Err = Status::error(ErrorCode::Internal, E.what());
     }
+    EndRung();
 
     switch (Err.code()) {
     case ErrorCode::PlanInvalid:
@@ -220,7 +255,7 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
     case ErrorCode::VerifierRejected: {
       // Deterministic rejections: the same rung would fail identically, so
       // jump straight to the fallback plan.
-      R.Descents.push_back({RungName(), ReasonPlanInvalid, Err.toString()});
+      NoteDescent(ReasonPlanInvalid, Err.toString());
       if (ToFallback())
         continue;
       break;
@@ -229,7 +264,7 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
       const char *Reason = Err.subcode() == GuardSubcodeRedzone
                                ? ReasonRedzone
                                : ReasonNanGuard;
-      R.Descents.push_back({RungName(), Reason, Err.toString()});
+      NoteDescent(Reason, Err.toString());
       if (ToFallback())
         continue;
       break;
@@ -238,8 +273,7 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
       // Runtime failures (worker exceptions, injected faults): retry one
       // rung down — batched->scalar, then parallel->serial, then the
       // fallback plan.
-      R.Descents.push_back({RungName(), ReasonWorkerException,
-                            Err.toString()});
+      NoteDescent(ReasonWorkerException, Err.toString());
       if (O.Batched) {
         O.Batched = false;
         continue;

@@ -180,7 +180,7 @@ RowAnalysis RowPlan::analyze(const NestInstr &Instr,
 }
 
 void RowPlan::run(double *const *Spaces, std::int64_t &Points,
-                  std::int64_t &RawReads) const {
+                  std::int64_t &RawReads, RowRunCounters *Counters) const {
   const std::size_t OL = Outer.size();
   for (std::size_t L = 0; L < OL; ++L)
     if (Outer[L].Lo > Outer[L].Hi)
@@ -230,12 +230,14 @@ void RowPlan::run(double *const *Spaces, std::int64_t &Points,
   // Advances one stream cursor by N inner steps, wrapping when the
   // countdown expires (the walker never lets a segment cross a wrap, so
   // the countdown reaches exactly zero).
+  std::int64_t WrapEvents = 0, Segments = 0;
   auto advanceStream = [&](const RowStream &S, std::int64_t N,
                            std::size_t F) {
     Cur[F] += N * S.InnerStride;
     if ((WrapLeft[F] -= N) == 0) {
       Cur[F] = wrap(Cur[F], S.ModSize);
       WrapLeft[F] = stepsToWrap(Cur[F], S.InnerStride, S.ModSize);
+      ++WrapEvents;
     }
   };
 
@@ -295,6 +297,7 @@ void RowPlan::run(double *const *Spaces, std::int64_t &Points,
         }
         S.Body(W, ReadPtrs.data(), ReadStrides.data(), S.Write.InnerStride,
                N);
+        ++Segments;
         advanceStream(S.Write, N, Start[SI]);
         MinWrap[SI] = WrapLeft[Start[SI]];
         for (std::size_t R = 0; R < S.Reads.size(); ++R) {
@@ -325,6 +328,10 @@ void RowPlan::run(double *const *Spaces, std::int64_t &Points,
       if (L == 0) {
         Points += P;
         RawReads += RR;
+        if (Counters) {
+          Counters->Segments += Segments;
+          Counters->Wraps += WrapEvents;
+        }
         return;
       }
     }
@@ -333,4 +340,8 @@ void RowPlan::run(double *const *Spaces, std::int64_t &Points,
   }
   Points += P;
   RawReads += RR;
+  if (Counters) {
+    Counters->Segments += Segments;
+    Counters->Wraps += WrapEvents;
+  }
 }

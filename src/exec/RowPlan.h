@@ -92,6 +92,17 @@ enum class RowRefusal {
 
 struct RowAnalysis;
 
+/// Optional execution counters filled by RowPlan::run for the
+/// observability layer: how many batched kernel segments were invoked and
+/// how many modulo wrap-countdown expiries split them. (The scalar
+/// interpreter's wrap counter counts wrapped accesses; this one counts
+/// wrap boundary crossings — docs/OBSERVABILITY.md spells out the
+/// difference.)
+struct RowRunCounters {
+  std::int64_t Segments = 0;
+  std::int64_t Wraps = 0;
+};
+
 /// A compiled row view of one NestInstr. Immutable after compile(): the
 /// executor keeps all mutable cursor state on its own stack, so one
 /// RowPlan may run concurrently on many workers (tile-parallel plans
@@ -119,9 +130,10 @@ public:
   /// Executes the compiled rows against the space table \p Spaces
   /// (index = space id, value = buffer base pointer). Accumulates the
   /// statement-instance and operand-load counts the runner credits to the
-  /// instruction's node.
+  /// instruction's node; \p Counters, when non-null, additionally receives
+  /// the batched-segment and modulo-wrap counts.
   void run(double *const *Spaces, std::int64_t &Points,
-           std::int64_t &RawReads) const;
+           std::int64_t &RawReads, RowRunCounters *Counters = nullptr) const;
 };
 
 /// Result of the row-batching compilation attempt: the plan when it

@@ -2,6 +2,7 @@
 
 #include "runtime/GhostExchange.h"
 
+#include "obs/Trace.h"
 #include "runtime/Parallel.h"
 #include "support/Errors.h"
 
@@ -39,6 +40,19 @@ void rt::exchangeGhosts(std::vector<Box> &Boxes, const GridLayout &Layout,
   const int G = Boxes.front().ghost();
   const int NumComp = Boxes.front().numComponents();
   assert(G <= N && "ghost depth deeper than a neighboring box interior");
+
+  // Every non-interior cell of every box is filled once per exchange; each
+  // fill reads one source cell and writes one ghost cell (16 bytes).
+  obs::Tracer &Tr = obs::Tracer::global();
+  if (Tr.enabled()) {
+    const std::int64_t Ext = N + 2 * G;
+    const std::int64_t PerBox =
+        (Ext * Ext * Ext - static_cast<std::int64_t>(N) * N * N) * NumComp;
+    const std::int64_t Cells = PerBox * Layout.numBoxes();
+    Tr.add(obs::Counter::GhostExchanges, 1);
+    Tr.add(obs::Counter::GhostCells, Cells);
+    Tr.add(obs::Counter::BytesMoved, Cells * 16);
+  }
 
   parallelFor(Layout.numBoxes(), Threads, [&](int Index) {
     int BZ = Index / (Layout.By * Layout.Bx);

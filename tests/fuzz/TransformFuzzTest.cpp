@@ -16,6 +16,8 @@
 #include "exec/ExecutionPlan.h"
 #include "exec/PlanRunner.h"
 #include "graph/GraphBuilder.h"
+#include "obs/Trace.h"
+#include "obs/TraceCheck.h"
 #include "parser/ScriptRunner.h"
 #include "storage/StorageMap.h"
 #include "verify/PlanVerifier.h"
@@ -168,6 +170,30 @@ TEST_P(TransformFuzz, RandomSequencesVerifyAndCompareBitIdentical) {
   for (std::size_t I = 0; I < Expected.size(); ++I)
     EXPECT_EQ(Expected[I], Got[I])
         << "flat index " << I << ", script:\n" << Script.str();
+
+  // The survivor must also trace clean: a parallel run with the span
+  // tracer armed, on a fresh store, whose recorded spans satisfy the
+  // plan's dependence closure (obs::checkTrace) with nothing dropped.
+  {
+    storage::ConcreteStorage TraceStore(SPlan, E);
+    seed(Chain, TraceStore, E);
+    obs::Tracer &Tr = obs::Tracer::global();
+    Tr.enable();
+    exec::RunOptions Parallel;
+    Parallel.Threads = 2;
+    try {
+      exec::runPlan(*Plan, Kernels, TraceStore, Parallel);
+    } catch (...) {
+      (void)Tr.drain();
+      Tr.disable();
+      throw;
+    }
+    obs::Trace T = Tr.drain();
+    Tr.disable();
+    verify::Diagnostics TDiags = obs::checkTrace(*Plan, T);
+    EXPECT_TRUE(TDiags.all().empty())
+        << "script:\n" << Script.str() << TDiags.toString();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TransformFuzz,

@@ -1,0 +1,221 @@
+//===- tests/obs/TraceCheckTest.cpp ---------------------------------------===//
+//
+// The trace-vs-plan conformance validator under mutation: a clean traced
+// run passes, and each single corruption of the trace (deleted span,
+// duplicated span, reversed timestamps, reversed dependent pair, worker
+// overlap, ring drops) is reported with exactly one diagnostic carrying
+// its stable T00x check id — the staged design must not cascade.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceCheck.h"
+
+#include "ObsHarness.h"
+#include "exec/PlanRunner.h"
+#include "minifluxdiv/Spec.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace lcdfg;
+using namespace lcdfg::exec;
+using namespace lcdfg::obs;
+using lcdfg::obstest::ScopedTracer;
+
+namespace {
+
+/// MiniFluxDiv 2D harness: enough independent direction nests to give the
+/// task graph real wavefront parallelism (and so real dependence edges
+/// for the mutations to violate).
+struct Fixture {
+  codegen::KernelRegistry Kernels;
+  ir::LoopChain Chain;
+  ParamEnv Env{{"N", 6}};
+  storage::StoragePlan SPlan;
+  storage::ConcreteStorage Store;
+  ExecutionPlan Plan;
+
+  // Kernels must be registered before the plan is compiled (fromChain
+  // bakes the nests' kernel ids into the statement records).
+  static ir::LoopChain makeChain(codegen::KernelRegistry &Kernels) {
+    ir::LoopChain C = mfd::buildChain2D();
+    mfd::registerKernels(C, Kernels);
+    return C;
+  }
+
+  Fixture()
+      : Chain(makeChain(Kernels)),
+        SPlan(storage::StoragePlan::build(graph::buildGraph(Chain),
+                                          /*UseAllocation=*/false)),
+        Store(SPlan, Env),
+        Plan(ExecutionPlan::fromChain(Chain, Store, Env,
+                                      /*G=*/nullptr)) {
+    for (const std::string &Name : Chain.arrayNames()) {
+      if (Chain.array(Name).Kind != ir::StorageKind::PersistentInput)
+        continue;
+      Chain.array(Name).Extent->forEachPoint(
+          Env, [&](const std::vector<std::int64_t> &P) {
+            double V = 1.0;
+            for (std::size_t D = 0; D < P.size(); ++D)
+              V += 0.001 * static_cast<double>((D + 3) * P[D]);
+            Store.at(Name, P) = V;
+          });
+    }
+  }
+
+  /// One traced execution at two threads, drained.
+  Trace tracedRun() {
+    ScopedTracer Scope;
+    RunOptions O;
+    O.Threads = 2;
+    runPlan(Plan, Kernels, Store, O);
+    return obs::Tracer::global().drain();
+  }
+};
+
+/// Restores the sorted-by-start-time invariant drain() guarantees (the
+/// mutations move timestamps around).
+void resort(Trace &T) {
+  std::stable_sort(T.Spans.begin(), T.Spans.end(),
+                   [](const TraceSpan &A, const TraceSpan &B) {
+                     return A.T0 != B.T0 ? A.T0 < B.T0 : A.T1 < B.T1;
+                   });
+}
+
+std::size_t findTaskSpan(const Trace &T, int Task) {
+  for (std::size_t S = 0; S < T.Spans.size(); ++S)
+    if (T.Spans[S].Kind == SpanKind::Task && T.Spans[S].Task == Task)
+      return S;
+  ADD_FAILURE() << "no span for task " << Task;
+  return 0;
+}
+
+/// Asserts the diagnostics contain exactly one error and it carries
+/// \p CheckId.
+void expectSingle(const verify::Diagnostics &Diags,
+                  const std::string &CheckId) {
+  ASSERT_EQ(Diags.all().size(), 1u) << Diags.toString();
+  EXPECT_EQ(Diags.all()[0].CheckId, CheckId) << Diags.toString();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace
+
+TEST(TraceCheck, CleanTracedRunPasses) {
+  Fixture F;
+  Trace T = F.tracedRun();
+  ASSERT_GE(F.Plan.Tasks.size(), 4u);
+  verify::Diagnostics Diags = checkTrace(F.Plan, T);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  EXPECT_TRUE(Diags.all().empty()) << Diags.toString();
+}
+
+TEST(TraceCheck, DeletedSpanYieldsOneMissingDiagnostic) {
+  Fixture F;
+  Trace T = F.tracedRun();
+  std::size_t Victim = findTaskSpan(T, 0);
+  T.Spans.erase(T.Spans.begin() + static_cast<std::ptrdiff_t>(Victim));
+  verify::Diagnostics Diags = checkTrace(F.Plan, T);
+  expectSingle(Diags, CheckMissingSpan);
+  EXPECT_EQ(Diags.all()[0].Task, 0);
+}
+
+TEST(TraceCheck, DuplicatedSpanYieldsOneDuplicateDiagnostic) {
+  Fixture F;
+  Trace T = F.tracedRun();
+  TraceSpan Copy = T.Spans[findTaskSpan(T, 1)];
+  Copy.T0 += 1;
+  Copy.T1 = std::max(Copy.T1, Copy.T0);
+  T.Spans.push_back(Copy);
+  resort(T);
+  verify::Diagnostics Diags = checkTrace(F.Plan, T);
+  expectSingle(Diags, CheckDuplicateSpan);
+  EXPECT_EQ(Diags.all()[0].Task, 1);
+}
+
+TEST(TraceCheck, ReversedTimestampsYieldOneReversedDiagnostic) {
+  Fixture F;
+  Trace T = F.tracedRun();
+  // Any task span with a nonzero duration to flip.
+  std::size_t Victim = T.Spans.size();
+  for (std::size_t S = 0; S < T.Spans.size(); ++S)
+    if (T.Spans[S].Kind == SpanKind::Task && T.Spans[S].T1 > T.Spans[S].T0) {
+      Victim = S;
+      break;
+    }
+  ASSERT_LT(Victim, T.Spans.size()) << "no task span with positive duration";
+  std::swap(T.Spans[Victim].T0, T.Spans[Victim].T1);
+  resort(T);
+  expectSingle(checkTrace(F.Plan, T), CheckReversedSpan);
+}
+
+TEST(TraceCheck, ReversedDependentPairYieldsOneOrderDiagnostic) {
+  Fixture F;
+  Trace T = F.tracedRun();
+  // A direct dependence edge I -> J straight off the plan.
+  int I = -1, J = -1;
+  for (std::size_t K = 0; K < F.Plan.Tasks.size() && I < 0; ++K)
+    if (!F.Plan.Tasks[K].Deps.empty()) {
+      J = static_cast<int>(K);
+      I = F.Plan.Tasks[K].Deps.front();
+    }
+  ASSERT_GE(I, 0) << "plan has no dependence edges";
+
+  // Move the consumer's span entirely before its producer, onto a fresh
+  // worker so no same-worker overlap masks the ordering violation.
+  TraceSpan &SJ = T.Spans[findTaskSpan(T, J)];
+  const TraceSpan SI = T.Spans[findTaskSpan(T, I)];
+  std::int32_t MaxWorker = 0;
+  for (const TraceSpan &S : T.Spans)
+    MaxWorker = std::max(MaxWorker, S.Worker);
+  SJ.Worker = MaxWorker + 1;
+  SJ.T0 = SI.T0 - 20;
+  SJ.T1 = SI.T0 - 10;
+  resort(T);
+
+  verify::Diagnostics Diags = checkTrace(F.Plan, T);
+  expectSingle(Diags, CheckDependenceOrder);
+  EXPECT_EQ(Diags.all()[0].Task, J);
+}
+
+TEST(TraceCheck, SameWorkerOverlapYieldsOneOverlapDiagnostic) {
+  Fixture F;
+  Trace T = F.tracedRun();
+  std::size_t A = findTaskSpan(T, 0);
+  ASSERT_GT(T.Spans[A].T1, T.Spans[A].T0) << "zero-duration task span";
+  std::size_t B = findTaskSpan(T, 1);
+  T.Spans[B].Worker = T.Spans[A].Worker;
+  T.Spans[B].T0 = T.Spans[A].T0;
+  T.Spans[B].T1 = T.Spans[A].T1;
+  resort(T);
+  expectSingle(checkTrace(F.Plan, T), CheckWorkerOverlap);
+}
+
+TEST(TraceCheck, DroppedSpansRefuseTheTrace) {
+  Fixture F;
+  Trace T = F.tracedRun();
+  T.Dropped = 7;
+  verify::Diagnostics Diags = checkTrace(F.Plan, T);
+  expectSingle(Diags, CheckDroppedSpans);
+  EXPECT_NE(Diags.all()[0].Message.find("7"), std::string::npos);
+}
+
+TEST(TraceCheck, MissingWorkerIdIsAnOverlapError) {
+  Fixture F;
+  Trace T = F.tracedRun();
+  T.Spans[findTaskSpan(T, 0)].Worker = -1;
+  expectSingle(checkTrace(F.Plan, T), CheckWorkerOverlap);
+}
+
+TEST(TraceCheck, SerialTraceAlsoConforms) {
+  Fixture F;
+  ScopedTracer Scope;
+  RunOptions O;
+  O.Threads = 1;
+  runPlan(F.Plan, F.Kernels, F.Store, O);
+  Trace T = obs::Tracer::global().drain();
+  verify::Diagnostics Diags = checkTrace(F.Plan, T);
+  EXPECT_TRUE(Diags.all().empty()) << Diags.toString();
+}

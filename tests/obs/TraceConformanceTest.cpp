@@ -1,0 +1,183 @@
+//===- tests/obs/TraceConformanceTest.cpp ---------------------------------===//
+//
+// Trace-driven conformance over the example corpus: every fig1.lc
+// lowering lcdfg-lint sweeps, executed at 1, 2, and 4 threads with the
+// tracer armed. Each trace must pass obs::checkTrace against its plan's
+// dependence closure, and the counter registry must agree with the
+// PlanStats element-counting oracle: statement instances and raw loads
+// are path-invariant (scalar stats run vs traced batched run), task
+// counts equal the plan's task list, and the batched/scalar instruction
+// split matches what RowPlan::analyze says about each instruction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ObsHarness.h"
+
+#include "exec/PlanRunner.h"
+#include "exec/RowPlan.h"
+#include "obs/Trace.h"
+#include "obs/TraceCheck.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using namespace lcdfg;
+using namespace lcdfg::exec;
+using namespace lcdfg::obs;
+using lcdfg::obstest::Fig1Config;
+using lcdfg::obstest::Fig1Harness;
+using lcdfg::obstest::Lowering;
+using lcdfg::obstest::ScopedTracer;
+using lcdfg::obstest::fig1ConfigName;
+
+namespace {
+
+constexpr Fig1Config AllConfigs[] = {
+    Fig1Config::Original,        Fig1Config::ScriptReducedWiden1,
+    Fig1Config::ScriptReducedWiden2, Fig1Config::AutoscheduleReduced,
+    Fig1Config::Tiled4,
+};
+
+struct Totals {
+  std::int64_t Points = 0;
+  std::int64_t RawReads = 0;
+};
+
+/// The element-counting oracle: a stats run (serialized, scalar) of a
+/// fresh lowering of \p Config.
+Totals oracleTotals(Fig1Harness &H, Fig1Config Config) {
+  Lowering L = H.lower(Config);
+  RunOptions O;
+  O.CollectStats = true;
+  PlanStats PS = runPlan(L.Plan, H.Kernels, L.Store, O);
+  Totals T;
+  for (const PlanStats::NodeStat &N : PS.Nodes) {
+    T.Points += N.Points;
+    T.RawReads += N.RawReads;
+  }
+  return T;
+}
+
+/// One traced execution of a fresh lowering; returns the drained trace
+/// and (through \p PlanOut) the plan it ran, for checkTrace.
+Trace tracedRun(Fig1Harness &H, Fig1Config Config, int Threads, bool Batched,
+                ExecutionPlan &PlanOut) {
+  Lowering L = H.lower(Config);
+  ScopedTracer Scope;
+  RunOptions O;
+  O.Threads = Threads;
+  O.Batched = Batched;
+  runPlan(L.Plan, H.Kernels, L.Store, O);
+  PlanOut = std::move(L.Plan);
+  return Tracer::global().drain();
+}
+
+} // namespace
+
+TEST(TraceConformance, EveryConfigEveryThreadCountPassesTraceCheck) {
+  Fig1Harness H;
+  for (Fig1Config Config : AllConfigs) {
+    const Totals Oracle = oracleTotals(H, Config);
+    for (int Threads : {1, 2, 4}) {
+      SCOPED_TRACE(std::string(fig1ConfigName(Config)) + " threads=" +
+                   std::to_string(Threads));
+      ExecutionPlan Plan;
+      Trace T = tracedRun(H, Config, Threads, /*Batched=*/true, Plan);
+
+      verify::Diagnostics Diags = checkTrace(Plan, T);
+      EXPECT_TRUE(Diags.all().empty()) << Diags.toString();
+
+      // Counter registry vs the PlanStats oracle: statement instances and
+      // operand loads are path-invariant, so the traced (batched,
+      // parallel) run must count exactly what the scalar stats run did.
+      EXPECT_EQ(T.counter(Counter::PointsExecuted), Oracle.Points);
+      EXPECT_EQ(T.counter(Counter::RawReads), Oracle.RawReads);
+      EXPECT_EQ(T.counter(Counter::BytesMoved),
+                8 * (Oracle.Points + Oracle.RawReads));
+      EXPECT_EQ(T.counter(Counter::TasksExecuted),
+                static_cast<std::int64_t>(Plan.Tasks.size()));
+      // One task span per plan task (checkTrace already asserts this; the
+      // equality here pins the span/counter agreement).
+      std::int64_t TaskSpans = 0;
+      for (const TraceSpan &S : T.Spans)
+        TaskSpans += S.Kind == SpanKind::Task;
+      EXPECT_EQ(TaskSpans, static_cast<std::int64_t>(Plan.Tasks.size()));
+    }
+  }
+}
+
+TEST(TraceConformance, BatchedSplitMatchesRowPlanAnalyze) {
+  Fig1Harness H;
+  for (Fig1Config Config : AllConfigs) {
+    SCOPED_TRACE(fig1ConfigName(Config));
+    // What the row-batching compiler says about each task's instruction.
+    std::int64_t ExpBatched = 0, ExpScalar = 0, ExpExternal = 0;
+    {
+      Lowering L = H.lower(Config);
+      for (const PlanTask &PT : L.Plan.Tasks) {
+        const NestInstr &I =
+            L.Plan.Instrs[static_cast<std::size_t>(PT.Instr)];
+        if (I.External)
+          ++ExpExternal;
+        else if (RowPlan::analyze(I, H.Kernels).Refusal == RowRefusal::None)
+          ++ExpBatched;
+        else
+          ++ExpScalar;
+      }
+    }
+
+    ExecutionPlan Plan;
+    Trace T = tracedRun(H, Config, /*Threads=*/2, /*Batched=*/true, Plan);
+    EXPECT_EQ(T.counter(Counter::BatchedInstrs), ExpBatched);
+    EXPECT_EQ(T.counter(Counter::ScalarInstrs), ExpScalar);
+    EXPECT_EQ(T.counter(Counter::ExternalTasks), ExpExternal);
+    if (ExpBatched)
+      EXPECT_GT(T.counter(Counter::BatchedSegments), 0);
+    else
+      EXPECT_EQ(T.counter(Counter::BatchedSegments), 0);
+
+    // With batching off everything lands on the scalar interpreter.
+    Trace TS = tracedRun(H, Config, /*Threads=*/2, /*Batched=*/false, Plan);
+    EXPECT_EQ(TS.counter(Counter::BatchedInstrs), 0);
+    EXPECT_EQ(TS.counter(Counter::BatchedSegments), 0);
+    EXPECT_EQ(TS.counter(Counter::ScalarInstrs), ExpBatched + ExpScalar);
+  }
+}
+
+TEST(TraceConformance, PlanStatsExposesPerWorkerTotals) {
+  Fig1Harness H;
+  // Stats run: serialized, so exactly one participant carries everything.
+  {
+    Lowering L = H.lower(Fig1Config::Original);
+    RunOptions O;
+    O.CollectStats = true;
+    PlanStats PS = runPlan(L.Plan, H.Kernels, L.Store, O);
+    ASSERT_EQ(PS.Workers.size(), 1u);
+    std::int64_t Points = 0, Raw = 0;
+    for (const PlanStats::NodeStat &N : PS.Nodes) {
+      Points += N.Points;
+      Raw += N.RawReads;
+    }
+    EXPECT_EQ(PS.Workers[0].Points, Points);
+    EXPECT_EQ(PS.Workers[0].RawReads, Raw);
+    EXPECT_EQ(PS.Workers[0].Tasks,
+              static_cast<std::int64_t>(L.Plan.Tasks.size()));
+  }
+  // Parallel run: the per-worker shards partition the same totals.
+  {
+    Lowering L = H.lower(Fig1Config::Original);
+    RunOptions O;
+    O.Threads = 2;
+    PlanStats PS = runPlan(L.Plan, H.Kernels, L.Store, O);
+    ASSERT_GE(PS.Workers.size(), 1u);
+    std::int64_t Tasks = 0;
+    for (const PlanStats::WorkerStat &W : PS.Workers)
+      Tasks += W.Tasks;
+    EXPECT_EQ(Tasks, static_cast<std::int64_t>(L.Plan.Tasks.size()));
+    // The breakdown reaches the human: per-worker rows in toString().
+    if (PS.Workers.size() > 1) {
+      EXPECT_NE(PS.toString().find("imbalance"), std::string::npos);
+    }
+  }
+}

@@ -1,0 +1,221 @@
+//===- tests/obs/TraceTest.cpp --------------------------------------------===//
+//
+// Unit tests of the span tracer and counter registry: ring-buffer
+// recording and drain semantics (sorting, wrap-around drops, per-worker
+// buffers), the label intern table, counter merging, and the two export
+// formats (Chrome trace_event JSON, compact text summary).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "ObsHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+using namespace lcdfg;
+using namespace lcdfg::obs;
+using lcdfg::obstest::ScopedTracer;
+
+namespace {
+
+TraceSpan makeSpan(std::int64_t T0, std::int64_t T1, std::int32_t Label = -1,
+                   std::int32_t Task = -1, SpanKind Kind = SpanKind::Task) {
+  TraceSpan S;
+  S.T0 = T0;
+  S.T1 = T1;
+  S.Label = Label;
+  S.Task = Task;
+  S.Kind = Kind;
+  return S;
+}
+
+} // namespace
+
+TEST(Trace, CounterNamesAreStable) {
+  EXPECT_EQ(counterName(Counter::PointsExecuted), "exec.points");
+  EXPECT_EQ(counterName(Counter::RawReads), "exec.reads.raw");
+  EXPECT_EQ(counterName(Counter::BytesMoved), "exec.bytes.moved");
+  EXPECT_EQ(counterName(Counter::BatchedSegments), "exec.segments.batched");
+  EXPECT_EQ(counterName(Counter::ModuloWraps), "exec.modulo.wraps");
+  EXPECT_EQ(counterName(Counter::GhostExchanges), "rt.ghost.exchanges");
+  EXPECT_EQ(counterName(Counter::RecoveryDescents), "recovery.descents");
+  EXPECT_EQ(counterName(Counter::FaultsFired), "fault.fired");
+  // Every enumerator short of the sentinel has a real name.
+  for (std::size_t C = 0; C < NumCountersV; ++C)
+    EXPECT_NE(counterName(static_cast<Counter>(C)), "unknown") << C;
+}
+
+TEST(Trace, DisabledTracerRecordsNothing) {
+  Tracer &T = Tracer::global();
+  ASSERT_FALSE(T.enabled());
+  T.record(makeSpan(0, 1));
+  T.add(Counter::PointsExecuted, 42);
+  T.instant(SpanKind::Marker, -1);
+
+  ScopedTracer Scope;
+  Trace Tr = Tracer::global().drain();
+  EXPECT_TRUE(Tr.Spans.empty());
+  EXPECT_TRUE(Tr.WorkerCounters.empty());
+  EXPECT_EQ(Tr.counter(Counter::PointsExecuted), 0);
+}
+
+TEST(Trace, RecordDrainRoundTrip) {
+  ScopedTracer Scope;
+  Tracer &T = Tracer::global();
+  const std::int32_t A = T.intern("alpha");
+  const std::int32_t B = T.intern("beta");
+  // Out of start-time order: drain must sort.
+  T.record(makeSpan(300, 400, B, 1));
+  T.record(makeSpan(100, 200, A, 0));
+  T.add(Counter::PointsExecuted, 5);
+  T.add(Counter::PointsExecuted, 7);
+  T.add(Counter::RawReads, 3);
+
+  Trace Tr = T.drain();
+  ASSERT_EQ(Tr.Spans.size(), 2u);
+  EXPECT_EQ(Tr.Spans[0].T0, 100);
+  EXPECT_EQ(Tr.Spans[1].T0, 300);
+  EXPECT_EQ(Tr.label(Tr.Spans[0].Label), "alpha");
+  EXPECT_EQ(Tr.label(Tr.Spans[1].Label), "beta");
+  EXPECT_EQ(Tr.Spans[0].Worker, 0);
+  ASSERT_EQ(Tr.WorkerCounters.size(), 1u);
+  EXPECT_EQ(Tr.counter(Counter::PointsExecuted), 12);
+  EXPECT_EQ(Tr.counter(Counter::RawReads), 3);
+  EXPECT_EQ(Tr.Dropped, 0);
+
+  // Drain cleared everything; the tracer stays enabled but a second drain
+  // starts from an empty state.
+  EXPECT_TRUE(T.enabled());
+  Trace Again = T.drain();
+  EXPECT_TRUE(Again.Spans.empty());
+  EXPECT_TRUE(Again.WorkerCounters.empty());
+}
+
+TEST(Trace, LabelInternDeduplicates) {
+  ScopedTracer Scope;
+  Tracer &T = Tracer::global();
+  const std::int32_t A1 = T.intern("same");
+  const std::int32_t A2 = T.intern("same");
+  const std::int32_t B = T.intern("other");
+  EXPECT_EQ(A1, A2);
+  EXPECT_NE(A1, B);
+  Trace Tr = T.drain();
+  EXPECT_EQ(Tr.label(A1), "same");
+  EXPECT_EQ(Tr.label(B), "other");
+  EXPECT_EQ(Tr.label(-1), "");
+  EXPECT_EQ(Tr.label(99), "");
+}
+
+TEST(Trace, RingWrapKeepsNewestAndCountsDropped) {
+  ScopedTracer Scope(/*Capacity=*/4);
+  Tracer &T = Tracer::global();
+  for (std::int64_t I = 0; I < 10; ++I)
+    T.record(makeSpan(I, I + 1));
+
+  Trace Tr = T.drain();
+  ASSERT_EQ(Tr.Spans.size(), 4u);
+  EXPECT_EQ(Tr.Dropped, 6);
+  // The four newest spans survive, oldest-first.
+  for (std::int64_t K = 0; K < 4; ++K)
+    EXPECT_EQ(Tr.Spans[static_cast<std::size_t>(K)].T0, 6 + K);
+}
+
+TEST(Trace, InstantEventsHaveZeroDuration) {
+  ScopedTracer Scope;
+  Tracer &T = Tracer::global();
+  T.instant(SpanKind::Marker, T.intern("descend:L002-worker-exception"), -1,
+            -1, 3);
+  Trace Tr = T.drain();
+  ASSERT_EQ(Tr.Spans.size(), 1u);
+  EXPECT_EQ(Tr.Spans[0].T0, Tr.Spans[0].T1);
+  EXPECT_EQ(Tr.Spans[0].Kind, SpanKind::Marker);
+  EXPECT_EQ(Tr.Spans[0].A0, 3);
+}
+
+TEST(Trace, ThreadsGetSeparateWorkerBuffers) {
+  ScopedTracer Scope;
+  Tracer &T = Tracer::global();
+  auto Work = [&](std::int64_t Base) {
+    T.record(makeSpan(Base, Base + 10));
+    T.add(Counter::PointsExecuted, Base);
+  };
+  std::thread T1(Work, 100);
+  std::thread T2(Work, 200);
+  T1.join();
+  T2.join();
+
+  Trace Tr = T.drain();
+  ASSERT_EQ(Tr.Spans.size(), 2u);
+  ASSERT_EQ(Tr.WorkerCounters.size(), 2u);
+  EXPECT_NE(Tr.Spans[0].Worker, Tr.Spans[1].Worker);
+  EXPECT_EQ(Tr.counter(Counter::PointsExecuted), 300);
+}
+
+TEST(Trace, EnableStartsAFreshTrace) {
+  ScopedTracer Scope;
+  Tracer &T = Tracer::global();
+  T.record(makeSpan(1, 2, T.intern("stale")));
+  T.add(Counter::RawReads, 9);
+  T.enable(); // re-arm: clears buffers, labels, counters
+  Trace Tr = T.drain();
+  EXPECT_TRUE(Tr.Spans.empty());
+  EXPECT_TRUE(Tr.Labels.empty());
+  EXPECT_EQ(Tr.counter(Counter::RawReads), 0);
+}
+
+TEST(Trace, ChromeJsonHasExpectedEventShapes) {
+  ScopedTracer Scope;
+  Tracer &T = Tracer::global();
+  T.record(makeSpan(1000, 4000, T.intern("nest0"), 0));
+  T.instant(SpanKind::Marker, T.intern("fault:kernel:throw"));
+  T.add(Counter::PointsExecuted, 64);
+  Trace Tr = T.drain();
+
+  std::string Json = Tr.toChromeJson();
+  EXPECT_NE(Json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"M\""), std::string::npos); // thread names
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos); // duration span
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos); // instant
+  EXPECT_NE(Json.find("\"ph\":\"C\""), std::string::npos); // counter
+  EXPECT_NE(Json.find("\"name\":\"nest0\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"fault:kernel:throw\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"exec.points\""), std::string::npos);
+  EXPECT_NE(Json.find("\"value\":64"), std::string::npos);
+  // 1000 ns span start = 1.000 us Chrome timestamp.
+  EXPECT_NE(Json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\":3.000"), std::string::npos);
+  // A complete trace carries no drop marker.
+  EXPECT_EQ(Json.find("lcdfg_dropped_spans"), std::string::npos);
+
+  Tr.Dropped = 5;
+  EXPECT_NE(Tr.toChromeJson().find("\"lcdfg_dropped_spans\":5"),
+            std::string::npos);
+}
+
+TEST(Trace, SummaryListsCountersAndImbalance) {
+  // Hand-built trace: two workers, one twice as busy as the other.
+  Trace Tr;
+  Tr.WorkerCounters.resize(2);
+  Tr.WorkerCounters[0][static_cast<std::size_t>(Counter::PointsExecuted)] = 10;
+  Tr.WorkerCounters[1][static_cast<std::size_t>(Counter::PointsExecuted)] = 20;
+  TraceSpan A = makeSpan(0, 1000);
+  A.Worker = 0;
+  TraceSpan B = makeSpan(0, 2000);
+  B.Worker = 1;
+  Tr.Spans = {A, B};
+
+  std::string S = Tr.summary();
+  EXPECT_NE(S.find("2 worker buffers"), std::string::npos);
+  EXPECT_NE(S.find("exec.points"), std::string::npos);
+  EXPECT_NE(S.find("30"), std::string::npos); // merged counter total
+  EXPECT_NE(S.find("imbalance: max/min worker busy time 2.00x"),
+            std::string::npos);
+  EXPECT_EQ(S.find("dropped"), std::string::npos);
+
+  Tr.Dropped = 3;
+  EXPECT_NE(Tr.summary().find("3 dropped"), std::string::npos);
+}

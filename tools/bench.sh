@@ -23,6 +23,10 @@ OUT="${OUT:-.}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 BENCHES=(bench_fig6_small bench_fig6_large bench_tiling_shapes)
 
+# Stamp the reports' "_meta" block with the commit they measured.
+BENCH_COMMIT="${BENCH_COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+export BENCH_COMMIT
+
 if [ ! -d "${BUILD}" ]; then
   cmake --preset default
 fi

@@ -1,0 +1,228 @@
+//===- tools/bench_compare.cpp - Bench regression gate --------------------===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+// Diffs a fresh benchmark run against a committed BENCH_*.json baseline
+// (the flat variant -> key -> seconds format bench::JsonReport writes) and
+// exits nonzero when any timing regressed beyond the tolerance, so ci.sh
+// can gate on the repo's own perf history.
+//
+//   bench_compare [--tolerance=F] [--floor=S] <baseline.json> <fresh.json>
+//     --tolerance=F  allowed relative slowdown before a row fails
+//                    (default 0.15 = 15%)
+//     --floor=S      baseline rows faster than S seconds are reported but
+//                    never gated — sub-floor timings are scheduler noise
+//                    (default 0.0002)
+//
+// Rules: every (variant, key) row of the baseline must exist in the fresh
+// report (a vanished row fails — a renamed benchmark must update its
+// baseline); the "_meta" block is informational and ignored; rows new in
+// the fresh report are listed but do not gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using Report = std::map<std::string, std::map<std::string, double>>;
+
+/// Minimal recursive-descent parser for the JsonReport subset: one object
+/// of objects whose leaf values are numbers (non-numeric leaves, like the
+/// "_meta" strings, parse but are dropped).
+class Parser {
+public:
+  explicit Parser(std::string TextIn)
+      : Text(std::move(TextIn)), P(Text.c_str()), End(P + Text.size()) {}
+
+  bool parse(Report &Out) {
+    ws();
+    if (!consume('{'))
+      return false;
+    ws();
+    if (consume('}'))
+      return true;
+    do {
+      std::string Variant;
+      if (!parseString(Variant) || !expectColon())
+        return false;
+      std::map<std::string, double> Keys;
+      if (!parseInner(Keys))
+        return false;
+      Out[Variant] = std::move(Keys);
+      ws();
+    } while (consume(','));
+    ws();
+    return consume('}') && (ws(), P == End);
+  }
+
+private:
+  std::string Text;
+  const char *P;
+  const char *End;
+
+  void ws() {
+    while (P < End && std::isspace(static_cast<unsigned char>(*P)))
+      ++P;
+  }
+
+  bool consume(char C) {
+    if (P < End && *P == C) {
+      ++P;
+      return true;
+    }
+    return false;
+  }
+
+  bool expectColon() {
+    ws();
+    return consume(':');
+  }
+
+  bool parseString(std::string &Out) {
+    ws();
+    if (!consume('"'))
+      return false;
+    Out.clear();
+    while (P < End && *P != '"') {
+      if (*P == '\\' && P + 1 < End)
+        ++P;
+      Out += *P++;
+    }
+    return consume('"');
+  }
+
+  bool parseInner(std::map<std::string, double> &Out) {
+    ws();
+    if (!consume('{'))
+      return false;
+    ws();
+    if (consume('}'))
+      return true;
+    do {
+      std::string Key;
+      if (!parseString(Key) || !expectColon())
+        return false;
+      ws();
+      if (P < End && *P == '"') {
+        std::string Ignored; // string leaf (a "_meta" field)
+        if (!parseString(Ignored))
+          return false;
+      } else {
+        char *NumEnd = nullptr;
+        double V = std::strtod(P, &NumEnd);
+        if (NumEnd == P || NumEnd > End)
+          return false;
+        P = NumEnd;
+        Out[Key] = V;
+      }
+      ws();
+    } while (consume(','));
+    ws();
+    return consume('}');
+  }
+};
+
+bool readReport(const char *Path, Report &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", Path);
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Parser P(SS.str());
+  if (!P.parse(Out)) {
+    std::fprintf(stderr, "bench_compare: %s is not a bench report\n", Path);
+    return false;
+  }
+  return true;
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--tolerance=F] [--floor=S] <baseline.json> "
+               "<fresh.json>\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  double Tolerance = 0.15;
+  double Floor = 0.0002;
+  std::vector<const char *> Paths;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--tolerance=", 12) == 0) {
+      Tolerance = std::atof(argv[I] + 12);
+      if (Tolerance < 0)
+        return usage(argv[0]);
+    } else if (std::strncmp(argv[I], "--floor=", 8) == 0) {
+      Floor = std::atof(argv[I] + 8);
+    } else if (argv[I][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      Paths.push_back(argv[I]);
+    }
+  }
+  if (Paths.size() != 2)
+    return usage(argv[0]);
+
+  Report Base, Fresh;
+  if (!readReport(Paths[0], Base) || !readReport(Paths[1], Fresh))
+    return 1;
+
+  int Failures = 0, Rows = 0, Skipped = 0;
+  std::printf("bench_compare: %s vs %s (tolerance %.0f%%)\n", Paths[0],
+              Paths[1], Tolerance * 100.0);
+  for (const auto &[Variant, Keys] : Base) {
+    if (Variant == "_meta")
+      continue;
+    const auto FreshVariant = Fresh.find(Variant);
+    for (const auto &[Key, BaseS] : Keys) {
+      ++Rows;
+      const std::string Row = Variant + "." + Key;
+      if (FreshVariant == Fresh.end() ||
+          FreshVariant->second.find(Key) == FreshVariant->second.end()) {
+        std::printf("  MISS  %-40s baseline %.6gs has no fresh row\n",
+                    Row.c_str(), BaseS);
+        ++Failures;
+        continue;
+      }
+      const double FreshS = FreshVariant->second.at(Key);
+      const double Ratio = BaseS > 0 ? FreshS / BaseS : 1.0;
+      const bool UnderFloor = BaseS < Floor;
+      const bool Regressed = !UnderFloor && FreshS > BaseS * (1.0 + Tolerance);
+      if (Regressed)
+        ++Failures;
+      if (UnderFloor)
+        ++Skipped;
+      std::printf("  %s %-40s base %.6gs fresh %.6gs (%.2fx)%s\n",
+                  Regressed ? "FAIL " : "ok   ", Row.c_str(), BaseS, FreshS,
+                  Ratio, UnderFloor ? " [under floor, not gated]" : "");
+    }
+  }
+  for (const auto &[Variant, Keys] : Fresh) {
+    if (Variant == "_meta")
+      continue;
+    for (const auto &[Key, S] : Keys)
+      if (Base.find(Variant) == Base.end() ||
+          Base.at(Variant).find(Key) == Base.at(Variant).end())
+        std::printf("  new   %s.%s: %.6gs (not in baseline, not gated)\n",
+                    Variant.c_str(), Key.c_str(), S);
+  }
+
+  std::printf("bench_compare: %d row(s), %d regression(s), %d under floor\n",
+              Rows, Failures, Skipped);
+  return Failures ? 1 : 0;
+}

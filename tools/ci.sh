@@ -7,12 +7,13 @@
 # smoke (exec tests + one quick bench_fig6_small iteration) that catches
 # batched-path regressions. Run from the repo root:
 #
-#   tools/ci.sh            # default + tsan + bench smoke + verify + faults
+#   tools/ci.sh            # default + tsan + bench + verify + faults + coverage
 #   tools/ci.sh default    # just one preset
 #   tools/ci.sh asan       # the ASan+UBSan sibling
-#   tools/ci.sh bench      # just the bench smoke
+#   tools/ci.sh bench      # bench smoke + perf-regression gate
 #   tools/ci.sh verify     # just the static legality lint
 #   tools/ci.sh faults     # just the fault-injection campaign
+#   tools/ci.sh coverage   # line-coverage report over src/{exec,verify,obs}
 #
 # The tsan stage additionally re-runs the execution-layer tests with the
 # worker pool capped at 2 and 4 threads, so the scheduler's every
@@ -29,6 +30,19 @@
 # worker pool pinned to 2 and 4 threads. docs/ROBUSTNESS.md documents the
 # codes this stage greps for.
 #
+# The bench stage additionally re-measures bench_fig6_small and
+# bench_tiling_shapes at their full default sizes and diffs the fresh
+# timings against the committed BENCH_*.json baselines with
+# tools/bench_compare: any row more than BENCH_TOL (default 0.15 = 15%)
+# slower than its baseline fails the stage. bench_fig6_large is excluded
+# (longest run, same code paths). Set BENCH_GATE=off to skip the gate on
+# machines whose timings are not comparable to the committed baselines.
+#
+# The coverage stage rebuilds the library with --coverage, runs the
+# test_exec / test_verify / test_obs suites, and aggregates gcov line
+# coverage per instrumented directory; src/obs (the observability layer
+# this repo's traces and counters hang off) must stay at >= 80% lines.
+#
 #===------------------------------------------------------------------------===#
 
 set -euo pipefail
@@ -37,7 +51,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(default tsan bench verify faults)
+  PRESETS=(default tsan bench verify faults coverage)
 fi
 
 bench_smoke() {
@@ -49,8 +63,60 @@ bench_smoke() {
   echo "bench smoke: ${JSON} has batched rows"
 }
 
+# Perf-regression gate: re-measure the quick benches at their full default
+# sizes and require every committed baseline row to stay within BENCH_TOL
+# of its recorded time (tools/bench_compare exits nonzero otherwise).
+bench_gate() {
+  if [ "${BENCH_GATE:-on}" = off ]; then
+    echo "bench gate: skipped (BENCH_GATE=off)"
+    return 0
+  fi
+  local TOL="${BENCH_TOL:-0.15}" NAME JSON
+  local COMMIT
+  COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  for NAME in fig6_small tiling_shapes; do
+    JSON="build-bench/BENCH_${NAME}_fresh.json"
+    BENCH_JSON="${JSON}" BENCH_COMMIT="${COMMIT}" \
+      "./build-bench/bench/bench_${NAME}" >/dev/null
+    ./build-bench/tools/bench_compare --tolerance="${TOL}" \
+      "BENCH_${NAME}.json" "${JSON}"
+  done
+  echo "bench gate: fresh timings within ${TOL} of committed baselines"
+}
+
+# Line coverage of the instrumented library directories, via gcov over the
+# build-cov object tree. Prints one summary row per directory and fails
+# when src/obs drops below the floor.
+coverage_report() {
+  local OBJ=build-cov/src/CMakeFiles/lcdfg.dir
+  local FLOOR=80.0
+  local DIR PCT FAIL=0
+  for DIR in exec verify obs; do
+    # gcov resolves sources from the .gcda files themselves (CMake's
+    # <file>.cpp.gcda naming defeats gcov's -o source lookup).
+    PCT="$(gcov -n "${OBJ}/${DIR}"/*.gcda 2>/dev/null |
+      awk -v dir="src/${DIR}/" '
+        /^File /  { f = index($0, dir) > 0 }
+        f && /^Lines executed:/ {
+          s = $0; sub(/^Lines executed:/, "", s); split(s, a, "% of ")
+          hit += a[1] * a[2] / 100; total += a[2]
+        }
+        END { printf "%.1f", total ? 100 * hit / total : 0 }')"
+    echo "coverage: src/${DIR}: ${PCT}% lines"
+    if [ "${DIR}" = obs ] &&
+       awk -v p="${PCT}" -v f="${FLOOR}" 'BEGIN { exit !(p < f) }'; then
+      echo "coverage: error: src/obs at ${PCT}% is below the ${FLOOR}% floor" >&2
+      FAIL=1
+    fi
+  done
+  return "${FAIL}"
+}
+
 verify_lint() {
-  ./build/tools/lcdfg-lint --strict examples/chains
+  # --trace also executes every statically-clean configuration at two
+  # threads with the span tracer armed and validates the recorded trace
+  # against the plan's dependence closure (obs::checkTrace).
+  ./build/tools/lcdfg-lint --strict --trace examples/chains
 }
 
 # One fault-matrix row: inject $1 into lcdfg-opt --report and require a
@@ -119,10 +185,23 @@ for PRESET in "${PRESETS[@]}"; do
     fault_campaign
     continue
   fi
+  if [ "${PRESET}" = coverage ]; then
+    cmake --preset coverage
+    cmake --build --preset coverage -j "${JOBS}" \
+      --target test_exec test_verify test_obs
+    # Stale counters from a previous run would dilute the report.
+    find build-cov -name '*.gcda' -delete
+    ./build-cov/tests/test_exec
+    ./build-cov/tests/test_verify
+    ./build-cov/tests/test_obs
+    coverage_report
+    continue
+  fi
   cmake --preset "${PRESET}"
   cmake --build --preset "${PRESET}" -j "${JOBS}"
   if [ "${PRESET}" = bench ]; then
     bench_smoke
+    bench_gate
   else
     ctest --preset "${PRESET}" -j "${JOBS}"
   fi

@@ -10,9 +10,12 @@
 // clobbers, static races, batching-cap safety, lost dependences, and tile
 // privatization holes.
 //
-//   lcdfg-lint [--strict] [--json] [--size=N] [<chains-dir>]
+//   lcdfg-lint [--strict] [--json] [--trace] [--size=N] [<chains-dir>]
 //     --strict   exit nonzero when any configuration reports an ERROR
 //     --json     emit one JSON object per line instead of text
+//     --trace    execute each statically-clean configuration once at two
+//                threads with the span tracer armed and fold the trace
+//                conformance check (obs::checkTrace) into its report
 //     --size=N   concrete size for the chain-file sweeps (default 8)
 //
 //===----------------------------------------------------------------------===//
@@ -21,7 +24,10 @@
 #include "exec/ExecutionPlan.h"
 #include "graph/AutoScheduler.h"
 #include "graph/GraphBuilder.h"
+#include "exec/PlanRunner.h"
 #include "minifluxdiv/Spec.h"
+#include "obs/Trace.h"
+#include "obs/TraceCheck.h"
 #include "parser/PragmaParser.h"
 #include "parser/ScriptRunner.h"
 #include "storage/ReuseDistance.h"
@@ -151,12 +157,50 @@ void addGuarded(LintReport &Report, const std::string &Name,
   }
 }
 
+/// Dynamic conformance pass: executes an already-verified plan once at two
+/// threads with the span tracer armed and folds obs::checkTrace's verdict
+/// into the configuration's diagnostics. Persistent inputs are seeded with
+/// the same deterministic pattern lcdfg-opt uses so kernels never consume
+/// uninitialized storage.
+void traceCheckRun(const ir::LoopChain &Chain, const exec::ExecutionPlan &Plan,
+                   const codegen::KernelRegistry &Kernels,
+                   storage::ConcreteStorage &Store,
+                   verify::Diagnostics &Diags) {
+  for (const std::string &Name : Chain.arrayNames())
+    if (Chain.array(Name).Kind == ir::StorageKind::PersistentInput) {
+      std::vector<double> &Buf = Store.spaceOf(Name);
+      for (std::size_t I = 0; I < Buf.size(); ++I)
+        Buf[I] = 0.001 * static_cast<double>((I * 2654435761u) % 1000u);
+    }
+  obs::Tracer &Tr = obs::Tracer::global();
+  Tr.enable();
+  exec::RunOptions Opts;
+  Opts.Threads = 2;
+  try {
+    exec::runPlan(Plan, Kernels, Store, Opts);
+  } catch (...) {
+    // Leave the tracer clean for the next configuration before the guard
+    // folds the failure into the report as a compile/run failure.
+    (void)Tr.drain();
+    Tr.disable();
+    throw;
+  }
+  obs::Trace T = Tr.drain();
+  Tr.disable();
+  verify::Diagnostics TDiags = obs::checkTrace(Plan, T);
+  for (const verify::Diagnostic &D : TDiags.all())
+    Diags.add(verify::Diagnostic(D));
+}
+
 /// Lowers the scheduled graph to an ExecutionPlan and runs every verifier
-/// family plus the graph-level schedule check.
+/// family plus the graph-level schedule check. With a non-null TraceChain
+/// a statically-clean plan is additionally executed under the tracer and
+/// its trace validated against the plan's dependence closure.
 verify::Diagnostics verifyGraph(const graph::Graph &G,
                                 const codegen::KernelRegistry &Kernels,
                                 std::int64_t SizeN, bool UseAllocation,
-                                unsigned Widen) {
+                                unsigned Widen,
+                                const ir::LoopChain *TraceChain = nullptr) {
   exec::ParamEnv Env{{"N", SizeN}};
   storage::StoragePlan SPlan =
       storage::StoragePlan::build(G, UseAllocation, Widen);
@@ -168,6 +212,8 @@ verify::Diagnostics verifyGraph(const graph::Graph &G,
   verify::PlanVerifier Verifier(Plan, Opts);
   verify::Diagnostics Diags = Verifier.verify();
   verify::checkGraphSchedule(G, Diags);
+  if (TraceChain && !Diags.hasErrors())
+    traceCheckRun(*TraceChain, Plan, Kernels, Store, Diags);
   return Diags;
 }
 
@@ -175,7 +221,8 @@ verify::Diagnostics verifyGraph(const graph::Graph &G,
 /// including the seed-disjointness cross-check.
 verify::Diagnostics verifyTiled(const ir::LoopChain &Chain,
                                 const codegen::KernelRegistry &Kernels,
-                                std::int64_t SizeN, std::int64_t TileSize) {
+                                std::int64_t SizeN, std::int64_t TileSize,
+                                bool TraceRun) {
   exec::ParamEnv Env{{"N", SizeN}};
   graph::Graph G = graph::buildGraph(Chain);
   const ir::LoopNest &Last = Chain.nest(Chain.numNests() - 1);
@@ -198,6 +245,8 @@ verify::Diagnostics verifyTiled(const ir::LoopChain &Chain,
                 "writes of different tiles collide";
     Diags.add(std::move(D));
   }
+  if (TraceRun && !Diags.hasErrors())
+    traceCheckRun(Chain, Plan, Kernels, Store, Diags);
   return Diags;
 }
 
@@ -213,7 +262,7 @@ bool readFile(const std::filesystem::path &Path, std::string &Out) {
 
 /// Sweeps one .lc chain file through its lowering configurations.
 bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
-                    LintReport &Report) {
+                    bool Trace, LintReport &Report) {
   std::string Source;
   if (!readFile(Path, Source)) {
     std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
@@ -229,11 +278,12 @@ bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
   codegen::KernelRegistry Kernels;
   assignSyntheticKernels(Chain, Kernels);
   const std::string Stem = Path.stem().string();
+  const ir::LoopChain *TC = Trace ? &Chain : nullptr;
 
   {
     graph::Graph G = graph::buildGraph(Chain);
     addGuarded(Report, Stem + ":original", [&] {
-      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1);
+      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1, TC);
     });
   }
 
@@ -253,7 +303,8 @@ bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
       std::ostringstream Name;
       Name << Stem << ":script-reduced-widen" << Widen;
       addGuarded(Report, Name.str(), [&] {
-        return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, Widen);
+        return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, Widen,
+                           TC);
       });
     }
   }
@@ -263,17 +314,18 @@ bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
     (void)graph::autoSchedule(G, {});
     storage::reduceStorage(G);
     addGuarded(Report, Stem + ":autoschedule-reduced", [&] {
-      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1);
+      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1, TC);
     });
   }
 
   addGuarded(Report, Stem + ":tiled4",
-             [&] { return verifyTiled(Chain, Kernels, SizeN, 4); });
+             [&] { return verifyTiled(Chain, Kernels, SizeN, 4, Trace); });
   return true;
 }
 
 /// Sweeps the MiniFluxDiv recipes at a small concrete size.
-void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, LintReport &Report) {
+void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, bool Trace,
+                      LintReport &Report) {
   struct Recipe {
     const char *Name;
     void (*Apply)(graph::Graph &);
@@ -301,7 +353,8 @@ void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, LintReport &Report) {
     std::ostringstream Name;
     Name << Prefix << ":" << R.Name;
     addGuarded(Report, Name.str(), [&] {
-      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, R.Widen);
+      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, R.Widen,
+                         Trace ? &Chain : nullptr);
     });
   }
   if (!ThreeD) {
@@ -312,20 +365,22 @@ void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, LintReport &Report) {
     (void)graph::autoSchedule(G, {});
     storage::reduceStorage(G);
     addGuarded(Report, std::string(Prefix) + ":autoschedule-reduced", [&] {
-      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1);
+      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1,
+                         Trace ? &Chain : nullptr);
     });
   }
 }
 
 int usage(const char *Argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--strict] [--json] [--size=N] [<chains-dir>]\n",
-               Argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--strict] [--json] [--trace] [--size=N] [<chains-dir>]\n",
+      Argv0);
   return 2;
 }
 
 int runLint(int argc, char **argv) {
-  bool Strict = false, Json = false;
+  bool Strict = false, Json = false, Trace = false;
   std::int64_t SizeN = 8;
   std::string ChainsDir = "examples/chains";
 
@@ -335,6 +390,8 @@ int runLint(int argc, char **argv) {
       Strict = true;
     } else if (Arg == "--json") {
       Json = true;
+    } else if (Arg == "--trace") {
+      Trace = true;
     } else if (Arg.rfind("--size=", 0) == 0) {
       SizeN = std::atoll(Arg.c_str() + 7);
       if (SizeN < 2) {
@@ -365,11 +422,11 @@ int runLint(int argc, char **argv) {
   }
   std::sort(ChainFiles.begin(), ChainFiles.end());
   for (const std::filesystem::path &Path : ChainFiles)
-    if (!sweepChainFile(Path, SizeN, Report))
+    if (!sweepChainFile(Path, SizeN, Trace, Report))
       return 1;
 
-  sweepMiniFluxDiv(/*ThreeD=*/false, /*SizeN=*/6, Report);
-  sweepMiniFluxDiv(/*ThreeD=*/true, /*SizeN=*/4, Report);
+  sweepMiniFluxDiv(/*ThreeD=*/false, /*SizeN=*/6, Trace, Report);
+  sweepMiniFluxDiv(/*ThreeD=*/true, /*SizeN=*/4, Trace, Report);
 
   if (!Json)
     std::printf("lint: %d configuration(s), %d with errors (%zu error(s), "

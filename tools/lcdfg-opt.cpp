@@ -37,6 +37,15 @@
 //                          the fault-campaign entry point for tools/ci.sh.
 //     --harden             run --report rungs against canary-padded shadow
 //                          buffers with NaN-poisoned temporaries
+//     --trace=<file>       execute the schedule once (honoring --threads
+//                          and --batched) with the span tracer armed and
+//                          write the Chrome trace_event JSON to <file>
+///                          (load in chrome://tracing or Perfetto); the
+//                          trace is validated with obs::checkTrace and any
+//                          T00x conformance error exits nonzero
+//     --metrics            print the trace's compact text summary (counter
+//                          registry totals, per-worker busy time and load
+//                          imbalance); implies a traced run like --trace
 //     --size=N             concrete size for --stats/--dump-plan (default 8)
 //     --threads=K          parallelism for --stats runs
 //     -o <file>            write output to a file instead of stdout
@@ -49,6 +58,8 @@
 #include "exec/ExecutionPlan.h"
 #include "exec/PlanRunner.h"
 #include "exec/Recovery.h"
+#include "obs/Trace.h"
+#include "obs/TraceCheck.h"
 #include "graph/AutoScheduler.h"
 #include "graph/CostModel.h"
 #include "graph/DotExport.h"
@@ -94,6 +105,9 @@ int usage(const char *Argv0) {
       "                      when every rung fails (honors LCDFG_FAULT)\n"
       "  --harden            redzone + NaN-guard shadow buffers for\n"
       "                      --report runs\n"
+      "  --trace=FILE        traced execution; write Chrome trace JSON\n"
+      "  --metrics           print the trace summary (counters, per-worker\n"
+      "                      load); implies a traced run\n"
       "  --size=N            concrete size for --stats/--dump-plan\n"
       "  --threads=K         parallelism for --stats runs\n"
       "  -o <file>           output file (default stdout)\n",
@@ -164,6 +178,8 @@ int runTool(int argc, char **argv) {
   bool Stats = false, DumpPlan = false, Batched = true;
   bool Verify = false, VerifyStrict = false;
   bool Report = false, ReportJson = false, Harden = false;
+  std::string TracePath;
+  bool Metrics = false;
   std::int64_t SizeN = 8;
   int Threads = 1;
   unsigned Streams = 4;
@@ -203,6 +219,14 @@ int runTool(int argc, char **argv) {
       Report = ReportJson = true;
     } else if (Arg == "--harden") {
       Harden = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TracePath = Arg.substr(8);
+      if (TracePath.empty()) {
+        std::fprintf(stderr, "error: --trace needs a file path\n");
+        return 2;
+      }
+    } else if (Arg == "--metrics") {
+      Metrics = true;
     } else if (Arg.rfind("--size=", 0) == 0) {
       SizeN = std::atoll(Arg.c_str() + 7);
       if (SizeN < 1) {
@@ -266,9 +290,10 @@ int runTool(int argc, char **argv) {
   if (Reduce)
     storage::reduceStorage(G);
 
-  bool VerifyFailed = false, ReportFailed = false;
+  bool VerifyFailed = false, ReportFailed = false, TraceFailed = false;
+  const bool Trace = Metrics || !TracePath.empty();
   std::string Output;
-  if (Stats || DumpPlan || Verify || Report) {
+  if (Stats || DumpPlan || Verify || Report || Trace) {
     // Compile the (transformed) schedule to an ExecutionPlan at the
     // concrete size and, for --stats, execute it with instrumentation.
     // Parsed chains carry no executable kernels; a synthetic body
@@ -361,6 +386,40 @@ int runTool(int argc, char **argv) {
          << ", threads " << TPS.ThreadsUsed << "): " << TPS.Seconds
          << " s\n";
     }
+    if (Trace) {
+      // Dedicated traced run on fresh storage (counters then cover exactly
+      // one execution honoring --threads/--batched, diffable against the
+      // --stats oracle in the same invocation).
+      storage::ConcreteStorage TraceStore(SPlan, Env);
+      seedInputs(TraceStore);
+      obs::Tracer &Tracer = obs::Tracer::global();
+      Tracer.enable();
+      exec::RunOptions TOpts;
+      TOpts.Threads = Threads;
+      TOpts.Batched = Batched;
+      exec::runPlan(Plan, Kernels, TraceStore, TOpts);
+      obs::Trace T = Tracer.drain();
+      Tracer.disable();
+      verify::Diagnostics TDiags = obs::checkTrace(Plan, T);
+      if (!TracePath.empty()) {
+        std::ofstream TF(TracePath);
+        if (!TF) {
+          std::fprintf(stderr, "error: cannot write %s\n", TracePath.c_str());
+          return 1;
+        }
+        TF << T.toChromeJson();
+        std::fprintf(stderr, "wrote trace: %s (%zu spans)\n",
+                     TracePath.c_str(), T.Spans.size());
+      }
+      if (Metrics)
+        OS << T.summary();
+      if (TDiags.hasErrors()) {
+        OS << TDiags.toString();
+        TraceFailed = true;
+      } else if (Metrics) {
+        OS << "trace check: ok (" << T.Spans.size() << " spans)\n";
+      }
+    }
     if (Report) {
       // The fallback rung runs the untransformed chain's original schedule
       // against its own storage plan — the transformed plan's store may
@@ -422,7 +481,7 @@ int runTool(int argc, char **argv) {
     }
     Out << Output;
   }
-  return (VerifyFailed || ReportFailed) ? 1 : 0;
+  return (VerifyFailed || ReportFailed || TraceFailed) ? 1 : 0;
 }
 
 } // namespace
