@@ -47,6 +47,12 @@ int main() {
               "beating the series baseline;\nstorage reduction matters "
               "little because every temporary already fits in cache.\n");
 
+  // Scheduler head-to-head on the two extremes of task granularity: the
+  // single-assignment baseline (widest graph) and the fused+reduced
+  // schedule (heaviest per-task work).
+  timeSchedulerStrategies(Variant::SeriesSA, In, Out, Cfg, Json);
+  timeSchedulerStrategies(Variant::FuseAllReduced, In, Out, Cfg, Json);
+
   timeCompiledSchedules(P.BoxSize, Cfg.Reps, Json);
   Json.write();
   return 0;

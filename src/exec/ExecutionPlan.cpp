@@ -405,7 +405,14 @@ int ExecutionPlan::addExternalTask(std::string Label,
   return static_cast<int>(Tasks.size()) - 1;
 }
 
-std::vector<std::vector<bool>> ExecutionPlan::dependenceClosure() const {
+const std::vector<std::vector<bool>> &ExecutionPlan::dependenceClosure() const {
+  std::int64_t NumEdges = 0;
+  for (const PlanTask &T : Tasks)
+    NumEdges += static_cast<std::int64_t>(T.Deps.size());
+  const std::pair<std::int64_t, std::int64_t> Key{
+      static_cast<std::int64_t>(Tasks.size()), NumEdges};
+  if (Key == ClosureKey)
+    return ClosureCache;
   std::vector<std::vector<bool>> Closure(
       Tasks.size(), std::vector<bool>(Tasks.size(), false));
   for (std::size_t J = 0; J < Tasks.size(); ++J) {
@@ -419,7 +426,9 @@ std::vector<std::vector<bool>> ExecutionPlan::dependenceClosure() const {
           Closure[J][I] = true;
     }
   }
-  return Closure;
+  ClosureCache = std::move(Closure);
+  ClosureKey = Key;
+  return ClosureCache;
 }
 
 void ExecutionPlan::addDependence(int Before, int After) {

@@ -187,11 +187,22 @@ public:
   /// task J (transitively) waits for task I. Task indices are their own
   /// topological order, so the closure is a single backward sweep. Exported
   /// for the static legality verifier, which checks every conflicting task
-  /// pair against it.
-  std::vector<std::vector<bool>> dependenceClosure() const;
+  /// pair against it; the list scheduler's priority pass and the trace
+  /// checker share the same bits. Memoized: the O(N^2) sweep reruns only
+  /// when the task/edge shape changed since the last call (members are
+  /// public, so validity is keyed on task and edge counts — mutating Deps
+  /// in place without changing either count is not supported). The
+  /// reference is invalidated by the next shape change.
+  const std::vector<std::vector<bool>> &dependenceClosure() const;
 
   /// Human-readable plan listing (the --dump-plan output).
   std::string dump() const;
+
+private:
+  mutable std::vector<std::vector<bool>> ClosureCache;
+  /// Shape stamp of the cached closure: (task count, total edge count),
+  /// or (-1, -1) when nothing is cached.
+  mutable std::pair<std::int64_t, std::int64_t> ClosureKey{-1, -1};
 };
 
 } // namespace exec

@@ -12,12 +12,14 @@
 #include "exec/TaskGraph.h"
 #include "exec/ThreadPool.h"
 #include "obs/Trace.h"
+#include "storage/LivenessAllocator.h"
 #include "support/Errors.h"
 #include "support/Status.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -426,13 +428,74 @@ constexpr std::size_t RedzonePad = 16;
 /// Recognizable canary value; any overwrite (including NaN) trips it.
 constexpr double RedzoneCanary = -6.02214076e123;
 
+/// Concrete footprint model for the untiled parallel path: space sizes
+/// from the store, per-task touch sets from the plan's statement streams.
+storage::FootprintTracker
+buildFootprintTracker(const ExecutionPlan &Plan,
+                      const storage::ConcreteStorage &Store) {
+  std::vector<storage::FootprintTracker::SpaceInfo> Spaces(Plan.NumSpaces);
+  for (std::size_t S = 0; S < Plan.NumSpaces; ++S) {
+    Spaces[S].Bytes =
+        static_cast<std::int64_t>(Store.space(S).size() * sizeof(double));
+    Spaces[S].Persistent = Plan.SpacePersistent[S];
+  }
+  std::vector<std::vector<unsigned>> TaskSpaces(Plan.Tasks.size());
+  for (std::size_t T = 0; T < Plan.Tasks.size(); ++T) {
+    const NestInstr &I = Plan.Instrs[Plan.Tasks[T].Instr];
+    for (const StmtRecord &St : I.Stmts) {
+      TaskSpaces[T].push_back(St.Write.Space);
+      for (const Stream &R : St.Reads)
+        TaskSpaces[T].push_back(R.Space);
+    }
+  }
+  return storage::FootprintTracker(std::move(Spaces), std::move(TaskSpaces));
+}
+
+/// Raises E016 when a budget was requested on a path that cannot honor it
+/// (anything but the untiled list-scheduled run). Refusing loudly beats a
+/// budget that silently does not bind; the recovery ladder turns this into
+/// an L007 descent to the serial rung.
+void refuseBudget(std::int64_t Budget, const char *Why) {
+  if (Budget > 0)
+    support::raise(support::ErrorCode::MemBudgetInfeasible,
+                   std::string("memory budget not enforceable: ") + Why);
+}
+
 } // namespace
+
+std::string_view exec::schedulerKindName(SchedulerKind K) {
+  return K == SchedulerKind::Wavefront ? "wavefront" : "list";
+}
+
+SchedulerKind exec::effectiveScheduler(SchedulerKind Requested) {
+  if (const char *Env = std::getenv("LCDFG_SCHED")) {
+    if (std::string_view(Env) == "wavefront")
+      return SchedulerKind::Wavefront;
+    if (std::string_view(Env) == "list")
+      return SchedulerKind::List;
+  }
+  return Requested;
+}
 
 std::int64_t PlanStats::totalRead() const {
   std::int64_t Total = 0;
   for (const EdgeStat &E : Edges)
     Total += E.total();
   return Total;
+}
+
+double PlanStats::idleShare(std::size_t W) const {
+  if (W >= Workers.size() || Seconds <= 0.0)
+    return 0.0;
+  const double Share = 1.0 - Workers[W].Seconds / Seconds;
+  return std::min(1.0, std::max(0.0, Share));
+}
+
+double PlanStats::maxIdleShare() const {
+  double Max = 0.0;
+  for (std::size_t W = 0; W < Workers.size(); ++W)
+    Max = std::max(Max, idleShare(W));
+  return Max;
 }
 
 std::string PlanStats::toString() const {
@@ -456,6 +519,7 @@ std::string PlanStats::toString() const {
          << " tasks";
       if (WS.Points)
         OS << ", " << WS.Points << " points, " << WS.RawReads << " reads";
+      OS << ", idle " << idleShare(W) * 100.0 << "%";
       OS << "\n";
       if (WS.Tasks) {
         MaxSec = std::max(MaxSec, WS.Seconds);
@@ -464,7 +528,7 @@ std::string PlanStats::toString() const {
     }
     if (MinSec > 0)
       OS << "  imbalance: max/min worker busy time " << MaxSec / MinSec
-         << "x\n";
+         << "x, max idle share " << maxIdleShare() * 100.0 << "%\n";
   }
   for (const EdgeStat &E : Edges)
     OS << "  edge " << E.Array << " -> " << E.Consumer << " (x"
@@ -558,12 +622,35 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
                   Store.space(S).begin());
   };
 
+  const SchedulerKind Sched = effectiveScheduler(Opts.Scheduler);
+
+  // Tile-parallel contract: every tile recomputes the temporaries it
+  // reads, starting from clean scratch. Kernels may read their write
+  // target's current value, so "clean" has to mean the same initial state
+  // on every participant and in every order — reset non-persistent spaces
+  // at each tile boundary instead of letting a tile accumulate onto
+  // whatever the previous tile left behind.
+  const double ScratchInit =
+      Opts.Harden ? std::numeric_limits<double>::quiet_NaN() : 0.0;
+
   if (Threads <= 1 || Plan.Tasks.empty()) {
     // Serial: task order (always a valid topological order) — this is the
-    // reference semantics every parallel mode must reproduce.
-    for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
+    // reference semantics every parallel mode must reproduce. The
+    // strategy and budget knobs do not apply: serial order's footprint is
+    // the minimum any admission policy could reach anyway.
+    int LastTile = -2;
+    for (std::size_t T = 0; T < Plan.Tasks.size(); ++T) {
+      if (Plan.TileParallel) {
+        int Tile = Plan.Instrs[Plan.Tasks[T].Instr].Tile;
+        if (Tile >= 0 && Tile != LastTile)
+          for (std::size_t S = 0; S < Plan.NumSpaces; ++S)
+            if (!Plan.SpacePersistent[S])
+              std::fill_n(Shared[S], Store.space(S).size(), ScratchInit);
+        LastTile = Tile;
+      }
       runTask(Plan, static_cast<int>(T), Kernels, Shared.data(), RowsPtr, C,
               0);
+    }
     PlanStats St =
         finish(Plan, C, secondsSince(Start), Requested, 1, Serialized);
     HardenGuard();
@@ -583,7 +670,21 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
     for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
       for (int D : Plan.Tasks[T].Deps)
         TG.addDependence(D, static_cast<int>(T));
-    TG.run(Threads);
+    if (Sched == SchedulerKind::List) {
+      // The footprint model always rides along (it feeds the priority
+      // tie-break and the peak-live counter); the budget binds only when
+      // the caller set one.
+      storage::FootprintTracker Tracker = buildFootprintTracker(Plan, Store);
+      TaskGraph::ListOptions LO;
+      LO.Threads = Threads;
+      LO.MemBudget = Opts.MemBudget;
+      LO.Memory = &Tracker;
+      TG.runList(LO);
+    } else {
+      refuseBudget(Opts.MemBudget, "the wavefront strategy has no admission "
+                                   "step (use --scheduler=list)");
+      TG.run(Threads);
+    }
     PlanStats St =
         finish(Plan, C, secondsSince(Start), Requested, Threads, false);
     HardenGuard();
@@ -629,10 +730,17 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
 
   TaskGraph TG;
   for (const std::vector<int> &Group : Groups)
-    TG.addTask([&Plan, &Kernels, &Tables, RowsPtr, &C,
-                &Group](int Participant) {
+    TG.addTask([&Plan, &Kernels, &Tables, &Store, RowsPtr, &C, &Group,
+                ScratchInit](int Participant) {
       double *const *Spaces = Tables[static_cast<std::size_t>(Participant)]
                                   .data();
+      // Clean scratch per group: participant 0 scribbles on the store's
+      // own temporaries (unobservable after the run) and later groups
+      // reuse every participant's buffers, so reset rather than trust
+      // whatever the previous tile left.
+      for (std::size_t S = 0; S < Plan.NumSpaces; ++S)
+        if (!Plan.SpacePersistent[S])
+          std::fill_n(Spaces[S], Store.space(S).size(), ScratchInit);
       for (int T : Group)
         runTask(Plan, T, Kernels, Spaces, RowsPtr, C, Participant);
     });
@@ -643,7 +751,18 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
       if (From != To && Seen.emplace(From, To).second)
         TG.addDependence(From, To);
     }
-  TG.run(Threads);
+  // Tile-parallel temporaries are privatized per worker, so a shared-live
+  // budget has nothing meaningful to charge — the list scheduler runs
+  // without a memory model here.
+  refuseBudget(Opts.MemBudget,
+               "tile-parallel runs privatize temporaries per worker");
+  if (Sched == SchedulerKind::List) {
+    TaskGraph::ListOptions LO;
+    LO.Threads = Threads;
+    TG.runList(LO);
+  } else {
+    TG.run(Threads);
+  }
   PlanStats St =
       finish(Plan, C, secondsSince(Start), Requested, Threads, false);
   HardenGuard();
@@ -674,6 +793,14 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan, const RunOptions &Opts) {
   for (std::size_t T = 0; T < Plan.Tasks.size(); ++T)
     for (int D : Plan.Tasks[T].Deps)
       TG.addDependence(D, static_cast<int>(T));
-  TG.run(Threads);
+  // External plans own no storage, so there is no footprint to budget.
+  refuseBudget(Opts.MemBudget, "external-only plans own no storage");
+  if (effectiveScheduler(Opts.Scheduler) == SchedulerKind::List) {
+    TaskGraph::ListOptions LO;
+    LO.Threads = Threads;
+    TG.runList(LO);
+  } else {
+    TG.run(Threads);
+  }
   return finish(Plan, C, secondsSince(Start), Threads, Threads, false);
 }

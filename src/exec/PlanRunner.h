@@ -86,8 +86,36 @@ struct PlanStats {
   /// Sum of per-edge totals (the measured counterpart of S_R).
   std::int64_t totalRead() const;
 
+  /// Fraction of the run's wall time participant \p W spent not executing
+  /// tasks, in [0, 1] (0 when wall time is unknown). Unlike the max/min
+  /// busy-seconds ratio this is meaningful even when one worker did
+  /// almost nothing: an idle share of 0.75 reads as "this worker was
+  /// useful a quarter of the run", where a busy-ratio blows up to
+  /// infinity.
+  double idleShare(std::size_t W) const;
+  /// Largest idleShare over all participants (0 when Workers is empty) —
+  /// the scheduler-comparison figure bench_compare reports.
+  double maxIdleShare() const;
+
   std::string toString() const;
 };
+
+/// Which task-graph strategy parallel runs dispatch through. Serial runs
+/// (Threads <= 1 after the env cap, or CollectStats) ignore this and
+/// execute in plan task order.
+enum class SchedulerKind {
+  Wavefront, ///< Longest-path-depth levels with a barrier per level.
+  List,      ///< Work-stealing ready deques, critical-path priorities,
+             ///  optional live-temporary budget (the default).
+};
+
+/// Stable printable name ("wavefront" / "list").
+std::string_view schedulerKindName(SchedulerKind K);
+
+/// Applies the LCDFG_SCHED environment override (values "wavefront" or
+/// "list"; anything else is ignored) to \p Requested — the CI scheduler
+/// matrix re-runs unmodified test binaries through both strategies.
+SchedulerKind effectiveScheduler(SchedulerKind Requested);
 
 /// Execution options.
 struct RunOptions {
@@ -110,6 +138,14 @@ struct RunOptions {
   /// caller's storage is left untouched. On success the persistent spaces
   /// are copied back.
   bool Harden = false;
+  /// Task-graph strategy for parallel runs (LCDFG_SCHED overrides).
+  SchedulerKind Scheduler = SchedulerKind::List;
+  /// Live-temporary byte cap for the list scheduler; 0 = unlimited. Only
+  /// the untiled parallel path models storage footprint (tile-parallel
+  /// runs privatize their temporaries per worker; external plans own no
+  /// storage), so the budget applies there — elsewhere a nonzero budget
+  /// raises E016-mem-budget-infeasible rather than silently not binding.
+  std::int64_t MemBudget = 0;
 };
 
 /// Runs \p Plan against \p Store. Every statement record's kernel must be

@@ -260,6 +260,17 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
         continue;
       break;
     }
+    case ErrorCode::MemBudgetInfeasible: {
+      // The budget (not the plan) is what failed, deterministically: no
+      // retry at the same width can admit it. Waive the budget and run
+      // scalar-serial — task order's footprint is the minimum any
+      // admission policy could reach, so this is the closest rung to the
+      // caller's memory intent that still completes.
+      NoteDescent(ReasonMemBudget, Err.toString());
+      O.MemBudget = 0;
+      O.Threads = 1;
+      continue;
+    }
     case ErrorCode::GuardTripped: {
       const char *Reason = Err.subcode() == GuardSubcodeRedzone
                                ? ReasonRedzone

@@ -25,6 +25,11 @@
 ///   L006-plan-invalid       plan/storage validation failed (deterministic
 ///                           — retrying the same rung cannot help, so the
 ///                           ladder jumps straight to the fallback plan)
+///   L007-mem-budget         the live-temporary budget could not admit the
+///                           plan (E016) — the ladder waives the budget and
+///                           descends to the scalar-serial rung, whose task
+///                           order has the minimum footprint any admission
+///                           policy could reach (completing beats failing)
 ///
 /// The ladder never re-runs a rung that failed deterministically, and a
 /// one-shot injected fault is consumed by the rung it kills, so recovery
@@ -60,6 +65,7 @@ inline constexpr const char *ReasonVerifierError = "L003-verifier-error";
 inline constexpr const char *ReasonRedzone = "L004-redzone-violation";
 inline constexpr const char *ReasonNanGuard = "L005-nan-guard";
 inline constexpr const char *ReasonPlanInvalid = "L006-plan-invalid";
+inline constexpr const char *ReasonMemBudget = "L007-mem-budget";
 
 /// What one recovering run did: every rung descent with its reason, the
 /// rung that finally ran (or the error that exhausted the ladder), and the

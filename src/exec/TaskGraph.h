@@ -6,26 +6,58 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small task graph executed in dependence-respecting wavefronts on the
-/// persistent thread pool. Execution plans lower (tile x nest) units to
-/// tasks here; baselines and the MiniFluxDiv driver use it directly for
-/// their box/tile loops.
+/// A small task graph executed on the persistent thread pool under one of
+/// two strategies. Execution plans lower (tile x nest) units to tasks
+/// here; baselines and the MiniFluxDiv driver use it directly for their
+/// box/tile loops.
+///
+///  * run(): the paper's wavefront barrier — tasks grouped by longest-path
+///    depth, one parallelFor per level. Kept selectable so the list
+///    scheduler can be bit-compared and benched against it.
+///  * runList(): a work-stealing list scheduler — per-worker ready deques
+///    ordered by critical-path priority (ties favor tasks that free
+///    temporaries), idle workers steal, and an optional live-temporary
+///    budget defers tasks whose admission would push the tracked
+///    footprint past the cap.
+///
+/// Both strategies run each task exactly once and never start a task
+/// before all its predecessors completed, so any externally observable
+/// difference between them is a data race by definition — lcdfg-lint
+/// bit-compares their outputs (T007) on every example config.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LCDFG_EXEC_TASKGRAPH_H
 #define LCDFG_EXEC_TASKGRAPH_H
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 namespace lcdfg {
+namespace storage {
+class FootprintTracker;
+} // namespace storage
+
 namespace exec {
 
 /// Directed acyclic graph of tasks. Tasks run when every predecessor has
-/// completed; independent tasks of the same wavefront run concurrently.
+/// completed; independent tasks run concurrently.
 class TaskGraph {
 public:
+  /// Knobs for runList().
+  struct ListOptions {
+    int Threads = 1;
+    /// Live-temporary byte cap; 0 = unlimited. A positive budget requires
+    /// Memory, and a budget no single task fits under is refused up front
+    /// with E016 (before any task runs).
+    std::int64_t MemBudget = 0;
+    /// Footprint model consulted for admission and charged on
+    /// admit/retire. May be null only when MemBudget is 0. Mutated under
+    /// the scheduler's lock; the caller must not touch it during the run.
+    storage::FootprintTracker *Memory = nullptr;
+  };
+
   /// Adds a task and returns its id. \p Work receives the dense
   /// participant id of the thread running it (0 = the caller), usable as
   /// an index into per-worker scratch state.
@@ -42,10 +74,23 @@ public:
   /// first exception a task threw (remaining wavefronts are skipped).
   void run(int Threads);
 
+  /// Runs all tasks under the work-stealing list scheduler. Rethrows the
+  /// first exception a task threw (tasks already running on other workers
+  /// drain first; no new task starts after a failure). Raises E016 when
+  /// the memory budget is infeasible — up front if a single task exceeds
+  /// it, or mid-run if every remaining ready task is over budget with
+  /// nothing in flight to free memory.
+  void runList(const ListOptions &Opts);
+
   /// The wavefront partition run() would use: Levels[L] holds the task
   /// ids whose longest dependence chain has length L. Exposed for plan
-  /// dumping and tests.
-  std::vector<std::vector<int>> wavefronts() const;
+  /// dumping and tests. Memoized — recomputed only after addTask /
+  /// addDependence; the reference is invalidated by either.
+  const std::vector<std::vector<int>> &wavefronts() const;
+
+  /// Critical-path length per task (1 for sinks; the list scheduler's
+  /// primary priority). Memoized alongside wavefronts().
+  const std::vector<int> &heights() const;
 
 private:
   struct Task {
@@ -54,6 +99,13 @@ private:
     int NumPreds = 0;
   };
   std::vector<Task> Tasks;
+
+  /// Kahn levels + downward critical paths, computed together and reused
+  /// by run(), runList()'s priority pass, plan dumping, and verify.
+  void computeLevels() const;
+  mutable std::vector<std::vector<int>> LevelsCache;
+  mutable std::vector<int> HeightsCache;
+  mutable bool CacheValid = false;
 };
 
 } // namespace exec

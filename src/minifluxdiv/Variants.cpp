@@ -441,8 +441,8 @@ int defaultTileSize(int N) { return N >= 32 ? 8 : 4; }
 /// carries. Adjacent tiles recompute shared faces — the overlap. With
 /// \p Threads > 1 the independent tiles run in parallel (the within-box
 /// parallelization of Section 5.5).
-void overlapWithinTilesBox(const Box &In, Box &Out, int TileSize,
-                           int Threads) {
+void overlapWithinTilesBox(const Box &In, Box &Out, int TileSize, int Threads,
+                           exec::SchedulerKind Scheduler) {
   int N = In.size();
   int T = TileSize > 0 ? TileSize : defaultTileSize(N);
   Out.copyInteriorFrom(In);
@@ -469,6 +469,7 @@ void overlapWithinTilesBox(const Box &In, Box &Out, int TileSize,
     }, Tile);
   exec::RunOptions Opts;
   Opts.Threads = Threads;
+  Opts.Scheduler = Scheduler;
   exec::runPlan(Plan, Opts);
 }
 
@@ -573,7 +574,8 @@ std::vector<Box> mfd::makeOutputs(const Problem &P) {
 }
 
 void mfd::runVariant(Variant V, const std::vector<Box> &In,
-                     std::vector<Box> &Out, const RunConfig &Cfg) {
+                     std::vector<Box> &Out, const RunConfig &Cfg,
+                     exec::PlanStats *Stats) {
   assert(In.size() == Out.size() && "box count mismatch");
   auto RunBox = [&](int I) {
     switch (V) {
@@ -600,7 +602,8 @@ void mfd::runVariant(Variant V, const std::vector<Box> &In,
       break;
     case Variant::OverlapWithinTiles:
       overlapWithinTilesBox(In[I], Out[I], Cfg.TileSize,
-                            Cfg.ParallelOverBoxes ? 1 : Cfg.Threads);
+                            Cfg.ParallelOverBoxes ? 1 : Cfg.Threads,
+                            Cfg.Scheduler);
       break;
     case Variant::OverlapOfTiles:
       overlapOfTilesBox(In[I], Out[I], Cfg.TileSize);
@@ -614,7 +617,10 @@ void mfd::runVariant(Variant V, const std::vector<Box> &In,
       Plan.addExternalTask(variantName(V), [&RunBox, I](int) { RunBox(I); });
     exec::RunOptions Opts;
     Opts.Threads = Cfg.Threads;
-    exec::runPlan(Plan, Opts);
+    Opts.Scheduler = Cfg.Scheduler;
+    exec::PlanStats St = exec::runPlan(Plan, Opts);
+    if (Stats)
+      *Stats = std::move(St);
   } else {
     // Within-box parallelism: boxes run sequentially; tiled variants
     // spread their tiles over the threads instead.

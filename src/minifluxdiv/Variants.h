@@ -25,6 +25,7 @@
 #ifndef LCDFG_MINIFLUXDIV_VARIANTS_H
 #define LCDFG_MINIFLUXDIV_VARIANTS_H
 
+#include "exec/PlanRunner.h"
 #include "runtime/BoxGrid.h"
 
 #include <string>
@@ -70,6 +71,9 @@ struct RunConfig {
   /// Parallelize over boxes (the default) or within boxes over tiles
   /// (the only choice available to the Halide/PolyMage comparators).
   bool ParallelOverBoxes = true;
+  /// Task-graph strategy the box/tile plans run under — the fig6 benches
+  /// sweep both to compare schedulers head-to-head.
+  exec::SchedulerKind Scheduler = exec::SchedulerKind::List;
 };
 
 /// Problem shape: boxes of BoxSize^3 cells.
@@ -98,9 +102,12 @@ std::vector<rt::Box> makeOutputs(const Problem &P);
 
 /// Runs one variant over all boxes: each output box is initialized from its
 /// input's interior and updated with the flux differences of all three
-/// directions.
+/// directions. When \p Stats is non-null and the parallel-over-boxes plan
+/// path ran, the plan's runtime measurements (per-worker busy time, idle
+/// shares) are copied out for scheduler comparisons.
 void runVariant(Variant V, const std::vector<rt::Box> &In,
-                std::vector<rt::Box> &Out, const RunConfig &Cfg);
+                std::vector<rt::Box> &Out, const RunConfig &Cfg,
+                exec::PlanStats *Stats = nullptr);
 
 /// Approximate peak temporary storage in doubles per concurrently-processed
 /// box for a variant (the quantity Figure 10 ties to performance).

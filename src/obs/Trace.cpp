@@ -47,6 +47,14 @@ std::string_view obs::counterName(Counter C) {
     return "recovery.descents";
   case Counter::FaultsFired:
     return "fault.fired";
+  case Counter::SchedSteals:
+    return "exec.sched.steals";
+  case Counter::SchedStalls:
+    return "exec.sched.stalls";
+  case Counter::SchedDeferred:
+    return "exec.sched.deferred";
+  case Counter::SchedPeakLive:
+    return "exec.sched.live.peak";
   case Counter::NumCounters:
     break;
   }

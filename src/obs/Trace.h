@@ -66,6 +66,16 @@ enum class Counter : unsigned {
   RecoveryRuns,    ///< recovery.attempts: degradation-ladder rung attempts.
   RecoveryDescents,///< recovery.descents: rung descents recorded.
   FaultsFired,     ///< fault.fired: injected faults that fired.
+  SchedSteals,     ///< exec.sched.steals: list-scheduler tasks taken from
+                   ///  another worker's deque.
+  SchedStalls,     ///< exec.sched.stalls: list-scheduler waits with no
+                   ///  admissible task anywhere (work-starved or all
+                   ///  ready tasks deferred for memory).
+  SchedDeferred,   ///< exec.sched.deferred: ready tasks deferred because
+                   ///  admitting them would exceed RunOptions::MemBudget.
+  SchedPeakLive,   ///< exec.sched.live.peak: high-water mark of live
+                   ///  temporary bytes under the list scheduler (recorded
+                   ///  once per run, not summed per worker).
   NumCounters
 };
 

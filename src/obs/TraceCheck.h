@@ -54,6 +54,10 @@ inline constexpr const char *CheckReversedSpan = "T003-reversed-span";
 inline constexpr const char *CheckDependenceOrder = "T004-dependence-order";
 inline constexpr const char *CheckWorkerOverlap = "T005-worker-overlap";
 inline constexpr const char *CheckDroppedSpans = "T006-dropped-spans";
+/// Not emitted by checkTrace itself: lcdfg-lint's scheduler bit-compare
+/// folds a wavefront-vs-list output divergence under this id.
+inline constexpr const char *CheckSchedulerDivergence =
+    "T007-scheduler-divergence";
 
 /// Validates \p T against \p Plan as described above. Non-task spans
 /// (wavefronts, rungs, markers) are ignored; only SpanKind::Task spans

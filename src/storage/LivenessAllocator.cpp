@@ -111,6 +111,97 @@ Allocation storage::allocateSpaces(const Graph &G) {
   return Result;
 }
 
+FootprintTracker::FootprintTracker(
+    std::vector<SpaceInfo> SpacesIn,
+    std::vector<std::vector<unsigned>> TaskSpacesIn)
+    : Spaces(std::move(SpacesIn)), TaskSpaces(std::move(TaskSpacesIn)),
+      RemainingUses(Spaces.size(), 0), Active(Spaces.size(), false) {
+  // Normalize each task's touch set: sorted, deduped, and stripped of
+  // spaces the budget never charges for (persistent or zero bytes).
+  for (std::vector<unsigned> &Touched : TaskSpaces) {
+    std::sort(Touched.begin(), Touched.end());
+    Touched.erase(std::unique(Touched.begin(), Touched.end()), Touched.end());
+    Touched.erase(std::remove_if(Touched.begin(), Touched.end(),
+                                 [&](unsigned S) {
+                                   return S >= Spaces.size() ||
+                                          Spaces[S].Persistent ||
+                                          Spaces[S].Bytes <= 0;
+                                 }),
+                  Touched.end());
+    for (unsigned S : Touched)
+      ++RemainingUses[S];
+  }
+}
+
+std::int64_t FootprintTracker::activationBytes(int T) const {
+  if (T < 0 || static_cast<std::size_t>(T) >= TaskSpaces.size())
+    return 0;
+  std::int64_t Delta = 0;
+  for (unsigned S : TaskSpaces[T])
+    if (!Active[S])
+      Delta += Spaces[S].Bytes;
+  return Delta;
+}
+
+void FootprintTracker::admit(int T) {
+  if (T < 0 || static_cast<std::size_t>(T) >= TaskSpaces.size())
+    return;
+  for (unsigned S : TaskSpaces[T]) {
+    if (!Active[S]) {
+      Active[S] = true;
+      Live += Spaces[S].Bytes;
+    }
+  }
+  HighWater = std::max(HighWater, Live);
+}
+
+void FootprintTracker::retire(int T) {
+  if (T < 0 || static_cast<std::size_t>(T) >= TaskSpaces.size())
+    return;
+  for (unsigned S : TaskSpaces[T]) {
+    if (--RemainingUses[S] == 0 && Active[S]) {
+      Active[S] = false;
+      Live -= Spaces[S].Bytes;
+    }
+  }
+}
+
+std::int64_t FootprintTracker::maxSingleTaskBytes() const {
+  std::int64_t Max = 0;
+  for (const std::vector<unsigned> &Touched : TaskSpaces) {
+    std::int64_t Sum = 0;
+    for (unsigned S : Touched)
+      Sum += Spaces[S].Bytes;
+    Max = std::max(Max, Sum);
+  }
+  return Max;
+}
+
+std::int64_t FootprintTracker::releaseHintBytes(int T) const {
+  if (T < 0 || static_cast<std::size_t>(T) >= TaskSpaces.size())
+    return 0;
+  std::int64_t Hint = 0;
+  for (unsigned S : TaskSpaces[T]) {
+    bool LastToucher = true;
+    for (std::size_t U = static_cast<std::size_t>(T) + 1;
+         U < TaskSpaces.size() && LastToucher; ++U)
+      if (std::binary_search(TaskSpaces[U].begin(), TaskSpaces[U].end(), S))
+        LastToucher = false;
+    if (LastToucher)
+      Hint += Spaces[S].Bytes;
+  }
+  return Hint;
+}
+
+std::int64_t FootprintTracker::serialHighWater() const {
+  FootprintTracker Scratch = *this;
+  for (std::size_t T = 0; T < TaskSpaces.size(); ++T) {
+    Scratch.admit(static_cast<int>(T));
+    Scratch.retire(static_cast<int>(T));
+  }
+  return Scratch.highWater();
+}
+
 std::string Allocation::toString() const {
   std::ostringstream OS;
   OS << "spaces:\n";

@@ -22,6 +22,7 @@
 #include "graph/Graph.h"
 #include "support/Polynomial.h"
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -52,6 +53,68 @@ struct Allocation {
 /// Runs the allocation over all temporary values of \p G (internalized or
 /// not), using their current (possibly reduced) sizes.
 Allocation allocateSpaces(const graph::Graph &G);
+
+/// The concrete (bytes, not polynomials) sibling of allocateSpaces for the
+/// list scheduler's live-temporary budget: given each storage space's size
+/// and the set of temporary spaces every task touches, it answers "what
+/// would admitting task T cost right now?" and tracks the high-water mark
+/// of live bytes as tasks are admitted and retired.
+///
+/// A temporary space becomes live when the first task touching it is
+/// admitted and stays live until every task touching it has retired (the
+/// conservative closure of the Section-4.4 liveness: without per-use
+/// dataflow we cannot free a space while a later toucher is still
+/// outstanding). Persistent spaces are the program's inputs/outputs — they
+/// exist regardless of schedule and are excluded from the budget.
+///
+/// Not thread-safe: the list scheduler queries and mutates it under its
+/// own ready-queue lock.
+class FootprintTracker {
+public:
+  /// One space as the tracker sees it.
+  struct SpaceInfo {
+    std::int64_t Bytes = 0;
+    bool Persistent = false;
+  };
+
+  /// \p Spaces is indexed by space id; \p TaskSpaces[T] lists the space
+  /// ids task T touches (duplicates tolerated; persistent and zero-byte
+  /// spaces are ignored).
+  FootprintTracker(std::vector<SpaceInfo> Spaces,
+                   std::vector<std::vector<unsigned>> TaskSpaces);
+
+  /// Bytes that would newly become live if task \p T were admitted now.
+  std::int64_t activationBytes(int T) const;
+  /// Marks task \p T running: activates its inactive spaces and advances
+  /// the high-water mark.
+  void admit(int T);
+  /// Marks task \p T finished: spaces whose every toucher has retired go
+  /// dead and their bytes leave the live total.
+  void retire(int T);
+
+  /// Currently live temporary bytes.
+  std::int64_t liveBytes() const { return Live; }
+  /// Maximum of liveBytes() over the admits so far.
+  std::int64_t highWater() const { return HighWater; }
+  /// The largest single-task activation from a cold start — no budget
+  /// below this is feasible for any schedule.
+  std::int64_t maxSingleTaskBytes() const;
+  /// Static tie-break hint: bytes of spaces whose last toucher (highest
+  /// task id, i.e. latest in the plan's topological order) is \p T.
+  /// Scheduling T sooner tends to free these sooner.
+  std::int64_t releaseHintBytes(int T) const;
+  /// High-water mark of running tasks 0..N-1 in index order on a scratch
+  /// copy (the serial schedule's footprint — a known-feasible budget).
+  std::int64_t serialHighWater() const;
+
+private:
+  std::vector<SpaceInfo> Spaces;
+  std::vector<std::vector<unsigned>> TaskSpaces;
+  std::vector<int> RemainingUses; ///< Per space: touchers not yet retired.
+  std::vector<bool> Active;       ///< Per space: currently live.
+  std::int64_t Live = 0;
+  std::int64_t HighWater = 0;
+};
 
 } // namespace storage
 } // namespace lcdfg

@@ -44,6 +44,8 @@ std::string_view support::errorCodeName(ErrorCode Code) {
     return "E014-exhausted";
   case ErrorCode::Internal:
     return "E015-internal";
+  case ErrorCode::MemBudgetInfeasible:
+    return "E016-mem-budget-infeasible";
   }
   return "E015-internal";
 }

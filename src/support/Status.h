@@ -65,6 +65,9 @@ enum class ErrorCode {
   GuardTripped,      ///< E013: hardened-mode redzone/NaN guard tripped.
   Exhausted,         ///< E014: every degradation rung failed.
   Internal,          ///< E015: internal inconsistency (bug).
+  MemBudgetInfeasible, ///< E016: live-temporary budget cannot admit the
+                       ///  plan (a single task exceeds it, or the
+                       ///  scheduler wedged with only over-budget tasks).
 };
 
 /// Stable "E0xx-name" string for \p Code.

@@ -13,6 +13,7 @@
 
 #include "codegen/Generator.h"
 #include "exec/FaultInjector.h"
+#include "exec/ThreadPool.h"
 #include "graph/GraphBuilder.h"
 #include "minifluxdiv/Spec.h"
 #include "parser/PragmaParser.h"
@@ -142,6 +143,58 @@ TEST(Recovery, InjectedKernelThrowDescendsOneRungBitIdentical) {
             std::string::npos)
       << R.Descents[0].Detail;
   EXPECT_EQ(FaultInjector::global().firedCount(), 1u);
+  expectBitIdentical(Expected, S.outputs(Store));
+}
+
+TEST(Recovery, ListSchedulerDescentStaysBitIdentical) {
+  // The injected-throw row again, but with the first rung running under
+  // the work-stealing list scheduler: the ladder's snapshot/restore and
+  // the retry rung must reproduce the oracle bit for bit regardless of
+  // which strategy the failing attempt used.
+  Harness S(mfd::buildChain2D(), 8);
+  std::vector<double> Expected = S.oracle();
+
+  storage::ConcreteStorage Store = S.freshStore();
+  ExecutionPlan Plan = ExecutionPlan::fromChain(S.Chain, Store, S.Env);
+
+  ScopedGlobalFault Fault(FaultSpec{FaultSite::Kernel, FaultKind::Throw, 1});
+  RecoverOptions Opts;
+  Opts.Run.Threads = 4;
+  Opts.Run.Scheduler = SchedulerKind::List;
+  RunReport R = runWithRecovery(Plan, S.Kernels, Store, Opts);
+
+  EXPECT_TRUE(R.Completed) << R.toString();
+  EXPECT_TRUE(R.Recovered);
+  ASSERT_EQ(R.Descents.size(), 1u) << R.toString();
+  EXPECT_EQ(R.Descents[0].Reason, ReasonWorkerException);
+  expectBitIdentical(Expected, S.outputs(Store));
+}
+
+TEST(Recovery, InfeasibleBudgetWaivedViaL007) {
+  // A 1-byte budget cannot admit any task: the run fails with E016, the
+  // ladder waives the budget (scalar-serial, reason L007), and the
+  // recovered output matches the oracle exactly.
+  if (ThreadPool::effectiveThreads(2) < 2)
+    GTEST_SKIP() << "serial initial runs waive the budget before the ladder";
+  Harness S(mfd::buildChain2D(), 8);
+  std::vector<double> Expected = S.oracle();
+
+  storage::ConcreteStorage Store = S.freshStore();
+  ExecutionPlan Plan = ExecutionPlan::fromChain(S.Chain, Store, S.Env);
+
+  RecoverOptions Opts;
+  Opts.Run.Threads = 2;
+  Opts.Run.Scheduler = SchedulerKind::List;
+  Opts.Run.MemBudget = 1;
+  RunReport R = runWithRecovery(Plan, S.Kernels, Store, Opts);
+
+  EXPECT_TRUE(R.Completed) << R.toString();
+  EXPECT_TRUE(R.Recovered);
+  ASSERT_EQ(R.Descents.size(), 1u) << R.toString();
+  EXPECT_EQ(R.Descents[0].Reason, ReasonMemBudget);
+  EXPECT_NE(R.Descents[0].Detail.find("E016"), std::string::npos)
+      << R.Descents[0].Detail;
+  EXPECT_EQ(R.FinalRung, "batched-serial");
   expectBitIdentical(Expected, S.outputs(Store));
 }
 

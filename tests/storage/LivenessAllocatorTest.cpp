@@ -108,3 +108,79 @@ TEST(LivenessAllocator, ReportRendering) {
   EXPECT_NE(Text.find("->"), std::string::npos);
   EXPECT_NE(Text.find("single-assignment"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// FootprintTracker: the concrete live-byte model behind the list
+// scheduler's memory budget.
+//===----------------------------------------------------------------------===//
+
+using storage::FootprintTracker;
+
+TEST(FootprintTracker, SpacesLiveFromFirstAdmitToLastRetire) {
+  // Space 0 (100 B) is shared by tasks 0 and 2; space 1 (50 B) belongs to
+  // task 1 alone.
+  FootprintTracker T({{100, false}, {50, false}},
+                     {{0u}, {1u}, {0u}});
+
+  EXPECT_EQ(T.liveBytes(), 0);
+  EXPECT_EQ(T.activationBytes(0), 100);
+  T.admit(0);
+  EXPECT_EQ(T.liveBytes(), 100);
+  // Already live for the co-toucher: admitting task 2 costs nothing new.
+  EXPECT_EQ(T.activationBytes(2), 0);
+  T.admit(1);
+  EXPECT_EQ(T.liveBytes(), 150);
+  EXPECT_EQ(T.highWater(), 150);
+
+  T.retire(0);
+  // Space 0 stays live: task 2 has not retired.
+  EXPECT_EQ(T.liveBytes(), 150);
+  T.retire(1);
+  EXPECT_EQ(T.liveBytes(), 100);
+  T.admit(2);
+  T.retire(2);
+  EXPECT_EQ(T.liveBytes(), 0);
+  EXPECT_EQ(T.highWater(), 150);
+}
+
+TEST(FootprintTracker, PersistentAndZeroByteSpacesExcluded) {
+  FootprintTracker T({{100, true}, {0, false}, {60, false}},
+                     {{0u, 1u, 2u}});
+  // Only the 60-byte temporary counts; the persistent input/output and
+  // the zero-byte space are free.
+  EXPECT_EQ(T.activationBytes(0), 60);
+  T.admit(0);
+  EXPECT_EQ(T.liveBytes(), 60);
+  T.retire(0);
+  EXPECT_EQ(T.liveBytes(), 0);
+}
+
+TEST(FootprintTracker, DuplicateTouchesCountOnce) {
+  FootprintTracker T({{80, false}}, {{0u, 0u, 0u}});
+  EXPECT_EQ(T.activationBytes(0), 80);
+  T.admit(0);
+  EXPECT_EQ(T.liveBytes(), 80);
+  T.retire(0);
+  EXPECT_EQ(T.liveBytes(), 0);
+}
+
+TEST(FootprintTracker, MaxSingleTaskAndSerialHighWater) {
+  // Task 0: 100 B; task 1: 100 + 40 B (shares space 0); task 2: 70 B.
+  FootprintTracker T({{100, false}, {40, false}, {70, false}},
+                     {{0u}, {0u, 1u}, {2u}});
+  EXPECT_EQ(T.maxSingleTaskBytes(), 140);
+  // Serial order: 0 admits 100; 1 adds 40 (0's space still live via 1);
+  // after 1 retires both die; 2 peaks at 70. High water = 140.
+  EXPECT_EQ(T.serialHighWater(), 140);
+  // serialHighWater works on a scratch copy: the real tracker unchanged.
+  EXPECT_EQ(T.liveBytes(), 0);
+  EXPECT_EQ(T.highWater(), 0);
+}
+
+TEST(FootprintTracker, ReleaseHintFavorsLastTouchers) {
+  // Space 0's last toucher is task 1; space 1's last toucher is task 0.
+  FootprintTracker T({{100, false}, {30, false}},
+                     {{0u, 1u}, {0u}});
+  EXPECT_EQ(T.releaseHintBytes(0), 30);  // Finishing 0 frees space 1 only.
+  EXPECT_EQ(T.releaseHintBytes(1), 100); // Space 0 dies with task 1.
+}

@@ -290,6 +290,246 @@ TEST(PlanVerifier, DependenceClosureIsTransitive) {
   EXPECT_FALSE(C[0][2]);
 }
 
+TEST(PlanVerifier, ExternalTasksNotedOnce) {
+  // Opaque callbacks cannot be footprinted: the verifier says so with a
+  // single V000 note (not one per external task) and no spurious errors.
+  exec::ExecutionPlan Plan = rmwPlan(0, 1);
+  Plan.Instrs.push_back(Plan.Instrs[0]);
+  Plan.Instrs[0].External = [](int) {};
+  Plan.Instrs[1].External = [](int) {};
+  Plan.Tasks.push_back(exec::PlanTask{1, {0}});
+
+  PlanVerifier V(Plan);
+  Diagnostics D = V.verify();
+  EXPECT_EQ(errorCount(D), 0u) << D.toString();
+  ASSERT_EQ(D.count(Severity::Note), 1u) << D.toString();
+  const Diagnostic *N = findCheck(D, CheckOpaqueExternal);
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->Instr, 0);
+}
+
+TEST(PlanVerifier, BudgetExhaustionWarnsInsteadOfSilentPass) {
+  // A zero budget abandons every enumeration-based family with a V007
+  // warning: an unchecked plan must not read as a certified one.
+  {
+    exec::ExecutionPlan Plan = rmwPlan(1, 1);
+    exec::RowPlan Override;
+    Override.MaxSegment = 8;
+    std::vector<std::optional<exec::RowPlan>> Rows{Override};
+    VerifyOptions Opts;
+    Opts.Rows = &Rows;
+    Opts.Budget = 0;
+    PlanVerifier V(Plan, Opts);
+    Diagnostics D = V.verify();
+    EXPECT_EQ(errorCount(D), 0u) << D.toString();
+    // Serial dataflow and row batching each gave up; one task, so the
+    // race family never walks.
+    EXPECT_EQ(D.count(Severity::Warning), 2u) << D.toString();
+    EXPECT_NE(findCheck(D, CheckTraceBudget), nullptr) << D.toString();
+  }
+  {
+    // Two tasks: the race family also charges (and exhausts) the budget.
+    ir::LoopChain Chain = parseFig1();
+    graph::Graph G = graph::buildGraph(Chain);
+    exec::ExecutionPlan Plan = compilePlan(G, 8);
+    VerifyOptions Opts;
+    Opts.Budget = 0;
+    PlanVerifier V(Plan, Opts);
+    Diagnostics D = V.verify();
+    EXPECT_EQ(errorCount(D), 0u) << D.toString();
+    EXPECT_EQ(D.count(Severity::Warning), 2u) << D.toString();
+  }
+}
+
+TEST(PlanVerifier, ReadOfValueNeverProducedIsLost) {
+  // Statement 1 reads temporary T, which no statement of the plan writes:
+  // V004 with a witness point but no producer-side witness.
+  exec::ExecutionPlan Plan = rmwPlan(0, 1);
+  Plan.NumSpaces = 3;
+  Plan.SpacePersistent = {true, false, false};
+  Plan.ArrayNames = {"A", "B", "T"};
+  Plan.Instrs[0].Stmts[1].Reads[0].Space = 2;
+  Plan.Instrs[0].Stmts[1].Reads[0].ArrayId = 2;
+
+  PlanVerifier V(Plan);
+  Diagnostics D = V.verify();
+  ASSERT_EQ(errorCount(D), 1u) << D.toString();
+  const Diagnostic *E = findCheck(D, CheckLostDependence);
+  ASSERT_NE(E, nullptr) << D.toString();
+  EXPECT_EQ(E->Array, "T");
+  EXPECT_NE(E->Message.find("never produces"), std::string::npos);
+  EXPECT_FALSE(E->Point.empty());
+  EXPECT_TRUE(E->OtherPoint.empty());
+}
+
+namespace {
+
+/// One single-loop instruction of a hand-built tile-parallel plan. Each
+/// statement writes its array over y in [0, 7]; optional read of A.
+exec::NestInstr tileInstr(int Tile, unsigned WriteSpace, bool ReadsA) {
+  exec::NestInstr I;
+  I.Tile = Tile;
+  I.Loops.push_back(exec::LoopLevel{"y", 0, 7});
+  exec::StmtRecord S;
+  S.Write.Space = WriteSpace;
+  S.Write.ArrayId = static_cast<int>(WriteSpace);
+  S.Write.LevelStrides = {1};
+  if (ReadsA) {
+    exec::Stream R;
+    R.Space = 0;
+    R.ArrayId = 0;
+    R.LevelStrides = {1};
+    S.Reads.push_back(R);
+  }
+  I.Stmts.push_back(std::move(S));
+  return I;
+}
+
+} // namespace
+
+TEST(PlanVerifier, TilePrivatizationCatchesUncomputedRead) {
+  // Tile 0 writes the temporary A before reading it — clean. Tile 1 reads
+  // A without ever computing it: serially fine (tile 0 ran first), but
+  // under tile parallelism tile 1 observes its own zero-filled private
+  // copy. V006 is the only check that can see this.
+  exec::ExecutionPlan Plan;
+  Plan.TileParallel = true;
+  Plan.NumSpaces = 3;
+  Plan.SpacePersistent = {false, true, true};
+  Plan.ArrayNames = {"A", "P0", "P1"};
+  Plan.Instrs.push_back(tileInstr(0, 0, false)); // writes A
+  Plan.Instrs.push_back(tileInstr(0, 1, true));  // reads A, writes P0
+  Plan.Instrs.push_back(tileInstr(1, 2, true));  // reads A, writes P1
+  Plan.Tasks.push_back(exec::PlanTask{0, {}});
+  Plan.Tasks.push_back(exec::PlanTask{1, {}});
+  Plan.Tasks.push_back(exec::PlanTask{2, {}});
+
+  PlanVerifier V(Plan);
+  Diagnostics D = V.verify();
+  ASSERT_EQ(errorCount(D), 1u) << D.toString();
+  const Diagnostic *E = findCheck(D, CheckPrivateUncovered);
+  ASSERT_NE(E, nullptr) << D.toString();
+  EXPECT_EQ(E->Sev, Severity::Error);
+  EXPECT_EQ(E->Task, 2);
+  EXPECT_EQ(E->Array, "A");
+  EXPECT_NE(E->Message.find("tile 1"), std::string::npos) << E->Message;
+  EXPECT_NE(E->Message.find("privatized"), std::string::npos);
+}
+
+TEST(PlanVerifier, SegmentCapAuditHonorsGuardsAndModuloEpochs) {
+  // Two-level nest, both A streams rolling (window larger than the index
+  // range, so epochs always match). With statement 1 guarded to row x=0
+  // the distance-1 collision survives in that row; guarding it to an
+  // empty row range (and an empty inner range) removes every collision,
+  // so the same over-long cap audits clean.
+  auto makePlan = [] {
+    exec::ExecutionPlan Plan = rmwPlan(1, 1);
+    exec::NestInstr &I = Plan.Instrs[0];
+    I.Loops.insert(I.Loops.begin(), exec::LoopLevel{"x", 0, 1});
+    for (exec::StmtRecord &S : I.Stmts) {
+      S.Write.LevelStrides.insert(S.Write.LevelStrides.begin(), 0);
+      for (exec::Stream &R : S.Reads)
+        R.LevelStrides.insert(R.LevelStrides.begin(), 0);
+    }
+    // Space A rolls with a window far beyond the touched range.
+    I.Stmts[0].Write.Modulo = true;
+    I.Stmts[0].Write.ModSize = 64;
+    I.Stmts[1].Reads[0].Modulo = true;
+    I.Stmts[1].Reads[0].ModSize = 64;
+    return Plan;
+  };
+  exec::RowPlan Override;
+  Override.MaxSegment = 8;
+  std::vector<std::optional<exec::RowPlan>> Rows{Override};
+  VerifyOptions Opts;
+  Opts.Rows = &Rows;
+
+  {
+    exec::ExecutionPlan Plan = makePlan();
+    Plan.Instrs[0].Stmts[1].Guards.push_back(exec::GuardBound{0, 0, 0});
+    PlanVerifier V(Plan, Opts);
+    Diagnostics D = V.verify();
+    ASSERT_EQ(errorCount(D), 1u) << D.toString();
+    const Diagnostic *E = findCheck(D, CheckSegmentCap);
+    ASSERT_NE(E, nullptr) << D.toString();
+    EXPECT_EQ(E->Point, (std::vector<std::int64_t>{0, 1}));
+    EXPECT_EQ(E->OtherPoint, (std::vector<std::int64_t>{0, 0}));
+  }
+  {
+    exec::ExecutionPlan Plan = makePlan();
+    Plan.Instrs[0].Stmts[1].Guards.push_back(exec::GuardBound{0, 5, 6});
+    Plan.Instrs[0].Stmts[1].Guards.push_back(exec::GuardBound{1, 3, 2});
+    PlanVerifier V(Plan, Opts);
+    Diagnostics D = V.verify();
+    EXPECT_EQ(errorCount(D), 0u) << D.toString();
+  }
+}
+
+TEST(GraphSchedule, ReversedScheduleIsReported) {
+  ir::LoopChain Chain = parseFig1();
+  graph::Graph G = graph::buildGraph(Chain);
+  graph::NodeId P = G.stmtOfNest(0);
+  ASSERT_NE(P, graph::InvalidNode);
+  // Push the producer below every consumer row.
+  G.stmt(P).Row = 100;
+
+  Diagnostics D;
+  checkGraphSchedule(G, D);
+  ASSERT_EQ(errorCount(D), 1u) << D.toString();
+  const Diagnostic *E = findCheck(D, CheckLostDependence);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->Array, "VAL_1");
+  EXPECT_NE(E->Message.find("reverses"), std::string::npos) << E->Message;
+}
+
+TEST(GraphSchedule, DeadProducerNodeLosesEdge) {
+  ir::LoopChain Chain = parseFig1();
+  graph::Graph G = graph::buildGraph(Chain);
+  graph::NodeId P = G.stmtOfNest(0);
+  ASSERT_NE(P, graph::InvalidNode);
+  G.stmt(P).Dead = true;
+
+  Diagnostics D;
+  checkGraphSchedule(G, D);
+  ASSERT_EQ(errorCount(D), 1u) << D.toString();
+  const Diagnostic *E = findCheck(D, CheckLostDependence);
+  ASSERT_NE(E, nullptr);
+  EXPECT_NE(E->Message.find("no longer contains the nest"), std::string::npos)
+      << E->Message;
+}
+
+TEST(Diagnostics, TextRenderingCoversEveryField) {
+  Diagnostic D;
+  D.Sev = Severity::Note;
+  D.CheckId = CheckOpaqueExternal;
+  D.Message = "note text";
+  D.OtherTask = 4;
+  D.OtherInstr = 5;
+  D.OtherPoint = {7, 8};
+  std::string S = D.toString();
+  EXPECT_NE(S.find("note["), std::string::npos) << S;
+  EXPECT_NE(S.find("other task 4 instr 5 at (7,8)"), std::string::npos) << S;
+
+  Diagnostic W;
+  W.Sev = Severity::Warning;
+  W.CheckId = CheckTraceBudget;
+  W.Message = "back\\slash\nnew\tline";
+  Diagnostics All;
+  All.add(std::move(D));
+  All.add(std::move(W));
+  EXPECT_FALSE(All.hasErrors());
+  std::string Json = All.toJson();
+  EXPECT_NE(Json.find("\"other_task\":4"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"other_instr\":5"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("back\\\\slash\\nnew\\tline"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"warnings\":1"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"notes\":1"), std::string::npos) << Json;
+  std::string Text = All.toString();
+  EXPECT_NE(Text.find("0 error(s), 1 warning(s), 1 note(s)"),
+            std::string::npos)
+      << Text;
+}
+
 TEST(Diagnostics, JsonEmitter) {
   Diagnostics D;
   Diagnostic E;

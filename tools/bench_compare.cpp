@@ -18,7 +18,9 @@
 // Rules: every (variant, key) row of the baseline must exist in the fresh
 // report (a vanished row fails — a renamed benchmark must update its
 // baseline); the "_meta" block is informational and ignored; rows new in
-// the fresh report are listed but do not gate.
+// the fresh report are listed but do not gate; keys starting with "idle"
+// carry idle-share ratios rather than seconds (the scheduler head-to-head
+// rows) and are printed for trend-watching but never gated or counted.
 //
 //===----------------------------------------------------------------------===//
 
@@ -190,8 +192,21 @@ int main(int argc, char **argv) {
       continue;
     const auto FreshVariant = Fresh.find(Variant);
     for (const auto &[Key, BaseS] : Keys) {
-      ++Rows;
       const std::string Row = Variant + "." + Key;
+      if (Key.rfind("idle", 0) == 0) {
+        // Idle-share ratio, not a timing: informational only.
+        const bool Have =
+            FreshVariant != Fresh.end() &&
+            FreshVariant->second.find(Key) != FreshVariant->second.end();
+        std::printf("  info  %-40s base %.3f fresh %s [idle share, not "
+                    "gated]\n",
+                    Row.c_str(), BaseS,
+                    Have ? std::to_string(FreshVariant->second.at(Key))
+                               .c_str()
+                         : "(missing)");
+        continue;
+      }
+      ++Rows;
       if (FreshVariant == Fresh.end() ||
           FreshVariant->second.find(Key) == FreshVariant->second.end()) {
         std::printf("  MISS  %-40s baseline %.6gs has no fresh row\n",

@@ -15,11 +15,14 @@
 #   tools/ci.sh faults     # just the fault-injection campaign
 #   tools/ci.sh coverage   # line-coverage report over src/{exec,verify,obs}
 #
-# The tsan stage additionally re-runs the execution-layer tests with the
-# worker pool capped at 2 and 4 threads, so the scheduler's every
-# cross-thread handoff is exercised under the race detector. The verify
-# stage sweeps every example chain and MiniFluxDiv recipe through
-# lcdfg-lint --strict, which exits nonzero on any legality ERROR.
+# The tsan stage additionally re-runs the execution-layer and
+# observability tests across the scheduler matrix — LCDFG_SCHED in
+# {wavefront, list} times LCDFG_THREADS in {2, 4} — so both task-graph
+# strategies see every cross-thread handoff under the race detector. The
+# verify stage sweeps every example chain and MiniFluxDiv recipe through
+# lcdfg-lint --strict, which exits nonzero on any legality ERROR (and,
+# with --trace, bit-compares list-scheduler outputs against the wavefront
+# reference).
 #
 # The faults stage drives the graceful-degradation ladder end to end:
 # every LCDFG_FAULT class is injected into `lcdfg-opt --report` (built
@@ -41,7 +44,8 @@
 # The coverage stage rebuilds the library with --coverage, runs the
 # test_exec / test_verify / test_obs suites, and aggregates gcov line
 # coverage per instrumented directory; src/obs (the observability layer
-# this repo's traces and counters hang off) must stay at >= 80% lines.
+# this repo's traces and counters hang off) must stay at >= 80% lines and
+# src/verify (the legality gate) at >= 80%.
 #
 #===------------------------------------------------------------------------===#
 
@@ -86,26 +90,30 @@ bench_gate() {
 
 # Line coverage of the instrumented library directories, via gcov over the
 # build-cov object tree. Prints one summary row per directory and fails
-# when src/obs drops below the floor.
+# when a floored directory (src/obs, src/verify) drops below its floor.
 coverage_report() {
   local OBJ=build-cov/src/CMakeFiles/lcdfg.dir
-  local FLOOR=80.0
-  local DIR PCT FAIL=0
+  declare -A FLOORS=([obs]=80.0 [verify]=80.0)
+  local DIR PCT FLOOR FAIL=0
   for DIR in exec verify obs; do
     # gcov resolves sources from the .gcda files themselves (CMake's
     # <file>.cpp.gcda naming defeats gcov's -o source lookup).
+    # Only count the summary line directly under a matching File header:
+    # gcov appends a trailing all-files total with no header of its own,
+    # which would otherwise be charged to whichever file came last.
     PCT="$(gcov -n "${OBJ}/${DIR}"/*.gcda 2>/dev/null |
       awk -v dir="src/${DIR}/" '
         /^File /  { f = index($0, dir) > 0 }
         f && /^Lines executed:/ {
           s = $0; sub(/^Lines executed:/, "", s); split(s, a, "% of ")
-          hit += a[1] * a[2] / 100; total += a[2]
+          hit += a[1] * a[2] / 100; total += a[2]; f = 0
         }
         END { printf "%.1f", total ? 100 * hit / total : 0 }')"
     echo "coverage: src/${DIR}: ${PCT}% lines"
-    if [ "${DIR}" = obs ] &&
+    FLOOR="${FLOORS[${DIR}]:-}"
+    if [ -n "${FLOOR}" ] &&
        awk -v p="${PCT}" -v f="${FLOOR}" 'BEGIN { exit !(p < f) }'; then
-      echo "coverage: error: src/obs at ${PCT}% is below the ${FLOOR}% floor" >&2
+      echo "coverage: error: src/${DIR} at ${PCT}% is below the ${FLOOR}% floor" >&2
       FAIL=1
     fi
   done
@@ -148,6 +156,22 @@ fault_campaign() {
   # the fault fires, exercising the ladder's store snapshot/restore.
   run_fault kernel:throw:2 L002-worker-exception --threads=2
   run_fault task:fail L002-worker-exception --threads=2
+  # Same transient faults with the wavefront strategy forced, so both
+  # schedulers' drain-then-rethrow paths stay on the ladder's happy path.
+  LCDFG_SCHED=wavefront run_fault kernel:throw L002-worker-exception \
+    --threads=2
+  LCDFG_SCHED=wavefront run_fault task:fail L002-worker-exception \
+    --threads=2
+  # An infeasible live-temporary budget is refused deterministically
+  # (E016) and the ladder waives it: scalar-serial, reason L007.
+  OUT="$(./build-asan/tools/lcdfg-opt --report=json --threads=2 \
+         --mem-budget=1 examples/chains/fig1.lc 2>/dev/null)"
+  if ! grep -q '"completed":true' <<<"${OUT}" ||
+     ! grep -q 'L007-mem-budget' <<<"${OUT}"; then
+    echo "mem-budget ladder: missing L007-mem-budget recovery: ${OUT}" >&2
+    return 1
+  fi
+  echo "fault --mem-budget=1: recovered [L007-mem-budget]"
   run_fault modulo:corrupt L003-verifier-error \
     --script examples/chains/fig1.script --reduce
   run_fault input:truncate L006-plan-invalid
@@ -207,11 +231,18 @@ for PRESET in "${PRESETS[@]}"; do
   fi
   if [ "${PRESET}" = tsan ]; then
     # The ctest pass runs with the pool's default sizing; re-run the
-    # execution-layer suite with the worker pool pinned small so handoffs
-    # between few workers are the common case TSan watches.
-    for T in 2 4; do
-      echo "== tsan: test_exec with LCDFG_THREADS=${T} =="
-      LCDFG_THREADS="${T}" ./build-tsan/tests/test_exec
+    # execution and observability suites across the scheduler matrix with
+    # the worker pool pinned small, so both the wavefront barrier and the
+    # work-stealing list scheduler see few-worker handoffs as the common
+    # case TSan watches.
+    for SCHED in wavefront list; do
+      for T in 2 4; do
+        echo "== tsan: LCDFG_SCHED=${SCHED} LCDFG_THREADS=${T} =="
+        LCDFG_SCHED="${SCHED}" LCDFG_THREADS="${T}" \
+          ./build-tsan/tests/test_exec
+        LCDFG_SCHED="${SCHED}" LCDFG_THREADS="${T}" \
+          ./build-tsan/tests/test_obs
+      done
     done
   fi
 done

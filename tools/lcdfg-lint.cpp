@@ -13,9 +13,11 @@
 //   lcdfg-lint [--strict] [--json] [--trace] [--size=N] [<chains-dir>]
 //     --strict   exit nonzero when any configuration reports an ERROR
 //     --json     emit one JSON object per line instead of text
-//     --trace    execute each statically-clean configuration once at two
-//                threads with the span tracer armed and fold the trace
-//                conformance check (obs::checkTrace) into its report
+//     --trace    execute each statically-clean configuration with the span
+//                tracer armed — wavefront at two threads as the reference,
+//                then the list scheduler at 1/2/4 threads — folding the
+//                trace conformance check (obs::checkTrace) and the
+//                scheduler output bit-compare (T007) into its report
 //     --size=N   concrete size for the chain-file sweeps (default 8)
 //
 //===----------------------------------------------------------------------===//
@@ -41,6 +43,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -157,11 +160,19 @@ void addGuarded(LintReport &Report, const std::string &Name,
   }
 }
 
-/// Dynamic conformance pass: executes an already-verified plan once at two
-/// threads with the span tracer armed and folds obs::checkTrace's verdict
-/// into the configuration's diagnostics. Persistent inputs are seeded with
-/// the same deterministic pattern lcdfg-opt uses so kernels never consume
+/// Dynamic conformance pass: executes an already-verified plan with the
+/// span tracer armed and folds obs::checkTrace's verdict into the
+/// configuration's diagnostics. Persistent inputs are seeded with the same
+/// deterministic pattern lcdfg-opt uses so kernels never consume
 /// uninitialized storage.
+///
+/// The pass doubles as the scheduler bit-compare gate: the wavefront
+/// strategy at two threads is the reference, then the list scheduler runs
+/// at T in {1, 2, 4} on a restored copy of the seeded store. Every run's
+/// trace is checked against the plan's dependence closure (T001-T006), and
+/// any bitwise output divergence between the strategies — which, both
+/// being dependence-respecting, can only be a data race — is reported as a
+/// T007-scheduler-divergence error.
 void traceCheckRun(const ir::LoopChain &Chain, const exec::ExecutionPlan &Plan,
                    const codegen::KernelRegistry &Kernels,
                    storage::ConcreteStorage &Store,
@@ -172,24 +183,69 @@ void traceCheckRun(const ir::LoopChain &Chain, const exec::ExecutionPlan &Plan,
       for (std::size_t I = 0; I < Buf.size(); ++I)
         Buf[I] = 0.001 * static_cast<double>((I * 2654435761u) % 1000u);
     }
+  std::vector<std::vector<double>> Seeded;
+  Seeded.reserve(Store.numSpaces());
+  for (std::size_t S = 0; S < Store.numSpaces(); ++S)
+    Seeded.push_back(Store.space(S));
+  auto Restore = [&] {
+    for (std::size_t S = 0; S < Seeded.size(); ++S)
+      Store.space(S) = Seeded[S];
+  };
+
   obs::Tracer &Tr = obs::Tracer::global();
-  Tr.enable();
-  exec::RunOptions Opts;
-  Opts.Threads = 2;
-  try {
-    exec::runPlan(Plan, Kernels, Store, Opts);
-  } catch (...) {
-    // Leave the tracer clean for the next configuration before the guard
-    // folds the failure into the report as a compile/run failure.
-    (void)Tr.drain();
+  // One traced execution under the given strategy/threads; folds the trace
+  // conformance verdict into Diags.
+  auto TracedRun = [&](exec::SchedulerKind Sched, int Threads) {
+    Tr.enable();
+    exec::RunOptions Opts;
+    Opts.Threads = Threads;
+    Opts.Scheduler = Sched;
+    try {
+      exec::runPlan(Plan, Kernels, Store, Opts);
+    } catch (...) {
+      // Leave the tracer clean for the next configuration before the guard
+      // folds the failure into the report as a compile/run failure.
+      (void)Tr.drain();
+      Tr.disable();
+      throw;
+    }
+    obs::Trace T = Tr.drain();
     Tr.disable();
-    throw;
+    verify::Diagnostics TDiags = obs::checkTrace(Plan, T);
+    for (const verify::Diagnostic &D : TDiags.all())
+      Diags.add(verify::Diagnostic(D));
+  };
+
+  TracedRun(exec::SchedulerKind::Wavefront, 2);
+  std::vector<std::vector<double>> Reference;
+  Reference.reserve(Store.numSpaces());
+  for (std::size_t S = 0; S < Store.numSpaces(); ++S)
+    Reference.push_back(Store.space(S));
+
+  for (int Threads : {1, 2, 4}) {
+    Restore();
+    TracedRun(exec::SchedulerKind::List, Threads);
+    // Only persistent spaces are observable: a scratch temporary's final
+    // contents are whatever its LAST writer left, and the two strategies
+    // legally order independent writers differently (tile-parallel runs
+    // even share participant 0's buffers with the store).
+    for (std::size_t S = 0; S < Store.numSpaces(); ++S) {
+      if (S < Plan.SpacePersistent.size() && !Plan.SpacePersistent[S])
+        continue;
+      if (std::memcmp(Store.space(S).data(), Reference[S].data(),
+                      Reference[S].size() * sizeof(double)) != 0) {
+        verify::Diagnostic D;
+        D.Sev = verify::Severity::Error;
+        D.CheckId = obs::CheckSchedulerDivergence;
+        D.Message = "list scheduler at " + std::to_string(Threads) +
+                    " thread(s) diverged from the wavefront reference in "
+                    "space " +
+                    std::to_string(S);
+        Diags.add(std::move(D));
+        break;
+      }
+    }
   }
-  obs::Trace T = Tr.drain();
-  Tr.disable();
-  verify::Diagnostics TDiags = obs::checkTrace(Plan, T);
-  for (const verify::Diagnostic &D : TDiags.all())
-    Diags.add(verify::Diagnostic(D));
 }
 
 /// Lowers the scheduled graph to an ExecutionPlan and runs every verifier

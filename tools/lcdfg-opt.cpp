@@ -48,6 +48,14 @@
 //                          imbalance); implies a traced run like --trace
 //     --size=N             concrete size for --stats/--dump-plan (default 8)
 //     --threads=K          parallelism for --stats runs
+//     --scheduler=S        task-graph strategy for parallel runs:
+//                          list (work-stealing ready deques, the default)
+//                          or wavefront (the paper's level barrier)
+//     --mem-budget=B       live-temporary byte cap for the list scheduler;
+//                          tasks whose admission would push live bytes
+//                          past B are deferred. An infeasible budget is an
+//                          E016 error (under --report, an L007 descent).
+//                          Requires --scheduler=list.
 //     -o <file>            write output to a file instead of stdout
 //
 //===----------------------------------------------------------------------===//
@@ -110,6 +118,9 @@ int usage(const char *Argv0) {
       "                      load); implies a traced run\n"
       "  --size=N            concrete size for --stats/--dump-plan\n"
       "  --threads=K         parallelism for --stats runs\n"
+      "  --scheduler=S       list (work-stealing, default) | wavefront\n"
+      "  --mem-budget=B      live-temporary byte cap (list scheduler only);\n"
+      "                      infeasible budgets fail with E016\n"
       "  -o <file>           output file (default stdout)\n",
       Argv0);
   return 2;
@@ -183,6 +194,8 @@ int runTool(int argc, char **argv) {
   std::int64_t SizeN = 8;
   int Threads = 1;
   unsigned Streams = 4;
+  exec::SchedulerKind Scheduler = exec::SchedulerKind::List;
+  std::int64_t MemBudget = 0;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -235,6 +248,22 @@ int runTool(int argc, char **argv) {
       }
     } else if (Arg.rfind("--threads=", 0) == 0) {
       Threads = std::atoi(Arg.c_str() + 10);
+    } else if (Arg.rfind("--scheduler=", 0) == 0) {
+      std::string V = Arg.substr(12);
+      if (V == "wavefront") {
+        Scheduler = exec::SchedulerKind::Wavefront;
+      } else if (V == "list") {
+        Scheduler = exec::SchedulerKind::List;
+      } else {
+        std::fprintf(stderr, "error: --scheduler takes wavefront|list\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--mem-budget=", 0) == 0) {
+      MemBudget = std::atoll(Arg.c_str() + 13);
+      if (MemBudget < 1) {
+        std::fprintf(stderr, "error: --mem-budget must be positive\n");
+        return 2;
+      }
     } else if (Arg.rfind("--emit=", 0) == 0) {
       Emit = Arg.substr(7);
     } else if (Arg == "-o" && I + 1 < argc) {
@@ -247,6 +276,11 @@ int runTool(int argc, char **argv) {
   }
   if (InputPath.empty())
     return usage(argv[0]);
+  if (MemBudget > 0 && Scheduler == exec::SchedulerKind::Wavefront) {
+    std::fprintf(stderr, "error: --mem-budget needs --scheduler=list (the "
+                         "wavefront strategy has no admission step)\n");
+    return 2;
+  }
 
   std::string Source;
   if (!readFile(InputPath, Source)) {
@@ -380,6 +414,8 @@ int runTool(int argc, char **argv) {
       exec::RunOptions TimedOpts;
       TimedOpts.Threads = Threads;
       TimedOpts.Batched = Batched;
+      TimedOpts.Scheduler = Scheduler;
+      TimedOpts.MemBudget = MemBudget;
       exec::PlanStats TPS = exec::runPlan(Plan, Kernels, TimedStore,
                                           TimedOpts);
       OS << "timed run (batched " << (Batched ? "on" : "off")
@@ -397,6 +433,8 @@ int runTool(int argc, char **argv) {
       exec::RunOptions TOpts;
       TOpts.Threads = Threads;
       TOpts.Batched = Batched;
+      TOpts.Scheduler = Scheduler;
+      TOpts.MemBudget = MemBudget;
       exec::runPlan(Plan, Kernels, TraceStore, TOpts);
       obs::Trace T = Tracer.drain();
       Tracer.disable();
@@ -437,6 +475,8 @@ int runTool(int argc, char **argv) {
       ROpts.Run.Threads = Threads;
       ROpts.Run.Batched = Batched;
       ROpts.Run.Harden = Harden;
+      ROpts.Run.Scheduler = Scheduler;
+      ROpts.Run.MemBudget = MemBudget;
       ROpts.StrictVerify = true;
       ROpts.VerifyKernels = &Kernels;
       ROpts.Fallback = &FbPlan;
