@@ -4,6 +4,7 @@
 
 #include "codegen/Generator.h"
 #include "graph/GraphBuilder.h"
+#include "jit/JitEngine.h"
 #include "minifluxdiv/Spec.h"
 #include "storage/ReuseDistance.h"
 
@@ -197,6 +198,18 @@ void bench::timeCompiledSchedules(std::int64_t N, int Reps,
     char Ratio[32];
     std::snprintf(Ratio, sizeof(Ratio), "%.2fx", Off / On);
     printRow({Name, fmtSeconds(Off), fmtSeconds(On), Ratio});
+    // The JIT variant rides as its own row, present only when a host
+    // compiler is reachable — bench_compare treats the jit- prefix as
+    // optional, so compiler-less machines still gate the other rows.
+    if (exec::effectiveKernelMode(exec::KernelMode::Jit) ==
+            exec::KernelMode::Jit &&
+        jit::Engine::global().available()) {
+      Opts.Kernels = exec::KernelMode::Jit;
+      double J = timePlanRun(Plan, Kernels, Store, Opts, Reps);
+      Json.record("jit-" + Name, "batched_jit", J);
+      std::snprintf(Ratio, sizeof(Ratio), "%.2fx vs interp", On / J);
+      printRow({"jit-" + Name, fmtSeconds(J), Ratio});
+    }
   };
 
   // Series of loops: one plan instruction per nest in chain order.

@@ -11,6 +11,7 @@
 
 #include "bench_common.h"
 #include "graph/GraphBuilder.h"
+#include "jit/JitEngine.h"
 #include "storage/ReuseDistance.h"
 
 #include <cstdio>
@@ -76,7 +77,8 @@ void timeFig5Schedules(std::int64_t N, std::int64_t TileSize, int Reps,
       [](const std::vector<double> &Reads, double Current) {
         return Current + Reads[0] + Reads[1];
       },
-      batchedSum2);
+      batchedSum2,
+      codegen::current() + codegen::read(0) + codegen::read(1));
   Chain.nest(0).KernelId = Sum;
   Chain.nest(1).KernelId = Sum;
 
@@ -106,6 +108,17 @@ void timeFig5Schedules(std::int64_t N, std::int64_t TileSize, int Reps,
     std::snprintf(Ratio, sizeof(Ratio), "%.2fx", Off / On);
     bench::printRow(
         {Name, bench::fmtSeconds(Off), bench::fmtSeconds(On), Ratio});
+    // Optional jit- row, mirroring timeCompiledSchedules: absent (and not
+    // gated) on machines without a host compiler.
+    if (exec::effectiveKernelMode(exec::KernelMode::Jit) ==
+            exec::KernelMode::Jit &&
+        jit::Engine::global().available()) {
+      Opts.Kernels = exec::KernelMode::Jit;
+      double J = bench::timePlanRun(Plan, Kernels, Store, Opts, Reps);
+      Json.record("jit-" + Name, "batched_jit", J);
+      std::snprintf(Ratio, sizeof(Ratio), "%.2fx vs interp", On / J);
+      bench::printRow({"jit-" + Name, bench::fmtSeconds(J), Ratio});
+    }
   };
 
   exec::ExecutionPlan Series =

@@ -158,3 +158,252 @@ std::string codegen::printC(const graph::Graph &G, const AstNode &Root,
   Printer P(G, Options);
   return P.run(Root);
 }
+
+/// See the header: one specialized segment body per (expression, shape)
+/// class. The function matches the BatchedKernel ABI exactly, so the
+/// address dlsym returns casts straight to codegen::BatchedKernel.
+std::string codegen::printSegmentKernel(const KernelExpr &Body,
+                                        const SegmentKernelSig &Sig,
+                                        const std::string &Symbol) {
+  const std::size_t Arity = Sig.ReadStrides.size();
+  bool Aliased = false;
+  for (std::size_t J = 0; J < Arity; ++J)
+    if (J < Sig.ReadAliasesWrite.size() && Sig.ReadAliasesWrite[J])
+      Aliased = true;
+
+  std::ostringstream OS;
+  OS << "/* lcdfg JIT segment kernel: " << Body.text() << " */\n"
+     << "#include <stdint.h>\n\n"
+     << "void " << Symbol << "(double *" << (Aliased ? "" : "restrict ")
+     << "W, const double *const *R,\n"
+     << "    const int64_t *S, int64_t WS, int64_t N) {\n";
+  for (std::size_t J = 0; J < Arity; ++J) {
+    const bool ThisAliases =
+        J < Sig.ReadAliasesWrite.size() && Sig.ReadAliasesWrite[J];
+    OS << "  const double *" << (Aliased || ThisAliases ? "" : "restrict ")
+       << "R" << J << " = R[" << J << "];\n";
+  }
+  // The runtime stride operands are superseded by the baked literals.
+  OS << "  (void)R;\n  (void)S;\n  (void)WS;\n";
+  if (!Aliased)
+    OS << "#pragma omp simd\n";
+  OS << "  for (int64_t I = 0; I < N; ++I)\n";
+  const std::string Current =
+      "W[I * " + std::to_string(Sig.WriteStride) + "]";
+  const std::string Expr = Body.render(
+      [&Sig](unsigned J) {
+        const std::int64_t Stride =
+            J < Sig.ReadStrides.size() ? Sig.ReadStrides[J] : 0;
+        return "R" + std::to_string(J) + "[I * " + std::to_string(Stride) +
+               "]";
+      },
+      Current);
+  OS << "    " << Current << " = " << Expr << ";\n"
+     << "}\n";
+  return OS.str();
+}
+
+namespace {
+
+std::string i64(std::int64_t V) { return std::to_string(V) + "LL"; }
+
+/// `(M - C + (S-1)) / S` for S > 0, `C / -S + 1` for S < 0 — the
+/// stepsToWrap formula of RowPlan.cpp with the stride and modulo size
+/// folded to literals. Never requested for S == 0.
+std::string stepsToWrapExpr(const std::string &Cur, std::int64_t S,
+                            std::int64_t M) {
+  if (S > 0)
+    return "(" + i64(M) + " - " + Cur + " + " + i64(S - 1) + ") / " + i64(S);
+  return Cur + " / " + i64(-S) + " + 1";
+}
+
+} // namespace
+
+/// See the header: the emitted function is RowPlan::run's segment walker
+/// specialized to one plan. Every line below mirrors a line of that walker
+/// (resolveStream, the cap pass, the exec pass, advanceStream) with the
+/// bounds, strides, modulo sizes and the conflict cap folded to literals —
+/// which is the whole safety argument: identical chunk boundaries and
+/// statement interleave mean identical results, bit for bit.
+std::string codegen::printRowKernel(const RowKernelDesc &Desc,
+                                    const std::string &Symbol) {
+  constexpr std::int64_t Never = std::int64_t{1} << 62;
+  const std::size_t NS = Desc.Stmts.size();
+
+  auto Cur = [](std::size_t SI, std::size_t J) {
+    return "C" + std::to_string(SI) + "_" + std::to_string(J);
+  };
+  auto Cnt = [](std::size_t SI, std::size_t J) {
+    return "L" + std::to_string(SI) + "_" + std::to_string(J);
+  };
+  auto MW = [](std::size_t SI) { return "MW" + std::to_string(SI); };
+  auto Adm = [](std::size_t SI) { return "A" + std::to_string(SI); };
+  auto HasCountdown = [](const RowKernelDesc::Stream &S) {
+    return S.Modulo && S.InnerStride != 0;
+  };
+  auto StreamsOf = [](const RowKernelDesc::Stmt &St) {
+    std::vector<const RowKernelDesc::Stream *> V;
+    V.push_back(&St.Write);
+    for (const RowKernelDesc::Stream &R : St.Reads)
+      V.push_back(&R);
+    return V;
+  };
+  auto Emitted = [](const RowKernelDesc::Stmt &St) {
+    return St.Lo <= St.Hi && St.Body; // Else never admitted with work.
+  };
+
+  std::ostringstream OS;
+  OS << "/* lcdfg JIT fused row walker: " << NS << " statement(s) */\n"
+     << "#include <stdint.h>\n\n"
+     << "void " << Symbol << "(double *const *Spaces, const int64_t *Base,\n"
+     << "    uint64_t Admit, int64_t RowLo, int64_t RowHi, int64_t *Ctrs) {\n"
+     << "  int64_t Segs = 0, Wraps = 0;\n"
+     << "  (void)Spaces;\n  (void)Base;\n  (void)Admit;\n";
+
+  // Row setup: admission flags and resolveStream per admitted statement —
+  // cursor at the statement's own InnerLo, wrap countdowns, the per-
+  // statement countdown minimum. Constant-divisor modulo throughout.
+  for (std::size_t SI = 0; SI < NS; ++SI) {
+    const RowKernelDesc::Stmt &St = Desc.Stmts[SI];
+    if (!Emitted(St))
+      continue;
+    const auto Streams = StreamsOf(St);
+    bool AnyCountdown = false;
+    OS << "  /* S" << SI << ": " << St.Body->text() << " */\n"
+       << "  const int " << Adm(SI) << " = (Admit >> " << SI << ") & 1;\n";
+    for (std::size_t J = 0; J < Streams.size(); ++J) {
+      OS << "  int64_t " << Cur(SI, J) << " = 0;";
+      if (HasCountdown(*Streams[J])) {
+        OS << " int64_t " << Cnt(SI, J) << " = " << i64(Never) << ";";
+        AnyCountdown = true;
+      }
+      OS << "\n";
+    }
+    if (AnyCountdown)
+      OS << "  int64_t " << MW(SI) << " = " << i64(Never) << ";\n";
+    OS << "  if (" << Adm(SI) << ") {\n";
+    for (std::size_t J = 0; J < Streams.size(); ++J) {
+      const RowKernelDesc::Stream &S = *Streams[J];
+      OS << "    " << Cur(SI, J) << " = Base[" << S.Flat << "] + "
+         << i64(St.Lo) << " * " << i64(S.InnerStride) << ";\n";
+      if (S.Modulo) {
+        OS << "    " << Cur(SI, J) << " %= " << i64(S.ModSize) << "; if ("
+           << Cur(SI, J) << " < 0) " << Cur(SI, J) << " += " << i64(S.ModSize)
+           << ";\n";
+        if (HasCountdown(S))
+          OS << "    " << Cnt(SI, J) << " = "
+             << stepsToWrapExpr(Cur(SI, J), S.InnerStride, S.ModSize) << ";\n";
+      }
+    }
+    bool First = true;
+    for (std::size_t J = 0; J < Streams.size(); ++J) {
+      if (!HasCountdown(*Streams[J]))
+        continue;
+      if (First)
+        OS << "    " << MW(SI) << " = " << Cnt(SI, J) << ";\n";
+      else
+        OS << "    if (" << Cnt(SI, J) << " < " << MW(SI) << ") " << MW(SI)
+           << " = " << Cnt(SI, J) << ";\n";
+      First = false;
+    }
+    OS << "  }\n";
+  }
+
+  // The segment walk over the admitted row bounds, chunked exactly as the
+  // interpreter chunks: conflict cap, activation boundaries, wrap
+  // countdowns — then every active statement in record order.
+  OS << "  int64_t X = RowLo;\n"
+     << "  while (X <= RowHi) {\n"
+     << "    int64_t N = RowHi - X + 1;\n";
+  if (Desc.MaxSegment < Never)
+    OS << "    if (N > " << i64(Desc.MaxSegment) << ") N = "
+       << i64(Desc.MaxSegment) << ";\n";
+  for (std::size_t SI = 0; SI < NS; ++SI) {
+    const RowKernelDesc::Stmt &St = Desc.Stmts[SI];
+    if (!Emitted(St))
+      continue;
+    bool AnyCountdown = false;
+    for (const RowKernelDesc::Stream *S : StreamsOf(St))
+      if (HasCountdown(*S))
+        AnyCountdown = true;
+    OS << "    if (" << Adm(SI) << " && X <= " << i64(St.Hi) << ") {\n"
+       << "      if (" << i64(St.Lo) << " > X) {\n"
+       << "        if (N > " << i64(St.Lo) << " - X) N = " << i64(St.Lo)
+       << " - X;\n"
+       << "      } else {\n"
+       << "        if (N > " << i64(St.Hi) << " - X + 1) N = " << i64(St.Hi)
+       << " - X + 1;\n";
+    if (AnyCountdown)
+      OS << "        if (N > " << MW(SI) << ") N = " << MW(SI) << ";\n";
+    OS << "      }\n"
+       << "    }\n";
+  }
+  for (std::size_t SI = 0; SI < NS; ++SI) {
+    const RowKernelDesc::Stmt &St = Desc.Stmts[SI];
+    if (!Emitted(St))
+      continue;
+    const auto Streams = StreamsOf(St);
+    bool Aliased = false;
+    for (const RowKernelDesc::Stream &R : St.Reads)
+      if (R.AliasesWrite)
+        Aliased = true;
+    OS << "    if (" << Adm(SI) << " && " << i64(St.Lo) << " <= X && X <= "
+       << i64(St.Hi) << ") {\n"
+       << "      {\n"
+       << "        double *" << (Aliased ? "" : "restrict ") << "W = Spaces["
+       << St.Write.Space << "] + " << Cur(SI, 0) << ";\n";
+    for (std::size_t R = 0; R < St.Reads.size(); ++R)
+      OS << "        const double *"
+         << (Aliased || St.Reads[R].AliasesWrite ? "" : "restrict ") << "R"
+         << R << " = Spaces[" << St.Reads[R].Space << "] + " << Cur(SI, 1 + R)
+         << ";\n";
+    if (!Aliased)
+      OS << "#pragma omp simd\n";
+    const std::string Current =
+        "W[I * " + std::to_string(St.Write.InnerStride) + "]";
+    const std::string Expr = St.Body->render(
+        [&St](unsigned J) {
+          const std::int64_t Stride =
+              J < St.Reads.size() ? St.Reads[J].InnerStride : 0;
+          return "R" + std::to_string(J) + "[I * " + std::to_string(Stride) +
+                 "]";
+        },
+        Current);
+    OS << "        for (int64_t I = 0; I < N; ++I)\n"
+       << "          " << Current << " = " << Expr << ";\n"
+       << "      }\n"
+       << "      ++Segs;\n";
+    // advanceStream per stream; the countdown reaches exactly zero because
+    // the cap pass never lets N exceed it.
+    for (std::size_t J = 0; J < Streams.size(); ++J) {
+      const RowKernelDesc::Stream &S = *Streams[J];
+      if (S.InnerStride != 0)
+        OS << "      " << Cur(SI, J) << " += N * " << i64(S.InnerStride)
+           << ";\n";
+      if (HasCountdown(S))
+        OS << "      if ((" << Cnt(SI, J) << " -= N) == 0) { " << Cur(SI, J)
+           << " %= " << i64(S.ModSize) << "; if (" << Cur(SI, J) << " < 0) "
+           << Cur(SI, J) << " += " << i64(S.ModSize) << "; " << Cnt(SI, J)
+           << " = " << stepsToWrapExpr(Cur(SI, J), S.InnerStride, S.ModSize)
+           << "; ++Wraps; }\n";
+    }
+    bool First = true;
+    for (std::size_t J = 0; J < Streams.size(); ++J) {
+      if (!HasCountdown(*Streams[J]))
+        continue;
+      if (First)
+        OS << "      " << MW(SI) << " = " << Cnt(SI, J) << ";\n";
+      else
+        OS << "      if (" << Cnt(SI, J) << " < " << MW(SI) << ") " << MW(SI)
+           << " = " << Cnt(SI, J) << ";\n";
+      First = false;
+    }
+    OS << "    }\n";
+  }
+  OS << "    X += N;\n"
+     << "  }\n"
+     << "  Ctrs[0] += Segs;\n"
+     << "  Ctrs[1] += Wraps;\n"
+     << "}\n";
+  return OS.str();
+}

@@ -18,11 +18,13 @@
 #define LCDFG_CODEGEN_INTERPRETER_H
 
 #include "codegen/Ast.h"
+#include "codegen/KernelExpr.h"
 #include "graph/Graph.h"
 #include "storage/StorageMap.h"
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 namespace lcdfg {
@@ -57,14 +59,22 @@ public:
   /// Registers a kernel; the returned id goes into LoopNest::KernelId.
   /// \p B, when given, is the batched form of the same body.
   int add(Kernel K, BatchedKernel B = nullptr);
+  /// Registers a kernel with an expression form alongside the scalar and
+  /// batched bodies. \p E must compute the same value as \p K — it is what
+  /// the JIT backend re-emits as specialized C per segment shape.
+  int add(Kernel K, BatchedKernel B, KernelExpr E);
   const Kernel &get(int Id) const;
   /// The batched body of kernel \p Id, or nullptr when only the scalar
   /// form was registered.
   BatchedKernel batched(int Id) const;
+  /// The expression form of kernel \p Id, or nullptr when none was
+  /// registered (opaque kernels stay on the interpreted paths).
+  const KernelExpr *expr(int Id) const;
 
 private:
   std::vector<Kernel> Kernels;
   std::vector<BatchedKernel> BatchedKernels;
+  std::vector<std::optional<KernelExpr>> Exprs;
 };
 
 /// Executes \p Root (generated from \p G) with parameter binding \p Env.

@@ -11,6 +11,7 @@
 #include "exec/RowPlan.h"
 #include "exec/TaskGraph.h"
 #include "exec/ThreadPool.h"
+#include "jit/JitEngine.h"
 #include "obs/Trace.h"
 #include "storage/LivenessAllocator.h"
 #include "support/Errors.h"
@@ -477,6 +478,21 @@ SchedulerKind exec::effectiveScheduler(SchedulerKind Requested) {
   return Requested;
 }
 
+std::string_view exec::kernelModeName(KernelMode K) {
+  return K == KernelMode::Jit ? "jit" : "interp";
+}
+
+KernelMode exec::effectiveKernelMode(KernelMode Requested) {
+  if (const char *Env = std::getenv("LCDFG_JIT")) {
+    const std::string_view V(Env);
+    if (V == "on" || V == "jit" || V == "1")
+      return KernelMode::Jit;
+    if (V == "off" || V == "interp" || V == "0")
+      return KernelMode::Interp;
+  }
+  return Requested;
+}
+
 std::int64_t PlanStats::totalRead() const {
   std::int64_t Total = 0;
   for (const EdgeStat &E : Edges)
@@ -557,9 +573,22 @@ PlanStats exec::runPlan(const ExecutionPlan &Plan,
   std::vector<std::optional<RowPlan>> Rows;
   const std::optional<RowPlan> *RowsPtr = nullptr;
   if (Opts.Batched && !Opts.CollectStats) {
+    // Kernel provenance: under Jit mode each statement body is swapped for
+    // a shape-specialized compiled kernel where the engine can produce
+    // one; unspecializable statements keep the interpreted body (counted
+    // as exec.jit.fallbacks so --metrics shows partial downgrades).
+    jit::Engine *Jit = nullptr;
+    if (effectiveKernelMode(Opts.Kernels) == KernelMode::Jit)
+      Jit = Opts.Jit ? Opts.Jit : &jit::Engine::global();
+    obs::Tracer &Tr = obs::Tracer::global();
     Rows.reserve(Plan.Instrs.size());
-    for (const NestInstr &I : Plan.Instrs)
-      Rows.push_back(RowPlan::compile(I, Kernels));
+    for (const NestInstr &I : Plan.Instrs) {
+      RowAnalysis RA = RowPlan::analyze(I, Kernels, Jit);
+      if (Jit && RA.Plan)
+        Tr.add(obs::Counter::JitFallbacks,
+               static_cast<std::int64_t>(RA.Plan->Stmts.size()) - RA.JitStmts);
+      Rows.push_back(std::move(RA.Plan));
+    }
     RowsPtr = Rows.data();
   }
 

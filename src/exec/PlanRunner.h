@@ -27,6 +27,9 @@
 #include <vector>
 
 namespace lcdfg {
+namespace jit {
+class Engine;
+} // namespace jit
 namespace exec {
 
 /// Subcodes carried on E013-guard-tripped statuses, naming which hardened
@@ -117,6 +120,22 @@ std::string_view schedulerKindName(SchedulerKind K);
 /// matrix re-runs unmodified test binaries through both strategies.
 SchedulerKind effectiveScheduler(SchedulerKind Requested);
 
+/// Where batched statement bodies come from.
+enum class KernelMode {
+  Interp, ///< The C++ bodies registered in the KernelRegistry (default).
+  Jit,    ///< Shape-specialized bodies compiled at run time (src/jit);
+          ///  statements the engine cannot specialize keep the
+          ///  interpreted body, so Jit is always safe to request.
+};
+
+/// Stable printable name ("interp" / "jit").
+std::string_view kernelModeName(KernelMode K);
+
+/// Applies the LCDFG_JIT environment override (values "on"/"jit" force
+/// Jit, "off"/"0"/"interp" force Interp; anything else is ignored) to
+/// \p Requested, mirroring effectiveScheduler for the CI kernel matrix.
+KernelMode effectiveKernelMode(KernelMode Requested);
+
 /// Execution options.
 struct RunOptions {
   /// Parallelism budget (participants). 1 = serial in task order. The
@@ -146,6 +165,14 @@ struct RunOptions {
   /// storage), so the budget applies there — elsewhere a nonzero budget
   /// raises E016-mem-budget-infeasible rather than silently not binding.
   std::int64_t MemBudget = 0;
+  /// Batched-body provenance (LCDFG_JIT overrides). Only consulted on the
+  /// batched path; statements the JIT cannot specialize silently keep
+  /// their interpreted bodies (the ladder reports the downgrade as L008).
+  KernelMode Kernels = KernelMode::Interp;
+  /// JIT engine used when Kernels == Jit; nullptr resolves to the
+  /// process-wide jit::Engine::global(). Tests inject private engines
+  /// (temp cache dirs, dead compilers) here.
+  jit::Engine *Jit = nullptr;
 };
 
 /// Runs \p Plan against \p Store. Every statement record's kernel must be

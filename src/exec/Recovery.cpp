@@ -5,6 +5,7 @@
 #include "exec/FaultInjector.h"
 #include "exec/RowPlan.h"
 #include "exec/ThreadPool.h"
+#include "jit/JitEngine.h"
 #include "obs/Trace.h"
 #include "storage/StorageMap.h"
 #include "verify/PlanVerifier.h"
@@ -93,10 +94,16 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
   const ExecutionPlan *Cur = &Plan;
   storage::ConcreteStorage *CurStore = &Store;
   RunOptions O = Opts.Run;
+  // Resolve the env override once so descents and rung names agree; the
+  // runner's own effectiveKernelMode call is then a no-op.
+  O.Kernels = effectiveKernelMode(O.Kernels);
   bool OnFallback = false;
+  bool JitChecked = false;
 
   auto RungName = [&]() {
     std::string Name = O.Batched ? "batched" : "scalar";
+    if (O.Batched && O.Kernels == KernelMode::Jit)
+      Name = "jit-" + Name;
     Name += ThreadPool::effectiveThreads(O.Threads) > 1 ? "-parallel"
                                                         : "-serial";
     if (OnFallback)
@@ -209,6 +216,35 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
           O.Batched = false;
           break;
         }
+      }
+    }
+
+    // JIT availability: requested-but-undeliverable specialization is
+    // reported once (L008) and the run proceeds on the interpreted batched
+    // bodies — never a hard error. Kernels without an expression form are
+    // benign (like NoBatchedKernel above) and stay silent; only a dead
+    // engine or a failing host compile is worth a descent.
+    if (!JitChecked && O.Batched && O.Kernels == KernelMode::Jit) {
+      JitChecked = true;
+      jit::Engine *Eng = O.Jit ? O.Jit : &jit::Engine::global();
+      std::string Why;
+      if (!Eng->available()) {
+        Why = "engine unavailable: " + Eng->unavailableReason();
+      } else {
+        for (const NestInstr &I : Cur->Instrs) {
+          if (I.External)
+            continue;
+          RowAnalysis RA = RowPlan::analyze(I, Kernels, Eng);
+          if (RA.Jit == JitRefusal::EngineUnavailable ||
+              RA.Jit == JitRefusal::CompileFailed) {
+            Why = "instruction " + I.Label + ": " + RA.JitDetail;
+            break;
+          }
+        }
+      }
+      if (!Why.empty()) {
+        NoteDescent(ReasonJitUnavailable, std::move(Why));
+        O.Kernels = KernelMode::Interp;
       }
     }
 

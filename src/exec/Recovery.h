@@ -30,6 +30,11 @@
 ///                           descends to the scalar-serial rung, whose task
 ///                           order has the minimum footprint any admission
 ///                           policy could reach (completing beats failing)
+///   L008-jit-unavailable    JIT kernels were requested but the engine
+///                           cannot deliver them (no host compiler, cache
+///                           failure, compile error — E017); the run
+///                           proceeds on the interpreted batched bodies,
+///                           bit-identical by construction
 ///
 /// The ladder never re-runs a rung that failed deterministically, and a
 /// one-shot injected fault is consumed by the rung it kills, so recovery
@@ -66,6 +71,7 @@ inline constexpr const char *ReasonRedzone = "L004-redzone-violation";
 inline constexpr const char *ReasonNanGuard = "L005-nan-guard";
 inline constexpr const char *ReasonPlanInvalid = "L006-plan-invalid";
 inline constexpr const char *ReasonMemBudget = "L007-mem-budget";
+inline constexpr const char *ReasonJitUnavailable = "L008-jit-unavailable";
 
 /// What one recovering run did: every rung descent with its reason, the
 /// rung that finally ran (or the error that exhausted the ladder), and the

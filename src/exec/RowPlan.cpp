@@ -7,6 +7,8 @@
 
 #include "exec/RowPlan.h"
 
+#include "jit/JitEngine.h"
+
 #include <algorithm>
 #include <limits>
 
@@ -125,19 +127,60 @@ std::int64_t stmtPairCap(const RowStmt &A, const RowStmt &B) {
 
 } // namespace
 
+std::string_view exec::rowRefusalName(RowRefusal R) {
+  switch (R) {
+  case RowRefusal::None:
+    return "none";
+  case RowRefusal::External:
+    return "external-task";
+  case RowRefusal::NoLoops:
+    return "no-loops";
+  case RowRefusal::NoStmts:
+    return "no-stmts";
+  case RowRefusal::NoBatchedKernel:
+    return "no-batched-kernel";
+  case RowRefusal::UnsafeInterleave:
+    return "unsafe-interleave";
+  }
+  return "unknown";
+}
+
+std::string_view exec::jitRefusalName(JitRefusal J) {
+  switch (J) {
+  case JitRefusal::NotRequested:
+    return "not-requested";
+  case JitRefusal::Specialized:
+    return "specialized";
+  case JitRefusal::NoKernelExpr:
+    return "no-kernel-expr";
+  case JitRefusal::EngineUnavailable:
+    return "engine-unavailable";
+  case JitRefusal::CompileFailed:
+    return "compile-failed";
+  }
+  return "unknown";
+}
+
 std::optional<RowPlan> RowPlan::compile(const NestInstr &Instr,
-                                        const codegen::KernelRegistry &Kernels) {
-  return analyze(Instr, Kernels).Plan;
+                                        const codegen::KernelRegistry &Kernels,
+                                        jit::Engine *Jit) {
+  return analyze(Instr, Kernels, Jit).Plan;
 }
 
 RowAnalysis RowPlan::analyze(const NestInstr &Instr,
-                             const codegen::KernelRegistry &Kernels) {
+                             const codegen::KernelRegistry &Kernels,
+                             jit::Engine *Jit) {
+  auto Refuse = [](RowRefusal Why) {
+    RowAnalysis A;
+    A.Refusal = Why;
+    return A;
+  };
   if (Instr.External)
-    return RowAnalysis{std::nullopt, RowRefusal::External};
+    return Refuse(RowRefusal::External);
   if (Instr.Loops.empty())
-    return RowAnalysis{std::nullopt, RowRefusal::NoLoops};
+    return Refuse(RowRefusal::NoLoops);
   if (Instr.Stmts.empty())
-    return RowAnalysis{std::nullopt, RowRefusal::NoStmts};
+    return Refuse(RowRefusal::NoStmts);
   const unsigned Inner = static_cast<unsigned>(Instr.Loops.size()) - 1;
 
   RowPlan RP;
@@ -145,7 +188,7 @@ RowAnalysis RowPlan::analyze(const NestInstr &Instr,
   for (const StmtRecord &S : Instr.Stmts) {
     codegen::BatchedKernel Body = Kernels.batched(S.KernelId);
     if (!Body)
-      return RowAnalysis{std::nullopt, RowRefusal::NoBatchedKernel};
+      return Refuse(RowRefusal::NoBatchedKernel);
     RowStmt RS;
     RS.Body = Body;
     RS.InnerLo = Instr.Loops[Inner].Lo;
@@ -175,8 +218,112 @@ RowAnalysis RowPlan::analyze(const NestInstr &Instr,
       RP.MaxSegment = std::min(RP.MaxSegment,
                                stmtPairCap(RP.Stmts[I], RP.Stmts[J]));
   if (RP.MaxSegment <= 1)
-    return RowAnalysis{std::nullopt, RowRefusal::UnsafeInterleave};
-  return RowAnalysis{std::move(RP), RowRefusal::None};
+    return Refuse(RowRefusal::UnsafeInterleave);
+
+  RowAnalysis A;
+  A.Plan = std::move(RP);
+  if (!Jit)
+    return A;
+
+  // JIT specialization: swap each statement's interpreted batched body for
+  // a shape-specialized compiled one. Strictly best-effort — any statement
+  // that cannot be specialized keeps its interpreted body, and the plan
+  // stays engaged either way (the recovery ladder reports the downgrade as
+  // L008, but execution itself never fails here).
+  A.Jit = JitRefusal::Specialized;
+  auto Note = [&A](JitRefusal Why, std::string Detail) {
+    // First failure wins: a fully-specialized outcome degrades to the
+    // earliest reason, which is what --report surfaces.
+    if (A.Jit == JitRefusal::Specialized) {
+      A.Jit = Why;
+      A.JitDetail = std::move(Detail);
+    }
+  };
+  for (std::size_t SI = 0; SI < Instr.Stmts.size(); ++SI) {
+    const StmtRecord &S = Instr.Stmts[SI];
+    RowStmt &RS = A.Plan->Stmts[SI];
+    const codegen::KernelExpr *E = Kernels.expr(S.KernelId);
+    if (!E || E->maxRead() >= static_cast<int>(RS.Reads.size())) {
+      Note(JitRefusal::NoKernelExpr,
+           "kernel " + std::to_string(S.KernelId) + " has no expression form");
+      continue;
+    }
+    codegen::SegmentKernelSig Sig;
+    Sig.WriteStride = RS.Write.InnerStride;
+    Sig.ReadStrides.reserve(RS.Reads.size());
+    Sig.ReadAliasesWrite.reserve(RS.Reads.size());
+    for (const RowStream &R : RS.Reads) {
+      Sig.ReadStrides.push_back(R.InnerStride);
+      Sig.ReadAliasesWrite.push_back(R.Space == RS.Write.Space);
+    }
+    auto K = Jit->kernel(*E, Sig);
+    if (!K) {
+      const bool Dead =
+          K.error().code() == support::ErrorCode::JitUnavailable &&
+          !Jit->available();
+      Note(Dead ? JitRefusal::EngineUnavailable : JitRefusal::CompileFailed,
+           K.error().message());
+      if (Dead)
+        break; // Every remaining statement would fail the same way.
+      continue;
+    }
+    RS.Body = *K;
+    ++A.JitStmts;
+  }
+
+  // Fused whole-row kernel: one compiled call per row covering every
+  // statement. The emitted function is the segment walker itself with the
+  // bounds, strides, modulo sizes and the conflict cap folded to constants
+  // (codegen::printRowKernel), so it chunks and interleaves exactly as the
+  // interpreted walk does — no additional reorder proof is needed; the
+  // MaxSegment cap established above carries over verbatim. What moves
+  // into compiled code is the cost: per-statement kernel dispatch, read-
+  // pointer setup, and the per-row wrap divisions. Only attempted when
+  // every statement specialized (a row kernel with interpreted bodies
+  // would re-enter the dispatch it exists to remove); failure at any
+  // point silently keeps the per-statement bodies.
+  const std::size_t NS = A.Plan->Stmts.size();
+  if (A.Jit != JitRefusal::Specialized ||
+      A.JitStmts != static_cast<int>(NS) || NS > 64)
+    return A;
+  bool AnySpan = false;
+  for (const RowStmt &RS : A.Plan->Stmts)
+    if (RS.InnerLo <= RS.InnerHi)
+      AnySpan = true;
+  if (!AnySpan)
+    return A;
+
+  codegen::RowKernelDesc Desc;
+  Desc.MaxSegment = A.Plan->MaxSegment;
+  Desc.Stmts.reserve(NS);
+  std::size_t Flat = 0;
+  for (std::size_t SI = 0; SI < NS; ++SI) {
+    const RowStmt &RS = A.Plan->Stmts[SI];
+    codegen::RowKernelDesc::Stmt DS;
+    DS.Body = Kernels.expr(Instr.Stmts[SI].KernelId);
+    DS.Lo = RS.InnerLo;
+    DS.Hi = RS.InnerHi;
+    auto ToStream = [&Flat](const RowStream &S, bool AliasesWrite) {
+      codegen::RowKernelDesc::Stream D;
+      D.Space = S.Space;
+      D.Modulo = S.Modulo;
+      D.ModSize = S.ModSize;
+      D.InnerStride = S.InnerStride;
+      D.Flat = Flat++;
+      D.AliasesWrite = AliasesWrite;
+      return D;
+    };
+    DS.Write = ToStream(RS.Write, false);
+    DS.Reads.reserve(RS.Reads.size());
+    for (const RowStream &R : RS.Reads)
+      DS.Reads.push_back(ToStream(R, R.Space == RS.Write.Space));
+    Desc.Stmts.push_back(std::move(DS));
+  }
+  if (auto RK = Jit->rowKernel(Desc)) {
+    A.Plan->Row = *RK;
+    A.FusedRow = true;
+  }
+  return A;
 }
 
 void RowPlan::run(double *const *Spaces, std::int64_t &Points,
@@ -243,71 +390,108 @@ void RowPlan::run(double *const *Spaces, std::int64_t &Points,
 
   std::int64_t P = 0, RR = 0;
   for (;;) {
-    // Resolve this row: guard admission, per-stream start indices and
-    // wrap countdowns.
-    std::int64_t RowLo = 0, RowHi = -1;
-    bool Any = false;
-    for (std::size_t SI = 0; SI < NS; ++SI) {
-      const RowStmt &S = Stmts[SI];
-      Admitted[SI] = S.InnerLo <= S.InnerHi;
-      for (const GuardBound &Gd : S.RowGuards)
-        if (Iter[Gd.Level] < Gd.Lo || Iter[Gd.Level] > Gd.Hi) {
-          Admitted[SI] = 0;
-          break;
-        }
-      if (!Admitted[SI])
-        continue;
-      resolveStream(S.Write, S.InnerLo, Start[SI]);
-      MinWrap[SI] = WrapLeft[Start[SI]];
-      for (std::size_t R = 0; R < S.Reads.size(); ++R) {
-        resolveStream(S.Reads[R], S.InnerLo, Start[SI] + 1 + R);
-        MinWrap[SI] = std::min(MinWrap[SI], WrapLeft[Start[SI] + 1 + R]);
-      }
-      if (!Any || S.InnerLo < RowLo)
-        RowLo = S.InnerLo;
-      if (!Any || S.InnerHi > RowHi)
-        RowHi = S.InnerHi;
-      Any = true;
-    }
-
-    // Walk the row in segments bounded by every admitted statement's
-    // activation boundaries, every modulo stream's wrap countdown, and
-    // the conflict cap.
-    std::int64_t X = RowLo;
-    while (Any && X <= RowHi) {
-      std::int64_t N = std::min(RowHi - X + 1, MaxSegment);
+    if (Row) {
+      // Fused row path: guard admission and the row bounds are the only
+      // interpreted work — cursor resolution, wrap countdowns and the
+      // segment walk all live in the compiled row kernel, which reads the
+      // pre-wrap base arena directly (same Start[] layout as the streams
+      // above).
+      std::uint64_t Admit = 0;
+      std::int64_t RowLo = 0, RowHi = -1;
       for (std::size_t SI = 0; SI < NS; ++SI) {
         const RowStmt &S = Stmts[SI];
-        if (!Admitted[SI] || S.InnerHi < X)
+        if (S.InnerLo > S.InnerHi)
           continue;
-        if (S.InnerLo > X) {
-          N = std::min(N, S.InnerLo - X);
+        bool Ok = true;
+        for (const GuardBound &Gd : S.RowGuards)
+          if (Iter[Gd.Level] < Gd.Lo || Iter[Gd.Level] > Gd.Hi) {
+            Ok = false;
+            break;
+          }
+        if (!Ok)
           continue;
-        }
-        N = std::min(N, std::min(S.InnerHi - X + 1, MinWrap[SI]));
+        if (!Admit || S.InnerLo < RowLo)
+          RowLo = S.InnerLo;
+        if (!Admit || S.InnerHi > RowHi)
+          RowHi = S.InnerHi;
+        Admit |= std::uint64_t{1} << SI;
+        const std::int64_t Span = S.InnerHi - S.InnerLo + 1;
+        P += Span;
+        RR += Span * static_cast<std::int64_t>(S.Reads.size());
       }
+      if (Admit) {
+        std::int64_t RC[2] = {0, 0};
+        Row(Spaces, PreBase.data(), Admit, RowLo, RowHi, RC);
+        Segments += RC[0];
+        WrapEvents += RC[1];
+      }
+    } else {
+      // Resolve this row: guard admission, per-stream start indices and
+      // wrap countdowns.
+      std::int64_t RowLo = 0, RowHi = -1;
+      bool Any = false;
       for (std::size_t SI = 0; SI < NS; ++SI) {
         const RowStmt &S = Stmts[SI];
-        if (!Admitted[SI] || S.InnerLo > X || S.InnerHi < X)
+        Admitted[SI] = S.InnerLo <= S.InnerHi;
+        for (const GuardBound &Gd : S.RowGuards)
+          if (Iter[Gd.Level] < Gd.Lo || Iter[Gd.Level] > Gd.Hi) {
+            Admitted[SI] = 0;
+            break;
+          }
+        if (!Admitted[SI])
           continue;
-        double *W = Spaces[S.Write.Space] + Cur[Start[SI]];
-        for (std::size_t R = 0; R < S.Reads.size(); ++R) {
-          ReadPtrs[R] = Spaces[S.Reads[R].Space] + Cur[Start[SI] + 1 + R];
-          ReadStrides[R] = S.Reads[R].InnerStride;
-        }
-        S.Body(W, ReadPtrs.data(), ReadStrides.data(), S.Write.InnerStride,
-               N);
-        ++Segments;
-        advanceStream(S.Write, N, Start[SI]);
+        resolveStream(S.Write, S.InnerLo, Start[SI]);
         MinWrap[SI] = WrapLeft[Start[SI]];
         for (std::size_t R = 0; R < S.Reads.size(); ++R) {
-          advanceStream(S.Reads[R], N, Start[SI] + 1 + R);
+          resolveStream(S.Reads[R], S.InnerLo, Start[SI] + 1 + R);
           MinWrap[SI] = std::min(MinWrap[SI], WrapLeft[Start[SI] + 1 + R]);
         }
-        P += N;
-        RR += N * static_cast<std::int64_t>(S.Reads.size());
+        if (!Any || S.InnerLo < RowLo)
+          RowLo = S.InnerLo;
+        if (!Any || S.InnerHi > RowHi)
+          RowHi = S.InnerHi;
+        Any = true;
       }
-      X += N;
+
+      // Walk the row in segments bounded by every admitted statement's
+      // activation boundaries, every modulo stream's wrap countdown, and
+      // the conflict cap.
+      std::int64_t X = RowLo;
+      while (Any && X <= RowHi) {
+        std::int64_t N = std::min(RowHi - X + 1, MaxSegment);
+        for (std::size_t SI = 0; SI < NS; ++SI) {
+          const RowStmt &S = Stmts[SI];
+          if (!Admitted[SI] || S.InnerHi < X)
+            continue;
+          if (S.InnerLo > X) {
+            N = std::min(N, S.InnerLo - X);
+            continue;
+          }
+          N = std::min(N, std::min(S.InnerHi - X + 1, MinWrap[SI]));
+        }
+        for (std::size_t SI = 0; SI < NS; ++SI) {
+          const RowStmt &S = Stmts[SI];
+          if (!Admitted[SI] || S.InnerLo > X || S.InnerHi < X)
+            continue;
+          double *W = Spaces[S.Write.Space] + Cur[Start[SI]];
+          for (std::size_t R = 0; R < S.Reads.size(); ++R) {
+            ReadPtrs[R] = Spaces[S.Reads[R].Space] + Cur[Start[SI] + 1 + R];
+            ReadStrides[R] = S.Reads[R].InnerStride;
+          }
+          S.Body(W, ReadPtrs.data(), ReadStrides.data(), S.Write.InnerStride,
+                 N);
+          ++Segments;
+          advanceStream(S.Write, N, Start[SI]);
+          MinWrap[SI] = WrapLeft[Start[SI]];
+          for (std::size_t R = 0; R < S.Reads.size(); ++R) {
+            advanceStream(S.Reads[R], N, Start[SI] + 1 + R);
+            MinWrap[SI] = std::min(MinWrap[SI], WrapLeft[Start[SI] + 1 + R]);
+          }
+          P += N;
+          RR += N * static_cast<std::int64_t>(S.Reads.size());
+        }
+        X += N;
+      }
     }
 
     // Odometer over the outer levels; the successful carry level's delta

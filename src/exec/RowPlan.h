@@ -37,15 +37,21 @@
 #ifndef LCDFG_EXEC_ROWPLAN_H
 #define LCDFG_EXEC_ROWPLAN_H
 
+#include "codegen/CPrinter.h"
 #include "codegen/Interpreter.h"
 #include "exec/ExecutionPlan.h"
 
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace lcdfg {
+namespace jit {
+class Engine;
+} // namespace jit
 namespace exec {
 
 /// One pre-resolved access path of a row-batched statement. The pre-wrap
@@ -90,6 +96,22 @@ enum class RowRefusal {
   UnsafeInterleave ///< No statement-pair cap > 1 was provable.
 };
 
+/// Why JIT specialization was (or was not) applied — orthogonal to
+/// RowRefusal: an instruction can batch fine yet stay on the interpreted
+/// bodies, and `lcdfg-opt --report` prints the two dimensions separately
+/// so "JIT-ineligible" no longer masquerades as "batched-ineligible".
+enum class JitRefusal {
+  NotRequested,      ///< analyze() ran without a JIT engine.
+  Specialized,       ///< Every eligible statement got a JIT body.
+  NoKernelExpr,      ///< A kernel carries no expression form (opaque).
+  EngineUnavailable, ///< No working host compiler / cache (E017 probe).
+  CompileFailed      ///< The host compiler rejected an emitted body.
+};
+
+/// Stable printable names for the two refusal dimensions.
+std::string_view rowRefusalName(RowRefusal R);
+std::string_view jitRefusalName(JitRefusal J);
+
 struct RowAnalysis;
 
 /// Optional execution counters filled by RowPlan::run for the
@@ -115,17 +137,30 @@ public:
   /// Upper bound on segment length: the smallest collision distance over
   /// all conflicting statement pairs (int64 max when unconstrained).
   std::int64_t MaxSegment = std::numeric_limits<std::int64_t>::max();
+  /// Fused whole-row JIT kernel, or null. When set, run() dispatches one
+  /// compiled call per row (admission mask, row bounds, pre-wrap base
+  /// arena) instead of walking segments through per-statement kernel
+  /// calls. The compiled function is this plan's segment walker with all
+  /// shape constants (including MaxSegment) baked in — same chunking and
+  /// statement interleave, so results are bit-identical by construction.
+  codegen::RowKernel Row = nullptr;
 
   /// Compiles \p Instr for row-batched execution, or returns std::nullopt
   /// when the instruction must stay on the scalar path: external tasks,
   /// zero loop levels, a statement kernel without a batched body, or a
   /// statement interleaving whose reordering cannot be proven safe.
+  /// \p Jit, when non-null, replaces each statement's interpreted batched
+  /// body with a shape-specialized compiled one where possible; any JIT
+  /// failure silently keeps the interpreted body (never a hard error).
   static std::optional<RowPlan> compile(const NestInstr &Instr,
-                                        const codegen::KernelRegistry &Kernels);
+                                        const codegen::KernelRegistry &Kernels,
+                                        jit::Engine *Jit = nullptr);
 
-  /// Like compile(), but also reports why an instruction stayed scalar.
+  /// Like compile(), but also reports why an instruction stayed scalar
+  /// and, with \p Jit, how specialization went per statement.
   static RowAnalysis analyze(const NestInstr &Instr,
-                             const codegen::KernelRegistry &Kernels);
+                             const codegen::KernelRegistry &Kernels,
+                             jit::Engine *Jit = nullptr);
 
   /// Executes the compiled rows against the space table \p Spaces
   /// (index = space id, value = buffer base pointer). Accumulates the
@@ -137,10 +172,22 @@ public:
 };
 
 /// Result of the row-batching compilation attempt: the plan when it
-/// succeeded, and the first refusal reason when it did not.
+/// succeeded, and the first refusal reason when it did not. The Jit
+/// fields report the specialization dimension (see JitRefusal); a partial
+/// outcome keeps Jit at the first failure kind while JitStmts counts the
+/// statements that did get compiled bodies.
 struct RowAnalysis {
   std::optional<RowPlan> Plan;
   RowRefusal Refusal = RowRefusal::None;
+  JitRefusal Jit = JitRefusal::NotRequested;
+  /// Detail of the first JIT failure ("" when none).
+  std::string JitDetail;
+  /// Statements whose Body is a JIT-specialized kernel.
+  int JitStmts = 0;
+  /// True when the plan additionally carries a fused whole-row kernel
+  /// (RowPlan::Row): every statement specialized and the fused walker
+  /// compiled.
+  bool FusedRow = false;
 };
 
 } // namespace exec

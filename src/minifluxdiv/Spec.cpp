@@ -147,22 +147,28 @@ void batchedDiff(double *W, const double *const *R, const std::int64_t *S,
 
 void mfd::registerKernels(ir::LoopChain &Chain,
                           codegen::KernelRegistry &Registry) {
+  // The expression forms mirror the lambdas tree-for-tree, so the JIT's
+  // emitted C evaluates in the same order and stays bit-identical.
+  using codegen::current;
+  using codegen::lit;
+  using codegen::read;
   int F1 = Registry.add(
       [](const std::vector<double> &R, double) {
         return FluxC1 * (R[1] + R[2]) - FluxC2 * (R[0] + R[3]);
       },
-      batchedF1);
+      batchedF1,
+      lit(FluxC1) * (read(1) + read(2)) - lit(FluxC2) * (read(0) + read(3)));
   int F2 = Registry.add(
       [](const std::vector<double> &R, double) { return R[0] * R[1]; },
-      batchedF2);
+      batchedF2, read(0) * read(1));
   int F2Vel = Registry.add(
       [](const std::vector<double> &R, double) { return R[0] * R[0]; },
-      batchedF2Vel);
+      batchedF2Vel, read(0) * read(0));
   int Diff = Registry.add(
       [](const std::vector<double> &R, double Current) {
         return Current + DiffScale * (R[1] - R[0]);
       },
-      batchedDiff);
+      batchedDiff, current() + lit(DiffScale) * (read(1) - read(0)));
   for (unsigned I = 0; I < Chain.numNests(); ++I) {
     ir::LoopNest &Nest = Chain.nest(I);
     if (Nest.Name[0] == 'D')

@@ -55,6 +55,12 @@ std::string_view obs::counterName(Counter C) {
     return "exec.sched.deferred";
   case Counter::SchedPeakLive:
     return "exec.sched.live.peak";
+  case Counter::JitCompiled:
+    return "exec.jit.compiled";
+  case Counter::JitCacheHits:
+    return "exec.jit.cache.hits";
+  case Counter::JitFallbacks:
+    return "exec.jit.fallbacks";
   case Counter::NumCounters:
     break;
   }
@@ -73,6 +79,8 @@ std::string_view obs::spanKindName(SpanKind K) {
     return "run";
   case SpanKind::Marker:
     return "marker";
+  case SpanKind::Jit:
+    return "jit";
   }
   return "unknown";
 }

@@ -76,6 +76,14 @@ enum class Counter : unsigned {
   SchedPeakLive,   ///< exec.sched.live.peak: high-water mark of live
                    ///  temporary bytes under the list scheduler (recorded
                    ///  once per run, not summed per worker).
+  JitCompiled,     ///< exec.jit.compiled: segment kernels compiled by the
+                   ///  host compiler (disk-cache misses).
+  JitCacheHits,    ///< exec.jit.cache.hits: segment-kernel requests served
+                   ///  from the in-memory or on-disk object cache.
+  JitFallbacks,    ///< exec.jit.fallbacks: statements that requested JIT
+                   ///  specialization but ran the interpreted batched body
+                   ///  (no expression form, compiler unavailable, or a
+                   ///  compile/load failure).
   NumCounters
 };
 
@@ -92,7 +100,8 @@ enum class SpanKind : unsigned char {
   Wavefront, ///< One TaskGraph wavefront (A0 = index, A1 = size).
   Rung,      ///< One degradation-ladder rung attempt (A0 = attempt).
   Run,       ///< One whole runPlan invocation.
-  Marker     ///< Instant event (T1 == T0): descent, fault firing.
+  Marker,    ///< Instant event (T1 == T0): descent, fault firing.
+  Jit        ///< One JIT host-compiler invocation (src/jit).
 };
 
 /// Printable name of \p K ("task", "wavefront", ...).

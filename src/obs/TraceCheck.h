@@ -58,6 +58,9 @@ inline constexpr const char *CheckDroppedSpans = "T006-dropped-spans";
 /// folds a wavefront-vs-list output divergence under this id.
 inline constexpr const char *CheckSchedulerDivergence =
     "T007-scheduler-divergence";
+/// Likewise lint-only: a --kernels=jit run whose persistent spaces are not
+/// bit-identical to the interpreted batched reference.
+inline constexpr const char *CheckJitDivergence = "T008-jit-divergence";
 
 /// Validates \p T against \p Plan as described above. Non-task spans
 /// (wavefronts, rungs, markers) are ignored; only SpanKind::Task spans

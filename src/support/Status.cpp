@@ -46,6 +46,8 @@ std::string_view support::errorCodeName(ErrorCode Code) {
     return "E015-internal";
   case ErrorCode::MemBudgetInfeasible:
     return "E016-mem-budget-infeasible";
+  case ErrorCode::JitUnavailable:
+    return "E017-jit-unavailable";
   }
   return "E015-internal";
 }

@@ -453,6 +453,16 @@ void checkBatchedMatchesScalar(Sched &S, const ExecutionPlan &Plan) {
     PlanStats Stats = runPlan(Plan, S.Kernels, Store, On);
     expectBitIdentical(Expected, S.outputs(Store));
 
+    // JIT leg of the same sweep: specialized kernels must stay bitwise on
+    // the scalar oracle too. Best-effort by contract — on a machine with
+    // no host compiler every statement silently keeps its interpreted
+    // body, and the comparison still holds.
+    RunOptions Jit = On;
+    Jit.Kernels = KernelMode::Jit;
+    storage::ConcreteStorage JitStore = S.freshStore();
+    runPlan(Plan, S.Kernels, JitStore, Jit);
+    expectBitIdentical(Expected, S.outputs(JitStore));
+
     std::int64_t RefPoints = 0, Points = 0;
     for (const PlanStats::NodeStat &N : RefStats.Nodes)
       RefPoints += N.Points;

@@ -8,19 +8,27 @@
 // exits nonzero when any timing regressed beyond the tolerance, so ci.sh
 // can gate on the repo's own perf history.
 //
-//   bench_compare [--tolerance=F] [--floor=S] <baseline.json> <fresh.json>
-//     --tolerance=F  allowed relative slowdown before a row fails
-//                    (default 0.15 = 15%)
-//     --floor=S      baseline rows faster than S seconds are reported but
-//                    never gated — sub-floor timings are scheduler noise
-//                    (default 0.0002)
+//   bench_compare [--tolerance=F] [--floor=S] [--optional=PREFIX]
+//                 <baseline.json> <fresh.json>
+//     --tolerance=F     allowed relative slowdown before a row fails
+//                       (default 0.15 = 15%)
+//     --floor=S         baseline rows faster than S seconds are reported
+//                       but never gated — sub-floor timings are scheduler
+//                       noise (default 0.0002)
+//     --optional=PREFIX variants whose name starts with PREFIX are gated
+//                       only when the fresh report has them at all
+//                       (default "jit-": JIT rows exist only on machines
+//                       with a reachable host compiler, and their absence
+//                       must not fail the gate)
 //
 // Rules: every (variant, key) row of the baseline must exist in the fresh
 // report (a vanished row fails — a renamed benchmark must update its
 // baseline); the "_meta" block is informational and ignored; rows new in
 // the fresh report are listed but do not gate; keys starting with "idle"
 // carry idle-share ratios rather than seconds (the scheduler head-to-head
-// rows) and are printed for trend-watching but never gated or counted.
+// rows) and are printed for trend-watching but never gated or counted;
+// variants matching the optional prefix that vanished wholesale are
+// reported as skips, not misses.
 //
 //===----------------------------------------------------------------------===//
 
@@ -152,8 +160,8 @@ bool readReport(const char *Path, Report &Out) {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--tolerance=F] [--floor=S] <baseline.json> "
-               "<fresh.json>\n",
+               "usage: %s [--tolerance=F] [--floor=S] [--optional=PREFIX] "
+               "<baseline.json> <fresh.json>\n",
                Argv0);
   return 2;
 }
@@ -163,6 +171,7 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   double Tolerance = 0.15;
   double Floor = 0.0002;
+  std::string OptionalPrefix = "jit-";
   std::vector<const char *> Paths;
   for (int I = 1; I < argc; ++I) {
     if (std::strncmp(argv[I], "--tolerance=", 12) == 0) {
@@ -171,6 +180,8 @@ int main(int argc, char **argv) {
         return usage(argv[0]);
     } else if (std::strncmp(argv[I], "--floor=", 8) == 0) {
       Floor = std::atof(argv[I] + 8);
+    } else if (std::strncmp(argv[I], "--optional=", 11) == 0) {
+      OptionalPrefix = argv[I] + 11;
     } else if (argv[I][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -191,6 +202,18 @@ int main(int argc, char **argv) {
     if (Variant == "_meta")
       continue;
     const auto FreshVariant = Fresh.find(Variant);
+    // First-appearance/optional rows: a variant carrying the optional
+    // prefix sets a baseline when present but is a skip — not a miss —
+    // when the fresh run could not produce it at all.
+    if (!OptionalPrefix.empty() &&
+        Variant.compare(0, OptionalPrefix.size(), OptionalPrefix) == 0 &&
+        FreshVariant == Fresh.end()) {
+      std::printf("  skip  %-40s optional variant absent from fresh run "
+                  "[not gated]\n",
+                  Variant.c_str());
+      ++Skipped;
+      continue;
+    }
     for (const auto &[Key, BaseS] : Keys) {
       const std::string Row = Variant + "." + Key;
       if (Key.rfind("idle", 0) == 0) {

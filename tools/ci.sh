@@ -7,13 +7,14 @@
 # smoke (exec tests + one quick bench_fig6_small iteration) that catches
 # batched-path regressions. Run from the repo root:
 #
-#   tools/ci.sh            # default + tsan + bench + verify + faults + coverage
+#   tools/ci.sh            # default+tsan+bench+verify+faults+jit+coverage
 #   tools/ci.sh default    # just one preset
 #   tools/ci.sh asan       # the ASan+UBSan sibling
 #   tools/ci.sh bench      # bench smoke + perf-regression gate
 #   tools/ci.sh verify     # just the static legality lint
 #   tools/ci.sh faults     # just the fault-injection campaign
-#   tools/ci.sh coverage   # line-coverage report over src/{exec,verify,obs}
+#   tools/ci.sh jit        # JIT backend: tests, cache hygiene, dead compiler
+#   tools/ci.sh coverage   # line-coverage report over src/{exec,verify,obs,jit}
 #
 # The tsan stage additionally re-runs the execution-layer and
 # observability tests across the scheduler matrix — LCDFG_SCHED in
@@ -41,11 +42,22 @@
 # (longest run, same code paths). Set BENCH_GATE=off to skip the gate on
 # machines whose timings are not comparable to the committed baselines.
 #
+# The jit stage exercises the host-compiler kernel backend end to end:
+# the test_jit suite under the default and ASan+UBSan builds, then three
+# process-level checks against a fresh cache directory — a cold run must
+# compile (exec.jit.compiled in --metrics), a second identical run must be
+# served from the disk cache (exec.jit.cache.hits), and a flag change
+# (LCDFG_JIT_FLAGS) must invalidate the key and recompile. Finally a dead
+# host compiler (LCDFG_JIT_CC=/bin/false) must degrade through the
+# recovery ladder's L008-jit-unavailable rung with a completed run, never
+# an error.
+#
 # The coverage stage rebuilds the library with --coverage, runs the
-# test_exec / test_verify / test_obs suites, and aggregates gcov line
-# coverage per instrumented directory; src/obs (the observability layer
-# this repo's traces and counters hang off) must stay at >= 80% lines and
-# src/verify (the legality gate) at >= 80%.
+# test_exec / test_verify / test_obs / test_jit suites, and aggregates
+# gcov line coverage per instrumented directory; src/obs (the
+# observability layer this repo's traces and counters hang off), src/verify
+# (the legality gate) and src/jit (the kernel-compilation backend) must
+# each stay at >= 80% lines.
 #
 #===------------------------------------------------------------------------===#
 
@@ -55,7 +67,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(default tsan bench verify faults coverage)
+  PRESETS=(default tsan bench verify faults jit coverage)
 fi
 
 bench_smoke() {
@@ -93,9 +105,9 @@ bench_gate() {
 # when a floored directory (src/obs, src/verify) drops below its floor.
 coverage_report() {
   local OBJ=build-cov/src/CMakeFiles/lcdfg.dir
-  declare -A FLOORS=([obs]=80.0 [verify]=80.0)
+  declare -A FLOORS=([obs]=80.0 [verify]=80.0 [jit]=80.0)
   local DIR PCT FLOOR FAIL=0
-  for DIR in exec verify obs; do
+  for DIR in exec verify obs jit; do
     # gcov resolves sources from the .gcda files themselves (CMake's
     # <file>.cpp.gcda naming defeats gcov's -o source lookup).
     # Only count the summary line directly under a matching File header:
@@ -193,6 +205,51 @@ fault_campaign() {
   done
 }
 
+# JIT backend gate: suite runs under two builds, then cache hygiene and
+# the dead-compiler degradation path at the process level.
+jit_stage() {
+  ./build/tests/test_jit
+  ./build-asan/tests/test_jit
+
+  local DIR=build/jit-ci-cache OUT
+  rm -rf "${DIR}"
+  # Cold cache: the run must invoke the host compiler.
+  OUT="$(LCDFG_JIT_DIR="${DIR}" ./build/tools/lcdfg-opt --metrics \
+         --kernels=jit examples/chains/fig1.lc 2>&1)"
+  if ! grep -q 'exec\.jit\.compiled' <<<"${OUT}"; then
+    echo "jit: cold run did not compile: ${OUT}" >&2
+    return 1
+  fi
+  # Warm cache, new process: the same request must load from disk.
+  OUT="$(LCDFG_JIT_DIR="${DIR}" ./build/tools/lcdfg-opt --metrics \
+         --kernels=jit examples/chains/fig1.lc 2>&1)"
+  if ! grep -q 'exec\.jit\.cache\.hits' <<<"${OUT}"; then
+    echo "jit: warm run missed the disk cache: ${OUT}" >&2
+    return 1
+  fi
+  # Changed flags are part of the key: the stale objects must not be
+  # reused.
+  OUT="$(LCDFG_JIT_DIR="${DIR}" LCDFG_JIT_FLAGS=-DLCDFG_CI_SALT \
+         ./build/tools/lcdfg-opt --metrics --kernels=jit \
+         examples/chains/fig1.lc 2>&1)"
+  if ! grep -q 'exec\.jit\.compiled' <<<"${OUT}"; then
+    echo "jit: flag change reused a stale cache key: ${OUT}" >&2
+    return 1
+  fi
+  echo "jit: cache hygiene holds (cold compile, warm hit, flag invalidation)"
+  # No host compiler: the ladder must keep the run alive on interpreted
+  # bodies and report the downgrade, never fail.
+  OUT="$(LCDFG_JIT_DIR="${DIR}" LCDFG_JIT_CC=/bin/false \
+         ./build/tools/lcdfg-opt --report=json --kernels=jit \
+         examples/chains/fig1.lc 2>/dev/null)"
+  if ! grep -q '"completed":true' <<<"${OUT}" ||
+     ! grep -q 'L008-jit-unavailable' <<<"${OUT}"; then
+    echo "jit: dead compiler did not degrade to L008: ${OUT}" >&2
+    return 1
+  fi
+  echo "jit: dead host compiler degraded cleanly [L008-jit-unavailable]"
+}
+
 for PRESET in "${PRESETS[@]}"; do
   echo "== preset: ${PRESET} =="
   if [ "${PRESET}" = verify ]; then
@@ -209,15 +266,24 @@ for PRESET in "${PRESETS[@]}"; do
     fault_campaign
     continue
   fi
+  if [ "${PRESET}" = jit ]; then
+    cmake --preset default
+    cmake --build --preset default -j "${JOBS}" --target test_jit lcdfg-opt
+    cmake --preset asan
+    cmake --build --preset asan -j "${JOBS}" --target test_jit
+    jit_stage
+    continue
+  fi
   if [ "${PRESET}" = coverage ]; then
     cmake --preset coverage
     cmake --build --preset coverage -j "${JOBS}" \
-      --target test_exec test_verify test_obs
+      --target test_exec test_verify test_obs test_jit
     # Stale counters from a previous run would dilute the report.
     find build-cov -name '*.gcda' -delete
     ./build-cov/tests/test_exec
     ./build-cov/tests/test_verify
     ./build-cov/tests/test_obs
+    ./build-cov/tests/test_jit
     coverage_report
     continue
   fi

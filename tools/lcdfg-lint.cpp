@@ -89,6 +89,9 @@ void assignSyntheticKernels(ir::LoopChain &Chain,
       Arity += A.Offsets.size();
     auto It = ByArity.find(Arity);
     if (It == ByArity.end()) {
+      codegen::KernelExpr E = codegen::current();
+      for (std::size_t J = 0; J < Arity; ++J)
+        E = E + codegen::read(static_cast<unsigned>(J));
       int Id = Kernels.add(
           [](const std::vector<double> &Reads, double Current) {
             double Sum = Current;
@@ -96,7 +99,7 @@ void assignSyntheticKernels(ir::LoopChain &Chain,
               Sum += R;
             return Sum;
           },
-          batchedSumForArity(Arity));
+          batchedSumForArity(Arity), std::move(E));
       It = ByArity.emplace(Arity, Id).first;
     }
     Chain.nest(N).KernelId = It->second;
@@ -195,11 +198,13 @@ void traceCheckRun(const ir::LoopChain &Chain, const exec::ExecutionPlan &Plan,
   obs::Tracer &Tr = obs::Tracer::global();
   // One traced execution under the given strategy/threads; folds the trace
   // conformance verdict into Diags.
-  auto TracedRun = [&](exec::SchedulerKind Sched, int Threads) {
+  auto TracedRun = [&](exec::SchedulerKind Sched, int Threads,
+                       exec::KernelMode Mode = exec::KernelMode::Interp) {
     Tr.enable();
     exec::RunOptions Opts;
     Opts.Threads = Threads;
     Opts.Scheduler = Sched;
+    Opts.Kernels = Mode;
     try {
       exec::runPlan(Plan, Kernels, Store, Opts);
     } catch (...) {
@@ -239,6 +244,32 @@ void traceCheckRun(const ir::LoopChain &Chain, const exec::ExecutionPlan &Plan,
         D.CheckId = obs::CheckSchedulerDivergence;
         D.Message = "list scheduler at " + std::to_string(Threads) +
                     " thread(s) diverged from the wavefront reference in "
+                    "space " +
+                    std::to_string(S);
+        Diags.add(std::move(D));
+        break;
+      }
+    }
+  }
+
+  // JIT bit-compare legs: the same T in {1, 2, 4} sweep with --kernels=jit
+  // forced, against the same interpreted reference. The JIT is best-effort
+  // by contract (statements it cannot specialize keep interpreted bodies),
+  // so these legs stay green on compiler-less machines — what they gate is
+  // that any kernel the JIT *did* specialize is bit-identical.
+  for (int Threads : {1, 2, 4}) {
+    Restore();
+    TracedRun(exec::SchedulerKind::List, Threads, exec::KernelMode::Jit);
+    for (std::size_t S = 0; S < Store.numSpaces(); ++S) {
+      if (S < Plan.SpacePersistent.size() && !Plan.SpacePersistent[S])
+        continue;
+      if (std::memcmp(Store.space(S).data(), Reference[S].data(),
+                      Reference[S].size() * sizeof(double)) != 0) {
+        verify::Diagnostic D;
+        D.Sev = verify::Severity::Error;
+        D.CheckId = obs::CheckJitDivergence;
+        D.Message = "jit kernels at " + std::to_string(Threads) +
+                    " thread(s) diverged from the interpreted reference in "
                     "space " +
                     std::to_string(S);
         Diags.add(std::move(D));

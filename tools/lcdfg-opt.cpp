@@ -66,6 +66,8 @@
 #include "exec/ExecutionPlan.h"
 #include "exec/PlanRunner.h"
 #include "exec/Recovery.h"
+#include "exec/RowPlan.h"
+#include "jit/JitEngine.h"
 #include "obs/Trace.h"
 #include "obs/TraceCheck.h"
 #include "graph/AutoScheduler.h"
@@ -105,6 +107,9 @@ int usage(const char *Argv0) {
       "  --stats             execute the schedule, report node timings and\n"
       "                      measured-vs-model traffic\n"
       "  --batched=on|off    row-batched execution for the timed run\n"
+      "  --kernels=interp|jit batched-body provenance: registered C++\n"
+      "                      bodies (default) or run-time-compiled\n"
+      "                      specialized kernels (LCDFG_JIT overrides)\n"
       "  --dump-plan         print the compiled execution plan\n"
       "  --verify[=strict]   static legality checks; strict exits nonzero\n"
       "                      on any ERROR\n"
@@ -172,6 +177,15 @@ codegen::BatchedKernel batchedPureSumForArity(std::size_t Arity) {
   return Arity < sizeof(Table) / sizeof(Table[0]) ? Table[Arity] : nullptr;
 }
 
+/// Expression form of the two stand-in bodies: the same left-associated
+/// sum, so the JIT's emitted C adds in the interpreter's order.
+codegen::KernelExpr sumExpr(std::size_t Arity, bool Pure) {
+  codegen::KernelExpr E = Pure ? codegen::lit(0.0) : codegen::current();
+  for (std::size_t J = 0; J < Arity; ++J)
+    E = E + codegen::read(static_cast<unsigned>(J));
+  return E;
+}
+
 bool readFile(const std::string &Path, std::string &Out) {
   std::ifstream In(Path);
   if (!In)
@@ -195,6 +209,7 @@ int runTool(int argc, char **argv) {
   int Threads = 1;
   unsigned Streams = 4;
   exec::SchedulerKind Scheduler = exec::SchedulerKind::List;
+  exec::KernelMode KernelMode = exec::KernelMode::Interp;
   std::int64_t MemBudget = 0;
 
   for (int I = 1; I < argc; ++I) {
@@ -218,6 +233,16 @@ int runTool(int argc, char **argv) {
         Batched = false;
       } else {
         std::fprintf(stderr, "error: --batched takes on|off\n");
+        return 2;
+      }
+    } else if (Arg.rfind("--kernels=", 0) == 0) {
+      std::string V = Arg.substr(10);
+      if (V == "interp") {
+        KernelMode = exec::KernelMode::Interp;
+      } else if (V == "jit") {
+        KernelMode = exec::KernelMode::Jit;
+      } else {
+        std::fprintf(stderr, "error: --kernels takes interp|jit\n");
         return 2;
       }
     } else if (Arg == "--dump-plan") {
@@ -347,7 +372,7 @@ int runTool(int argc, char **argv) {
                            Sum += R;
                          return Sum;
                        },
-                       batchedPureSumForArity(Arity))
+                       batchedPureSumForArity(Arity), sumExpr(Arity, true))
                  : Kernels.add(
                        [](const std::vector<double> &Reads, double Current) {
                          double Sum = Current;
@@ -355,7 +380,7 @@ int runTool(int argc, char **argv) {
                            Sum += R;
                          return Sum;
                        },
-                       batchedSumForArity(Arity));
+                       batchedSumForArity(Arity), sumExpr(Arity, false));
       SyntheticByArity.emplace(Arity, Id);
       return Id;
     };
@@ -416,6 +441,7 @@ int runTool(int argc, char **argv) {
       TimedOpts.Batched = Batched;
       TimedOpts.Scheduler = Scheduler;
       TimedOpts.MemBudget = MemBudget;
+      TimedOpts.Kernels = KernelMode;
       exec::PlanStats TPS = exec::runPlan(Plan, Kernels, TimedStore,
                                           TimedOpts);
       OS << "timed run (batched " << (Batched ? "on" : "off")
@@ -435,6 +461,7 @@ int runTool(int argc, char **argv) {
       TOpts.Batched = Batched;
       TOpts.Scheduler = Scheduler;
       TOpts.MemBudget = MemBudget;
+      TOpts.Kernels = KernelMode;
       exec::runPlan(Plan, Kernels, TraceStore, TOpts);
       obs::Trace T = Tracer.drain();
       Tracer.disable();
@@ -477,10 +504,40 @@ int runTool(int argc, char **argv) {
       ROpts.Run.Harden = Harden;
       ROpts.Run.Scheduler = Scheduler;
       ROpts.Run.MemBudget = MemBudget;
+      ROpts.Run.Kernels = KernelMode;
       ROpts.StrictVerify = true;
       ROpts.VerifyKernels = &Kernels;
       ROpts.Fallback = &FbPlan;
       ROpts.FallbackStore = &FbStore;
+      if (!ReportJson) {
+        // Per-instruction dispatch breakdown, separating the two refusal
+        // dimensions: an instruction may batch fine yet stay on the
+        // interpreted bodies (and vice versa the JIT column only applies
+        // where batching engaged at all).
+        jit::Engine *Eng =
+            exec::effectiveKernelMode(KernelMode) == exec::KernelMode::Jit
+                ? &jit::Engine::global()
+                : nullptr;
+        for (const exec::NestInstr &I : Plan.Instrs) {
+          if (I.External)
+            continue;
+          exec::RowAnalysis RA = exec::RowPlan::analyze(I, Kernels, Eng);
+          OS << "dispatch " << I.Label << ": batched=";
+          if (RA.Plan)
+            OS << "yes";
+          else
+            OS << "no (" << exec::rowRefusalName(RA.Refusal) << ")";
+          if (Eng) {
+            OS << " jit=" << exec::jitRefusalName(RA.Jit);
+            if (RA.Plan)
+              OS << " (" << RA.JitStmts << "/" << RA.Plan->Stmts.size()
+                 << " stmts)";
+            if (!RA.JitDetail.empty())
+              OS << " [" << RA.JitDetail << "]";
+          }
+          OS << "\n";
+        }
+      }
       exec::RunReport RR =
           exec::runWithRecovery(Plan, Kernels, ReportStore, ROpts);
       OS << (ReportJson ? RR.toJson() + "\n" : RR.toString());
