@@ -26,6 +26,8 @@ std::string_view exec::faultSiteName(FaultSite Site) {
     return "modulo";
   case FaultSite::Input:
     return "input";
+  case FaultSite::JitValidate:
+    return "jitval";
   }
   return "none";
 }
@@ -42,6 +44,8 @@ std::string_view exec::faultKindName(FaultKind Kind) {
     return "corrupt";
   case FaultKind::Truncate:
     return "truncate";
+  case FaultKind::Reject:
+    return "reject";
   }
   return "none";
 }
@@ -67,9 +71,11 @@ support::Expected<FaultSpec> FaultInjector::parseSpec(std::string_view Spec) {
     S.Site = FaultSite::Modulo;
   else if (Site == "input")
     S.Site = FaultSite::Input;
+  else if (Site == "jitval")
+    S.Site = FaultSite::JitValidate;
   else
     return Bad("unknown site '" + std::string(Site) +
-               "' (kernel|task|modulo|input)");
+               "' (kernel|task|modulo|input|jitval)");
 
   std::string_view Kind = trim(Parts[1]);
   if (Kind == "throw")
@@ -80,14 +86,17 @@ support::Expected<FaultSpec> FaultInjector::parseSpec(std::string_view Spec) {
     S.Kind = FaultKind::Corrupt;
   else if (Kind == "truncate")
     S.Kind = FaultKind::Truncate;
+  else if (Kind == "reject")
+    S.Kind = FaultKind::Reject;
   else
     return Bad("unknown kind '" + std::string(Kind) +
-               "' (throw|fail|corrupt|truncate)");
+               "' (throw|fail|corrupt|truncate|reject)");
 
   const bool Paired = (S.Site == FaultSite::Kernel && S.Kind == FaultKind::Throw) ||
                       (S.Site == FaultSite::Task && S.Kind == FaultKind::Fail) ||
                       (S.Site == FaultSite::Modulo && S.Kind == FaultKind::Corrupt) ||
-                      (S.Site == FaultSite::Input && S.Kind == FaultKind::Truncate);
+                      (S.Site == FaultSite::Input && S.Kind == FaultKind::Truncate) ||
+                      (S.Site == FaultSite::JitValidate && S.Kind == FaultKind::Reject);
   if (!Paired)
     return Bad("kind '" + std::string(Kind) + "' does not apply to site '" +
                std::string(Site) + "'");

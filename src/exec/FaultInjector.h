@@ -20,6 +20,9 @@
 ///                      copy (caught statically as V001 under --verify)
 ///   input   truncate   halves one persistent backing space (caught by
 ///                      the runner's plan-vs-storage validation)
+///   jitval  reject     forces the JIT translation-validation gate to
+///                      reject one kernel (surfaced as L008, the run
+///                      keeps the interpreted bodies)
 ///
 /// Faults are one-shot: the spec disarms itself when it fires, so a
 /// degradation-ladder retry observes a healthy system — recovery from a
@@ -50,9 +53,9 @@ namespace exec {
 struct ExecutionPlan;
 
 /// Where a fault strikes.
-enum class FaultSite { None, Kernel, Task, Modulo, Input };
+enum class FaultSite { None, Kernel, Task, Modulo, Input, JitValidate };
 /// What the fault does at its site.
-enum class FaultKind { None, Throw, Fail, Corrupt, Truncate };
+enum class FaultKind { None, Throw, Fail, Corrupt, Truncate, Reject };
 
 /// One parsed fault specification.
 struct FaultSpec {

@@ -222,8 +222,9 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
     // JIT availability: requested-but-undeliverable specialization is
     // reported once (L008) and the run proceeds on the interpreted batched
     // bodies — never a hard error. Kernels without an expression form are
-    // benign (like NoBatchedKernel above) and stay silent; only a dead
-    // engine or a failing host compile is worth a descent.
+    // benign (like NoBatchedKernel above) and stay silent; a dead engine,
+    // a failing host compile, or a translation-validation rejection is
+    // worth a descent.
     if (!JitChecked && O.Batched && O.Kernels == KernelMode::Jit) {
       JitChecked = true;
       jit::Engine *Eng = O.Jit ? O.Jit : &jit::Engine::global();
@@ -236,7 +237,8 @@ RunReport exec::runWithRecovery(const ExecutionPlan &Plan,
             continue;
           RowAnalysis RA = RowPlan::analyze(I, Kernels, Eng);
           if (RA.Jit == JitRefusal::EngineUnavailable ||
-              RA.Jit == JitRefusal::CompileFailed) {
+              RA.Jit == JitRefusal::CompileFailed ||
+              RA.Jit == JitRefusal::ValidationRejected) {
             Why = "instruction " + I.Label + ": " + RA.JitDetail;
             break;
           }

@@ -7,7 +7,9 @@
 
 #include "exec/RowPlan.h"
 
+#include "exec/FaultInjector.h"
 #include "jit/JitEngine.h"
+#include "verify/KernelVerifier.h"
 
 #include <algorithm>
 #include <limits>
@@ -157,8 +159,70 @@ std::string_view exec::jitRefusalName(JitRefusal J) {
     return "engine-unavailable";
   case JitRefusal::CompileFailed:
     return "compile-failed";
+  case JitRefusal::ValidationRejected:
+    return "validation-rejected";
   }
   return "unknown";
+}
+
+codegen::SegmentKernelSig exec::rowSegmentSig(const RowPlan &Plan,
+                                              std::size_t SI) {
+  const RowStmt &RS = Plan.Stmts[SI];
+  codegen::SegmentKernelSig Sig;
+  Sig.WriteStride = RS.Write.InnerStride;
+  Sig.ReadStrides.reserve(RS.Reads.size());
+  Sig.ReadAliasesWrite.reserve(RS.Reads.size());
+  for (const RowStream &R : RS.Reads) {
+    Sig.ReadStrides.push_back(R.InnerStride);
+    Sig.ReadAliasesWrite.push_back(R.Space == RS.Write.Space);
+  }
+  return Sig;
+}
+
+std::optional<codegen::RowKernelDesc>
+exec::rowKernelDesc(const RowPlan &Plan, const NestInstr &Instr,
+                    const codegen::KernelRegistry &Kernels) {
+  const std::size_t NS = Plan.Stmts.size();
+  if (NS == 0 || NS > 64 || Instr.Stmts.size() != NS)
+    return std::nullopt;
+  bool AnySpan = false;
+  for (const RowStmt &RS : Plan.Stmts)
+    if (RS.InnerLo <= RS.InnerHi)
+      AnySpan = true;
+  if (!AnySpan)
+    return std::nullopt;
+  for (std::size_t SI = 0; SI < NS; ++SI) {
+    const codegen::KernelExpr *E = Kernels.expr(Instr.Stmts[SI].KernelId);
+    if (!E || E->maxRead() >= static_cast<int>(Plan.Stmts[SI].Reads.size()))
+      return std::nullopt;
+  }
+  codegen::RowKernelDesc Desc;
+  Desc.MaxSegment = Plan.MaxSegment;
+  Desc.Stmts.reserve(NS);
+  std::size_t Flat = 0;
+  for (std::size_t SI = 0; SI < NS; ++SI) {
+    const RowStmt &RS = Plan.Stmts[SI];
+    codegen::RowKernelDesc::Stmt DS;
+    DS.Body = Kernels.expr(Instr.Stmts[SI].KernelId);
+    DS.Lo = RS.InnerLo;
+    DS.Hi = RS.InnerHi;
+    auto ToStream = [&Flat](const RowStream &S, bool AliasesWrite) {
+      codegen::RowKernelDesc::Stream D;
+      D.Space = S.Space;
+      D.Modulo = S.Modulo;
+      D.ModSize = S.ModSize;
+      D.InnerStride = S.InnerStride;
+      D.Flat = Flat++;
+      D.AliasesWrite = AliasesWrite;
+      return D;
+    };
+    DS.Write = ToStream(RS.Write, false);
+    DS.Reads.reserve(RS.Reads.size());
+    for (const RowStream &R : RS.Reads)
+      DS.Reads.push_back(ToStream(R, R.Space == RS.Write.Space));
+    Desc.Stmts.push_back(std::move(DS));
+  }
+  return Desc;
 }
 
 std::optional<RowPlan> RowPlan::compile(const NestInstr &Instr,
@@ -248,13 +312,31 @@ RowAnalysis RowPlan::analyze(const NestInstr &Instr,
            "kernel " + std::to_string(S.KernelId) + " has no expression form");
       continue;
     }
-    codegen::SegmentKernelSig Sig;
-    Sig.WriteStride = RS.Write.InnerStride;
-    Sig.ReadStrides.reserve(RS.Reads.size());
-    Sig.ReadAliasesWrite.reserve(RS.Reads.size());
-    for (const RowStream &R : RS.Reads) {
-      Sig.ReadStrides.push_back(R.InnerStride);
-      Sig.ReadAliasesWrite.push_back(R.Space == RS.Write.Space);
+    const codegen::SegmentKernelSig Sig = rowSegmentSig(*A.Plan, SI);
+    // Translation validation gate: the engine is never handed an emission
+    // the static verifier cannot prove faithful to the plan. The jitval
+    // fault site forces a rejection so CI can exercise this path without
+    // needing a genuinely broken emission.
+    std::string RejectWhy;
+    bool Rejected = FaultInjector::global().shouldFire(FaultSite::JitValidate);
+    if (Rejected) {
+      RejectWhy = "fault-injected validation rejection";
+    } else {
+      verify::KernelVerifyOptions VO;
+      VO.Budget = std::int64_t{1} << 15;
+      verify::KernelVerifier KV(Instr, *A.Plan, Kernels, VO);
+      verify::Diagnostics VD;
+      KV.verifySegmentKernel(
+          SI, codegen::printSegmentKernel(*E, Sig, "lcdfg_static_check"), VD);
+      if (VD.hasErrors()) {
+        Rejected = true;
+        RejectWhy = VD.all().front().toString();
+      }
+    }
+    if (Rejected) {
+      Note(JitRefusal::ValidationRejected,
+           "statement " + std::to_string(SI) + ": " + RejectWhy);
+      continue;
     }
     auto K = Jit->kernel(*E, Sig);
     if (!K) {
@@ -293,33 +375,30 @@ RowAnalysis RowPlan::analyze(const NestInstr &Instr,
   if (!AnySpan)
     return A;
 
-  codegen::RowKernelDesc Desc;
-  Desc.MaxSegment = A.Plan->MaxSegment;
-  Desc.Stmts.reserve(NS);
-  std::size_t Flat = 0;
-  for (std::size_t SI = 0; SI < NS; ++SI) {
-    const RowStmt &RS = A.Plan->Stmts[SI];
-    codegen::RowKernelDesc::Stmt DS;
-    DS.Body = Kernels.expr(Instr.Stmts[SI].KernelId);
-    DS.Lo = RS.InnerLo;
-    DS.Hi = RS.InnerHi;
-    auto ToStream = [&Flat](const RowStream &S, bool AliasesWrite) {
-      codegen::RowKernelDesc::Stream D;
-      D.Space = S.Space;
-      D.Modulo = S.Modulo;
-      D.ModSize = S.ModSize;
-      D.InnerStride = S.InnerStride;
-      D.Flat = Flat++;
-      D.AliasesWrite = AliasesWrite;
-      return D;
-    };
-    DS.Write = ToStream(RS.Write, false);
-    DS.Reads.reserve(RS.Reads.size());
-    for (const RowStream &R : RS.Reads)
-      DS.Reads.push_back(ToStream(R, R.Space == RS.Write.Space));
-    Desc.Stmts.push_back(std::move(DS));
+  std::optional<codegen::RowKernelDesc> Desc =
+      rowKernelDesc(*A.Plan, Instr, Kernels);
+  if (!Desc)
+    return A;
+  // Same gate as the per-statement kernels: the fused walker's emission
+  // must symbolically replay the interpreted walk before the engine may
+  // compile it. Rejection keeps the per-statement bodies (already
+  // validated above) — the plan stays engaged.
+  if (FaultInjector::global().shouldFire(FaultSite::JitValidate)) {
+    Note(JitRefusal::ValidationRejected,
+         "row kernel: fault-injected validation rejection");
+    return A;
   }
-  if (auto RK = Jit->rowKernel(Desc)) {
+  verify::KernelVerifyOptions VO;
+  VO.Budget = std::int64_t{1} << 15;
+  verify::KernelVerifier KV(Instr, *A.Plan, Kernels, VO);
+  verify::Diagnostics VD;
+  KV.verifyRowKernel(codegen::printRowKernel(*Desc, "lcdfg_static_row"), VD);
+  if (VD.hasErrors()) {
+    Note(JitRefusal::ValidationRejected,
+         "row kernel: " + VD.all().front().toString());
+    return A;
+  }
+  if (auto RK = Jit->rowKernel(*Desc)) {
     A.Plan->Row = *RK;
     A.FusedRow = true;
   }

@@ -105,7 +105,11 @@ enum class JitRefusal {
   Specialized,       ///< Every eligible statement got a JIT body.
   NoKernelExpr,      ///< A kernel carries no expression form (opaque).
   EngineUnavailable, ///< No working host compiler / cache (E017 probe).
-  CompileFailed      ///< The host compiler rejected an emitted body.
+  CompileFailed,     ///< The host compiler rejected an emitted body.
+  /// The static translation validator (verify::KernelVerifier) could not
+  /// prove the emission faithful to the plan; the kernel was never handed
+  /// to the engine and the statement keeps its interpreted body.
+  ValidationRejected
 };
 
 /// Stable printable names for the two refusal dimensions.
@@ -170,6 +174,23 @@ public:
   void run(double *const *Spaces, std::int64_t &Points,
            std::int64_t &RawReads, RowRunCounters *Counters = nullptr) const;
 };
+
+/// The JIT segment-kernel signature analyze() requests for statement \p SI
+/// of \p Plan: literal strides plus which reads walk the written space.
+/// Exported so the static translation validator can re-derive exactly what
+/// the engine would be asked to compile without constructing an engine.
+/// \p SI must be a valid statement index.
+codegen::SegmentKernelSig rowSegmentSig(const RowPlan &Plan, std::size_t SI);
+
+/// The fused row-walker descriptor analyze() would hand jit::Engine for
+/// \p Plan, or std::nullopt when the instruction has no fused-row form: a
+/// kernel without an expression body, more than 64 statements, a statement
+/// table that does not match \p Instr, or no statement with a non-empty
+/// inner span. Purely shape-derived — no engine is consulted, so the
+/// static validator can call it with no host compiler present.
+std::optional<codegen::RowKernelDesc>
+rowKernelDesc(const RowPlan &Plan, const NestInstr &Instr,
+              const codegen::KernelRegistry &Kernels);
 
 /// Result of the row-batching compilation attempt: the plan when it
 /// succeeded, and the first refusal reason when it did not. The Jit

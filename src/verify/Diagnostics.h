@@ -36,6 +36,20 @@ inline constexpr const char *CheckScalarFallback = "V005-scalar-fallback";
 inline constexpr const char *CheckPrivateUncovered = "V006-private-uncovered";
 inline constexpr const char *CheckTraceBudget = "V007-trace-budget";
 
+/// K-code family: the JIT translation validator (verify/KernelVerifier.h).
+/// Same stability contract as the V codes; docs/KERNEL-VERIFY.md is the
+/// catalog.
+inline constexpr const char *CheckKernelShape = "K000-emission-shape";
+inline constexpr const char *CheckKernelFootprint = "K001-footprint-mismatch";
+inline constexpr const char *CheckKernelSimdUnsafe = "K002-simd-unsafe";
+inline constexpr const char *CheckKernelRestrictAlias = "K003-restrict-alias";
+inline constexpr const char *CheckKernelChunkDivergence =
+    "K004-chunk-divergence";
+inline constexpr const char *CheckKernelCapWidened = "K005-cap-widened";
+inline constexpr const char *CheckKernelFpReassociation =
+    "K006-fp-reassociation";
+inline constexpr const char *CheckKernelBudget = "K007-kernel-budget";
+
 enum class Severity { Note, Warning, Error };
 
 /// Name of \p Sev as printed ("note", "warning", "error").

@@ -7,13 +7,16 @@
 # smoke (exec tests + one quick bench_fig6_small iteration) that catches
 # batched-path regressions. Run from the repo root:
 #
-#   tools/ci.sh            # default+tsan+bench+verify+faults+jit+coverage
+#   tools/ci.sh            # default+tsan+ubsan+bench+verify+faults+jit+
+#                          #   tidy+coverage
 #   tools/ci.sh default    # just one preset
 #   tools/ci.sh asan       # the ASan+UBSan sibling
+#   tools/ci.sh ubsan      # standalone UBSan, -fno-sanitize-recover=all
 #   tools/ci.sh bench      # bench smoke + perf-regression gate
-#   tools/ci.sh verify     # just the static legality lint
+#   tools/ci.sh verify     # static legality lint + JIT translation validation
 #   tools/ci.sh faults     # just the fault-injection campaign
 #   tools/ci.sh jit        # JIT backend: tests, cache hygiene, dead compiler
+#   tools/ci.sh tidy       # clang-tidy over src/ (skips if tool absent)
 #   tools/ci.sh coverage   # line-coverage report over src/{exec,verify,obs,jit}
 #
 # The tsan stage additionally re-runs the execution-layer and
@@ -52,8 +55,29 @@
 # recovery ladder's L008-jit-unavailable rung with a completed run, never
 # an error.
 #
+# The ubsan stage builds the execution, verification, and JIT suites with
+# standalone UBSan at -fno-sanitize-recover=all, so any undefined
+# behaviour — including in the KernelVerifier's textual parsing and
+# symbolic address walk, which chew on adversarial emission text — aborts
+# the test instead of sailing past. (The asan preset keeps its combined
+# ASan+UBSan role for the fault campaign; this stage is the stricter
+# no-recover variant.)
+#
+# The verify stage also sweeps every example chain through
+# `lcdfg-lint --strict --jit-static`, which statically validates the JIT
+# kernel emission for each configuration against its plan footprint (the
+# K-code checks of docs/KERNEL-VERIFY.md) without invoking any host
+# compiler, and checks that `lcdfg-lint --json` emits parseable JSON per
+# line (the schema itself is locked byte-for-byte by test_kernel_verify).
+#
+# The tidy stage runs clang-tidy (config: .clang-tidy) over src/ using
+# the compile database exported by the default preset. The tool is not
+# part of the baseline toolchain image, so the stage skips gracefully —
+# with a visible notice, not a failure — when clang-tidy is absent.
+#
 # The coverage stage rebuilds the library with --coverage, runs the
-# test_exec / test_verify / test_obs / test_jit suites, and aggregates
+# test_exec / test_verify / test_kernel_verify / test_obs / test_jit
+# suites, and aggregates
 # gcov line coverage per instrumented directory; src/obs (the
 # observability layer this repo's traces and counters hang off), src/verify
 # (the legality gate) and src/jit (the kernel-compilation backend) must
@@ -67,7 +91,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(default tsan bench verify faults jit coverage)
+  PRESETS=(default tsan ubsan bench verify faults jit tidy coverage)
 fi
 
 bench_smoke() {
@@ -137,6 +161,38 @@ verify_lint() {
   # threads with the span tracer armed and validates the recorded trace
   # against the plan's dependence closure (obs::checkTrace).
   ./build/tools/lcdfg-lint --strict --trace examples/chains
+  # Static JIT translation validation: every configuration's emitted
+  # kernel text is symbolically checked against its plan footprint
+  # (K codes) with no host compiler in the loop.
+  ./build/tools/lcdfg-lint --strict --jit-static examples/chains
+  # The machine-readable stream must stay machine-readable: every line of
+  # --json output parses as a JSON object.
+  if command -v python3 >/dev/null 2>&1; then
+    ./build/tools/lcdfg-lint --json --jit-static examples/chains |
+      python3 -c 'import json, sys
+for line in sys.stdin:
+    if line.strip():
+        json.loads(line)'
+    echo "verify: lint --json stream parses"
+  fi
+}
+
+# clang-tidy over the library and tools, driven by the .clang-tidy config
+# at the repo root and the compile database the default preset exports.
+# The tool is optional in the toolchain image: absent means skip, loudly.
+tidy_stage() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "tidy: clang-tidy not on PATH; stage skipped"
+    return 0
+  fi
+  cmake --preset default >/dev/null
+  if [ ! -f build/compile_commands.json ]; then
+    echo "tidy: build/compile_commands.json missing after configure" >&2
+    return 1
+  fi
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build --quiet
+  echo "tidy: clean under .clang-tidy profile"
 }
 
 # One fault-matrix row: inject $1 into lcdfg-opt --report and require a
@@ -187,6 +243,10 @@ fault_campaign() {
   run_fault modulo:corrupt L003-verifier-error \
     --script examples/chains/fig1.script --reduce
   run_fault input:truncate L006-plan-invalid
+  # A translation-validation rejection at the JIT gate must keep the run
+  # alive on the interpreted bodies, descending through the same L008
+  # rung a dead compiler takes.
+  run_fault jitval:reject L008-jit-unavailable --kernels=jit
   # Hardened clean pass: the redzone canaries and the NaN read-before-write
   # guard must stay silent on a legal schedule, at every rung.
   ./build-asan/tools/lcdfg-opt --report --harden --threads=2 \
@@ -248,6 +308,17 @@ jit_stage() {
     return 1
   fi
   echo "jit: dead host compiler degraded cleanly [L008-jit-unavailable]"
+  # Translation validation sits before the compile: a forced rejection at
+  # that gate must take the same L008 path with the run completing on
+  # interpreted bodies.
+  OUT="$(LCDFG_FAULT=jitval:reject ./build/tools/lcdfg-opt --report=json \
+         --kernels=jit examples/chains/fig1.lc 2>/dev/null)"
+  if ! grep -q '"completed":true' <<<"${OUT}" ||
+     ! grep -q 'L008-jit-unavailable' <<<"${OUT}"; then
+    echo "jit: validation rejection did not degrade to L008: ${OUT}" >&2
+    return 1
+  fi
+  echo "jit: validation rejection degraded cleanly [L008-jit-unavailable]"
 }
 
 for PRESET in "${PRESETS[@]}"; do
@@ -274,14 +345,29 @@ for PRESET in "${PRESETS[@]}"; do
     jit_stage
     continue
   fi
+  if [ "${PRESET}" = ubsan ]; then
+    cmake --preset ubsan
+    cmake --build --preset ubsan -j "${JOBS}"
+    ./build-ubsan/tests/test_exec
+    ./build-ubsan/tests/test_verify
+    ./build-ubsan/tests/test_kernel_verify
+    ./build-ubsan/tests/test_jit
+    echo "ubsan: exec/verify/kernel_verify/jit suites clean, no recover"
+    continue
+  fi
+  if [ "${PRESET}" = tidy ]; then
+    tidy_stage
+    continue
+  fi
   if [ "${PRESET}" = coverage ]; then
     cmake --preset coverage
     cmake --build --preset coverage -j "${JOBS}" \
-      --target test_exec test_verify test_obs test_jit
+      --target test_exec test_verify test_kernel_verify test_obs test_jit
     # Stale counters from a previous run would dilute the report.
     find build-cov -name '*.gcda' -delete
     ./build-cov/tests/test_exec
     ./build-cov/tests/test_verify
+    ./build-cov/tests/test_kernel_verify
     ./build-cov/tests/test_obs
     ./build-cov/tests/test_jit
     coverage_report

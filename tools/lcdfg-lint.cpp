@@ -10,7 +10,8 @@
 // clobbers, static races, batching-cap safety, lost dependences, and tile
 // privatization holes.
 //
-//   lcdfg-lint [--strict] [--json] [--trace] [--size=N] [<chains-dir>]
+//   lcdfg-lint [--strict] [--json] [--trace] [--jit-static] [--size=N]
+//              [<chains-dir>]
 //     --strict   exit nonzero when any configuration reports an ERROR
 //     --json     emit one JSON object per line instead of text
 //     --trace    execute each statically-clean configuration with the span
@@ -18,6 +19,10 @@
 //                then the list scheduler at 1/2/4 threads — folding the
 //                trace conformance check (obs::checkTrace) and the
 //                scheduler output bit-compare (T007) into its report
+//     --jit-static
+//                statically validate every JIT emission each configuration
+//                would compile (verify::KernelVerifier, K codes) — purely
+//                symbolic, no host compiler is invoked
 //     --size=N   concrete size for the chain-file sweeps (default 8)
 //
 //===----------------------------------------------------------------------===//
@@ -36,6 +41,7 @@
 #include "storage/StorageMap.h"
 #include "support/Status.h"
 #include "tiling/Tiling.h"
+#include "verify/KernelVerifier.h"
 #include "verify/PlanVerifier.h"
 
 #include <algorithm>
@@ -286,7 +292,7 @@ void traceCheckRun(const ir::LoopChain &Chain, const exec::ExecutionPlan &Plan,
 verify::Diagnostics verifyGraph(const graph::Graph &G,
                                 const codegen::KernelRegistry &Kernels,
                                 std::int64_t SizeN, bool UseAllocation,
-                                unsigned Widen,
+                                unsigned Widen, bool JitStatic,
                                 const ir::LoopChain *TraceChain = nullptr) {
   exec::ParamEnv Env{{"N", SizeN}};
   storage::StoragePlan SPlan =
@@ -299,6 +305,11 @@ verify::Diagnostics verifyGraph(const graph::Graph &G,
   verify::PlanVerifier Verifier(Plan, Opts);
   verify::Diagnostics Diags = Verifier.verify();
   verify::checkGraphSchedule(G, Diags);
+  if (JitStatic) {
+    verify::Diagnostics KDiags = verify::verifyPlanKernels(Plan, Kernels);
+    for (const verify::Diagnostic &D : KDiags.all())
+      Diags.add(verify::Diagnostic(D));
+  }
   if (TraceChain && !Diags.hasErrors())
     traceCheckRun(*TraceChain, Plan, Kernels, Store, Diags);
   return Diags;
@@ -309,7 +320,7 @@ verify::Diagnostics verifyGraph(const graph::Graph &G,
 verify::Diagnostics verifyTiled(const ir::LoopChain &Chain,
                                 const codegen::KernelRegistry &Kernels,
                                 std::int64_t SizeN, std::int64_t TileSize,
-                                bool TraceRun) {
+                                bool TraceRun, bool JitStatic) {
   exec::ParamEnv Env{{"N", SizeN}};
   graph::Graph G = graph::buildGraph(Chain);
   const ir::LoopNest &Last = Chain.nest(Chain.numNests() - 1);
@@ -324,6 +335,11 @@ verify::Diagnostics verifyTiled(const ir::LoopChain &Chain,
   Opts.Kernels = &Kernels;
   verify::PlanVerifier Verifier(Plan, Opts);
   verify::Diagnostics Diags = Verifier.verify();
+  if (JitStatic) {
+    verify::Diagnostics KDiags = verify::verifyPlanKernels(Plan, Kernels);
+    for (const verify::Diagnostic &D : KDiags.all())
+      Diags.add(verify::Diagnostic(D));
+  }
   if (!Tiling.seedsDisjoint(Env)) {
     verify::Diagnostic D;
     D.Sev = verify::Severity::Error;
@@ -349,7 +365,7 @@ bool readFile(const std::filesystem::path &Path, std::string &Out) {
 
 /// Sweeps one .lc chain file through its lowering configurations.
 bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
-                    bool Trace, LintReport &Report) {
+                    bool Trace, bool JitStatic, LintReport &Report) {
   std::string Source;
   if (!readFile(Path, Source)) {
     std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
@@ -370,7 +386,8 @@ bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
   {
     graph::Graph G = graph::buildGraph(Chain);
     addGuarded(Report, Stem + ":original", [&] {
-      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1, TC);
+      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1,
+                         JitStatic, TC);
     });
   }
 
@@ -391,7 +408,7 @@ bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
       Name << Stem << ":script-reduced-widen" << Widen;
       addGuarded(Report, Name.str(), [&] {
         return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, Widen,
-                           TC);
+                           JitStatic, TC);
       });
     }
   }
@@ -401,18 +418,20 @@ bool sweepChainFile(const std::filesystem::path &Path, std::int64_t SizeN,
     (void)graph::autoSchedule(G, {});
     storage::reduceStorage(G);
     addGuarded(Report, Stem + ":autoschedule-reduced", [&] {
-      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1, TC);
+      return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1,
+                         JitStatic, TC);
     });
   }
 
-  addGuarded(Report, Stem + ":tiled4",
-             [&] { return verifyTiled(Chain, Kernels, SizeN, 4, Trace); });
+  addGuarded(Report, Stem + ":tiled4", [&] {
+    return verifyTiled(Chain, Kernels, SizeN, 4, Trace, JitStatic);
+  });
   return true;
 }
 
 /// Sweeps the MiniFluxDiv recipes at a small concrete size.
 void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, bool Trace,
-                      LintReport &Report) {
+                      bool JitStatic, LintReport &Report) {
   struct Recipe {
     const char *Name;
     void (*Apply)(graph::Graph &);
@@ -441,7 +460,7 @@ void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, bool Trace,
     Name << Prefix << ":" << R.Name;
     addGuarded(Report, Name.str(), [&] {
       return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, R.Widen,
-                         Trace ? &Chain : nullptr);
+                         JitStatic, Trace ? &Chain : nullptr);
     });
   }
   if (!ThreeD) {
@@ -453,7 +472,7 @@ void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, bool Trace,
     storage::reduceStorage(G);
     addGuarded(Report, std::string(Prefix) + ":autoschedule-reduced", [&] {
       return verifyGraph(G, Kernels, SizeN, /*UseAllocation=*/true, 1,
-                         Trace ? &Chain : nullptr);
+                         JitStatic, Trace ? &Chain : nullptr);
     });
   }
 }
@@ -461,13 +480,14 @@ void sweepMiniFluxDiv(bool ThreeD, std::int64_t SizeN, bool Trace,
 int usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--strict] [--json] [--trace] [--size=N] [<chains-dir>]\n",
+      "usage: %s [--strict] [--json] [--trace] [--jit-static] [--size=N] "
+      "[<chains-dir>]\n",
       Argv0);
   return 2;
 }
 
 int runLint(int argc, char **argv) {
-  bool Strict = false, Json = false, Trace = false;
+  bool Strict = false, Json = false, Trace = false, JitStatic = false;
   std::int64_t SizeN = 8;
   std::string ChainsDir = "examples/chains";
 
@@ -479,6 +499,8 @@ int runLint(int argc, char **argv) {
       Json = true;
     } else if (Arg == "--trace") {
       Trace = true;
+    } else if (Arg == "--jit-static") {
+      JitStatic = true;
     } else if (Arg.rfind("--size=", 0) == 0) {
       SizeN = std::atoll(Arg.c_str() + 7);
       if (SizeN < 2) {
@@ -509,11 +531,11 @@ int runLint(int argc, char **argv) {
   }
   std::sort(ChainFiles.begin(), ChainFiles.end());
   for (const std::filesystem::path &Path : ChainFiles)
-    if (!sweepChainFile(Path, SizeN, Trace, Report))
+    if (!sweepChainFile(Path, SizeN, Trace, JitStatic, Report))
       return 1;
 
-  sweepMiniFluxDiv(/*ThreeD=*/false, /*SizeN=*/6, Trace, Report);
-  sweepMiniFluxDiv(/*ThreeD=*/true, /*SizeN=*/4, Trace, Report);
+  sweepMiniFluxDiv(/*ThreeD=*/false, /*SizeN=*/6, Trace, JitStatic, Report);
+  sweepMiniFluxDiv(/*ThreeD=*/true, /*SizeN=*/4, Trace, JitStatic, Report);
 
   if (!Json)
     std::printf("lint: %d configuration(s), %d with errors (%zu error(s), "

@@ -25,7 +25,10 @@
 //     --dump-plan          print the compiled ExecutionPlan
 //     --verify[=strict]    run the static legality verifier over the
 //                          compiled plan and the scheduled graph; strict
-//                          mode exits nonzero when any ERROR is found
+//                          mode exits nonzero when any ERROR is found.
+//                          With --kernels=jit also runs the JIT
+//                          translation validator (K codes) over every
+//                          emission the engine would compile
 //     --report[=json]      execute through the graceful-degradation ladder
 //                          (exec::runWithRecovery) with the untransformed
 //                          chain as the fallback plan, and print the
@@ -81,6 +84,7 @@
 #include "storage/ReuseDistance.h"
 #include "storage/StorageMap.h"
 #include "support/Status.h"
+#include "verify/KernelVerifier.h"
 #include "verify/PlanVerifier.h"
 
 #include <cstdint>
@@ -112,7 +116,8 @@ int usage(const char *Argv0) {
       "                      specialized kernels (LCDFG_JIT overrides)\n"
       "  --dump-plan         print the compiled execution plan\n"
       "  --verify[=strict]   static legality checks; strict exits nonzero\n"
-      "                      on any ERROR\n"
+      "                      on any ERROR (adds the K-code JIT translation\n"
+      "                      validator under --kernels=jit)\n"
       "  --report[=json]     execute through the degradation ladder and\n"
       "                      print the recovery report; exits nonzero only\n"
       "                      when every rung fails (honors LCDFG_FAULT)\n"
@@ -417,6 +422,15 @@ int runTool(int argc, char **argv) {
       verify::PlanVerifier Verifier(Plan, VOpts);
       verify::Diagnostics Diags = Verifier.verify();
       verify::checkGraphSchedule(G, Diags);
+      // Whenever the JIT path is selectable, statically validate the
+      // emissions it would compile (K codes) alongside the plan-level
+      // V codes. Purely symbolic: no engine, no host compiler.
+      if (exec::effectiveKernelMode(KernelMode) == exec::KernelMode::Jit) {
+        verify::Diagnostics KDiags =
+            verify::verifyPlanKernels(Plan, Kernels);
+        for (const verify::Diagnostic &D : KDiags.all())
+          Diags.add(D);
+      }
       OS << Diags.toString();
       if (VerifyStrict && Diags.hasErrors())
         VerifyFailed = true;
