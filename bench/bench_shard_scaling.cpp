@@ -1,0 +1,96 @@
+//===- bench/bench_shard_scaling.cpp --------------------------------------===//
+//
+// Weak scaling of the sharded multi-process timestepper: the box grid
+// grows with the shard count (3 z-rows of 2x2 boxes per shard), so each
+// worker owns a constant slab and the wall time measures coordination —
+// fork/checkpoint overhead plus the overlapped ghost exchange — rather
+// than shrinking compute. Rows: shards1 (in-process serial), shards2,
+// shards4.
+//
+// The whole harness stays single-threaded between forks (runSharded
+// requires a single-threaded parent; the workers spawn their own local
+// threads).
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/ShardRunner.h"
+
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace lcdfg;
+
+namespace {
+
+constexpr int BoxN = 10;
+constexpr int Ghost = 1;
+constexpr int Comps = 2;
+constexpr int Steps = 4;
+
+std::vector<rt::Box> makeState(const rt::GridLayout &Layout) {
+  std::vector<rt::Box> Boxes;
+  Boxes.reserve(static_cast<std::size_t>(Layout.numBoxes()));
+  for (int I = 0; I < Layout.numBoxes(); ++I) {
+    Boxes.emplace_back(BoxN, Ghost, Comps);
+    Boxes.back().fillPseudoRandom(0xbe9cULL +
+                                  static_cast<std::uint64_t>(I) * 911);
+  }
+  return Boxes;
+}
+
+void averageStep(const rt::Box &In, rt::Box &Out) {
+  for (int C = 0; C < In.numComponents(); ++C)
+    for (int Z = 0; Z < In.size(); ++Z)
+      for (int Y = 0; Y < In.size(); ++Y)
+        for (int X = 0; X < In.size(); ++X)
+          Out.at(C, Z, Y, X) =
+              (In.at(C, Z, Y, X) + In.at(C, Z - 1, Y, X) +
+               In.at(C, Z + 1, Y, X) + In.at(C, Z, Y - 1, X) +
+               In.at(C, Z, Y + 1, X) + In.at(C, Z, Y, X - 1) +
+               In.at(C, Z, Y, X + 1)) /
+              7.0;
+}
+
+} // namespace
+
+int main() {
+  const bench::Config Cfg = bench::Config::fromEnvironment();
+  bench::JsonReport Json;
+
+  bench::printHeader(
+      "Sharded timestepper weak scaling (3 z-rows of 2x2 boxes per shard, "
+      "box " + std::to_string(BoxN) + "^3 x" + std::to_string(Comps) +
+          " comps, " + std::to_string(Steps) + " steps)",
+      "shards  seconds    exchanges  bytes      rung");
+
+  for (int Shards : {1, 2, 4}) {
+    const rt::GridLayout Layout{3 * Shards, 2, 2};
+    shard::ShardOptions Opts;
+    Opts.Shards = Shards;
+    Opts.Threads = 2;
+    shard::ShardReport Last;
+    const double Sec = bench::timeBestOf(Cfg.Reps, [&] {
+      std::vector<rt::Box> Boxes = makeState(Layout);
+      Last = shard::runSharded(Boxes, Layout, Steps, averageStep, Opts);
+      if (!Last.Completed || Last.Recovered) {
+        std::fprintf(stderr, "bench_shard_scaling: shards=%d did not run "
+                             "cleanly:\n%s",
+                     Shards, Last.toString().c_str());
+        std::exit(1);
+      }
+    });
+    bench::printRow({std::to_string(Shards), bench::fmtSeconds(Sec),
+                     std::to_string(Last.Stats.Exchanges),
+                     std::to_string(Last.Stats.Bytes), Last.FinalRung});
+    Json.record("shard-weak-scaling", "shards" + std::to_string(Shards),
+                Sec);
+  }
+
+  if (!Json.write())
+    return 1;
+  return 0;
+}

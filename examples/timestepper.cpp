@@ -48,7 +48,7 @@ double runSimulation(mfd::Variant V, std::vector<Box> State,
 
   auto T0 = std::chrono::steady_clock::now();
   for (int Step = 0; Step < Steps; ++Step) {
-    rt::exchangeGhosts(State, Layout, Threads);
+    rt::exchangeGhosts(State, Layout, Threads).expectOk("timestepper");
     mfd::runVariant(V, State, Next, Cfg);
     for (std::size_t I = 0; I < State.size(); ++I)
       State[I].copyInteriorFrom(Next[I]);

@@ -8,6 +8,7 @@
 #include "support/Errors.h"
 #include "support/StringUtils.h"
 
+#include <cstddef>
 #include <cstdlib>
 
 using namespace lcdfg;
@@ -28,6 +29,10 @@ std::string_view exec::faultSiteName(FaultSite Site) {
     return "input";
   case FaultSite::JitValidate:
     return "jitval";
+  case FaultSite::Peer:
+    return "peer";
+  case FaultSite::Msg:
+    return "msg";
   }
   return "none";
 }
@@ -46,6 +51,12 @@ std::string_view exec::faultKindName(FaultKind Kind) {
     return "truncate";
   case FaultKind::Reject:
     return "reject";
+  case FaultKind::Kill:
+    return "kill";
+  case FaultKind::Drop:
+    return "drop";
+  case FaultKind::Delay:
+    return "delay";
   }
   return "none";
 }
@@ -73,9 +84,13 @@ support::Expected<FaultSpec> FaultInjector::parseSpec(std::string_view Spec) {
     S.Site = FaultSite::Input;
   else if (Site == "jitval")
     S.Site = FaultSite::JitValidate;
+  else if (Site == "peer")
+    S.Site = FaultSite::Peer;
+  else if (Site == "msg")
+    S.Site = FaultSite::Msg;
   else
     return Bad("unknown site '" + std::string(Site) +
-               "' (kernel|task|modulo|input|jitval)");
+               "' (kernel|task|modulo|input|jitval|peer|msg)");
 
   std::string_view Kind = trim(Parts[1]);
   if (Kind == "throw")
@@ -88,15 +103,25 @@ support::Expected<FaultSpec> FaultInjector::parseSpec(std::string_view Spec) {
     S.Kind = FaultKind::Truncate;
   else if (Kind == "reject")
     S.Kind = FaultKind::Reject;
+  else if (Kind == "kill")
+    S.Kind = FaultKind::Kill;
+  else if (Kind == "drop")
+    S.Kind = FaultKind::Drop;
+  else if (Kind == "delay")
+    S.Kind = FaultKind::Delay;
   else
     return Bad("unknown kind '" + std::string(Kind) +
-               "' (throw|fail|corrupt|truncate|reject)");
+               "' (throw|fail|corrupt|truncate|reject|kill|drop|delay)");
 
   const bool Paired = (S.Site == FaultSite::Kernel && S.Kind == FaultKind::Throw) ||
                       (S.Site == FaultSite::Task && S.Kind == FaultKind::Fail) ||
                       (S.Site == FaultSite::Modulo && S.Kind == FaultKind::Corrupt) ||
                       (S.Site == FaultSite::Input && S.Kind == FaultKind::Truncate) ||
-                      (S.Site == FaultSite::JitValidate && S.Kind == FaultKind::Reject);
+                      (S.Site == FaultSite::JitValidate && S.Kind == FaultKind::Reject) ||
+                      (S.Site == FaultSite::Peer && S.Kind == FaultKind::Kill) ||
+                      (S.Site == FaultSite::Msg && (S.Kind == FaultKind::Drop ||
+                                                    S.Kind == FaultKind::Truncate ||
+                                                    S.Kind == FaultKind::Delay));
   if (!Paired)
     return Bad("kind '" + std::string(Kind) + "' does not apply to site '" +
                std::string(Site) + "'");
@@ -116,14 +141,28 @@ support::Expected<FaultSpec> FaultInjector::parseSpec(std::string_view Spec) {
   return S;
 }
 
+support::Expected<std::vector<FaultSpec>>
+FaultInjector::parseSpecs(std::string_view Specs) {
+  std::vector<FaultSpec> Parsed;
+  for (const std::string &Segment : split(Specs, ';')) {
+    if (trim(Segment).empty())
+      continue;
+    auto Spec = parseSpec(Segment);
+    if (!Spec)
+      return Spec.takeError();
+    Parsed.push_back(*Spec);
+  }
+  return Parsed;
+}
+
 FaultInjector &FaultInjector::global() {
   static FaultInjector *FI = [] {
     auto *Injector = new FaultInjector();
     if (const char *Env = std::getenv("LCDFG_FAULT"); Env && *Env) {
-      auto Spec = parseSpec(Env);
-      if (!Spec)
-        reportFatalError(Spec.error().toString());
-      Injector->arm(*Spec);
+      auto Specs = parseSpecs(Env);
+      if (!Specs)
+        reportFatalError(Specs.error().toString());
+      Injector->arm(std::move(*Specs));
     }
     return Injector;
   }();
@@ -131,16 +170,22 @@ FaultInjector &FaultInjector::global() {
 }
 
 void FaultInjector::arm(FaultSpec S) {
+  arm(std::vector<FaultSpec>{S});
+}
+
+void FaultInjector::arm(std::vector<FaultSpec> NewSpecs) {
   std::lock_guard<std::mutex> Lock(Mu);
-  Spec = S;
-  Hits = 0;
+  Specs.clear();
+  for (FaultSpec &S : NewSpecs)
+    if (S.Site != FaultSite::None)
+      Specs.push_back(ArmedSpec{S, 0});
   Fired = 0;
-  Armed.store(S.Site != FaultSite::None, std::memory_order_relaxed);
+  Armed.store(!Specs.empty(), std::memory_order_relaxed);
 }
 
 void FaultInjector::disarm() {
   std::lock_guard<std::mutex> Lock(Mu);
-  Spec = FaultSpec{};
+  Specs.clear();
   Armed.store(false, std::memory_order_relaxed);
 }
 
@@ -148,27 +193,43 @@ bool FaultInjector::armedFor(FaultSite Site) const {
   if (!Armed.load(std::memory_order_relaxed))
     return false;
   std::lock_guard<std::mutex> Lock(Mu);
-  return Spec.Site == Site;
+  for (const ArmedSpec &A : Specs)
+    if (A.Spec.Site == Site)
+      return true;
+  return false;
 }
 
 FaultSpec FaultInjector::spec() const {
   std::lock_guard<std::mutex> Lock(Mu);
-  return Spec;
+  return Specs.empty() ? FaultSpec{} : Specs.front().Spec;
 }
 
 bool FaultInjector::shouldFire(FaultSite Site) {
+  return fire(Site) != FaultKind::None;
+}
+
+FaultKind FaultInjector::fire(FaultSite Site) {
   if (!Armed.load(std::memory_order_relaxed))
-    return false;
+    return FaultKind::None;
   std::lock_guard<std::mutex> Lock(Mu);
-  if (Spec.Site != Site)
-    return false;
-  if (++Hits < Spec.Nth)
-    return false;
-  // One-shot: retries down the degradation ladder see a healthy system.
+  // Every matching spec counts this occurrence of the site; the first one
+  // reaching its Nth fires and disarms itself (one-shot — retries down the
+  // degradation ladder see a healthy system). Other specs stay armed.
+  FaultSpec FiredSpec;
+  for (std::size_t I = 0; I < Specs.size(); ++I) {
+    ArmedSpec &A = Specs[I];
+    if (A.Spec.Site != Site)
+      continue;
+    if (++A.Hits < A.Spec.Nth || FiredSpec.Site != FaultSite::None)
+      continue;
+    FiredSpec = A.Spec;
+    Specs.erase(Specs.begin() + static_cast<std::ptrdiff_t>(I));
+    --I;
+  }
+  if (FiredSpec.Site == FaultSite::None)
+    return FaultKind::None;
   ++Fired;
-  const FaultSpec FiredSpec = Spec;
-  Spec = FaultSpec{};
-  Armed.store(false, std::memory_order_relaxed);
+  Armed.store(!Specs.empty(), std::memory_order_relaxed);
   // Annotate the firing on the trace timeline (the tracer never calls back
   // into the injector, so taking its lock under Mu cannot invert).
   obs::Tracer &Tr = obs::Tracer::global();
@@ -179,7 +240,7 @@ bool FaultInjector::shouldFire(FaultSite Site) {
     Tr.instant(obs::SpanKind::Marker, Tr.intern(Label));
     Tr.add(obs::Counter::FaultsFired, 1);
   }
-  return true;
+  return FiredSpec.Kind;
 }
 
 unsigned FaultInjector::firedCount() const {

@@ -61,6 +61,16 @@ std::string_view obs::counterName(Counter C) {
     return "exec.jit.cache.hits";
   case Counter::JitFallbacks:
     return "exec.jit.fallbacks";
+  case Counter::ShardExchanges:
+    return "rt.shard.exchanges";
+  case Counter::ShardBytes:
+    return "rt.shard.bytes";
+  case Counter::ShardRetries:
+    return "rt.shard.retries";
+  case Counter::ShardTimeouts:
+    return "rt.shard.timeouts";
+  case Counter::ShardPeerLost:
+    return "rt.shard.peer_lost";
   case Counter::NumCounters:
     break;
   }
@@ -81,6 +91,10 @@ std::string_view obs::spanKindName(SpanKind K) {
     return "marker";
   case SpanKind::Jit:
     return "jit";
+  case SpanKind::Shard:
+    return "shard";
+  case SpanKind::Exchange:
+    return "exchange";
   }
   return "unknown";
 }

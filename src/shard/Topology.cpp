@@ -1,0 +1,80 @@
+//===- shard/Topology.cpp -------------------------------------------------===//
+
+#include "shard/Topology.h"
+
+#include <string>
+
+using namespace lcdfg;
+using namespace lcdfg::shard;
+using support::ErrorCode;
+using support::Status;
+
+int SlabPartition::ownerOfRow(int Z) const {
+  for (int R = 0; R < Shards; ++R)
+    if (Z >= firstRow(R) && Z < endRow(R))
+      return R;
+  return -1;
+}
+
+support::Expected<SlabPartition> shard::partitionRows(
+    const rt::GridLayout &Layout, int Shards) {
+  if (Shards < 1 || Shards > Layout.Bz)
+    return Status::error(ErrorCode::InvalidChain,
+                         "shard count " + std::to_string(Shards) +
+                             " must lie in [1, Bz=" +
+                             std::to_string(Layout.Bz) +
+                             "] (each rank owns whole z-rows)")
+        .withSubcode("shard-topology");
+  SlabPartition P;
+  P.Shards = Shards;
+  P.RowBegin.resize(static_cast<std::size_t>(Shards) + 1, 0);
+  const int Base = Layout.Bz / Shards;
+  const int Extra = Layout.Bz % Shards;
+  for (int R = 0; R < Shards; ++R)
+    P.RowBegin[static_cast<std::size_t>(R) + 1] =
+        P.RowBegin[static_cast<std::size_t>(R)] + Base + (R < Extra ? 1 : 0);
+  return P;
+}
+
+std::vector<int> shard::boxesInRow(const rt::GridLayout &Layout, int Z) {
+  std::vector<int> Indices;
+  Indices.reserve(static_cast<std::size_t>(Layout.By) *
+                  static_cast<std::size_t>(Layout.Bx));
+  for (int Y = 0; Y < Layout.By; ++Y)
+    for (int X = 0; X < Layout.Bx; ++X)
+      Indices.push_back(Layout.index(Z, Y, X));
+  return Indices;
+}
+
+ExchangePlan shard::buildExchangePlan(const rt::GridLayout &Layout,
+                                      const SlabPartition &Part, int Rank,
+                                      int N, int G) {
+  ExchangePlan Plan;
+  if (Part.Shards <= 1)
+    return Plan;
+  Plan.Prev = (Rank + Part.Shards - 1) % Part.Shards;
+  Plan.Next = (Rank + 1) % Part.Shards;
+
+  const int First = Part.firstRow(Rank);
+  const int Last = Part.endRow(Rank) - 1;
+  const int RowBefore = rt::GridLayout::wrap(First - 1, Layout.Bz);
+  const int RowAfter = rt::GridLayout::wrap(Last + 1, Layout.Bz);
+
+  auto Slabs = [&](int Row, int Z0) {
+    std::vector<HaloSlab> Out;
+    for (int Index : boxesInRow(Layout, Row))
+      Out.push_back(HaloSlab{Index, Z0, G});
+    return Out;
+  };
+  // A box's Z-direction ghost fill reads the facing G interior planes of
+  // the adjacent row's boxes (splitCoord maps ghost Z < 0 to source
+  // z in [N - G, N) one row down, ghost Z >= N to z in [0, G) one row up);
+  // edge/corner ghosts shift Y/X but stay within the same source row, and
+  // the slabs span the boxes' full Y/X interior, so two face slabs per
+  // adjacent-row box are exactly the remote data needed.
+  Plan.SendPrev = Slabs(First, 0);
+  Plan.SendNext = Slabs(Last, N - G);
+  Plan.RecvPrev = Slabs(RowBefore, N - G);
+  Plan.RecvNext = Slabs(RowAfter, 0);
+  return Plan;
+}

@@ -1,0 +1,86 @@
+//===- shard/Topology.h - Slab ownership and halo plans ---------*- C++ -*-===//
+//
+// Part of the lcdfg project: a reproduction of "Transforming Loop Chains via
+// Macro Dataflow Graphs" (CGO 2018).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ownership partitioning for the sharded multi-process runner: the box
+/// grid is split into contiguous slabs of whole z-rows, one slab per shard
+/// rank, arranged in a ring. Because every rank owns complete z-rows and
+/// the ghost depth never exceeds a box interior (validateGhostGrid), the
+/// only remote data a rank ever needs are G-deep z-face slabs of the boxes
+/// in the two adjacent rows — everything else a box's ghost fill reads
+/// (including edge and corner ghosts, which reach diagonal neighbors) is
+/// owned locally. buildExchangePlan enumerates exactly those slabs, in a
+/// deterministic order both ends of a channel agree on, so senders and
+/// receivers need no negotiation (docs/SHARDING.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LCDFG_SHARD_TOPOLOGY_H
+#define LCDFG_SHARD_TOPOLOGY_H
+
+#include "runtime/GhostExchange.h"
+#include "support/Status.h"
+
+#include <vector>
+
+namespace lcdfg {
+namespace shard {
+
+/// Contiguous z-row slab ownership: rank r owns z-rows
+/// [RowBegin[r], RowBegin[r+1]) of the layout's Bz rows.
+struct SlabPartition {
+  int Shards = 1;
+  std::vector<int> RowBegin; ///< Size Shards + 1; RowBegin[0] == 0.
+
+  int firstRow(int Rank) const { return RowBegin[static_cast<std::size_t>(Rank)]; }
+  int endRow(int Rank) const { return RowBegin[static_cast<std::size_t>(Rank) + 1]; }
+  int rowsOf(int Rank) const { return endRow(Rank) - firstRow(Rank); }
+  int ownerOfRow(int Z) const;
+};
+
+/// Balanced partition of the layout's Bz z-rows over \p Shards ranks
+/// (every rank gets Bz/Shards rows, the first Bz%Shards ranks one extra).
+/// Requires 1 <= Shards <= Layout.Bz; violations return E002 with a
+/// "shard-topology" subcode.
+support::Expected<SlabPartition> partitionRows(const rt::GridLayout &Layout,
+                                               int Shards);
+
+/// One halo slab: interior z-planes [Z0, Z0 + ZCount) of box BoxIndex,
+/// full Y/X interior extent, every component. Z0 is 0 for a LOW face and
+/// N - G for a HIGH face.
+struct HaloSlab {
+  int BoxIndex = 0;
+  int Z0 = 0;
+  int ZCount = 0;
+};
+
+/// Everything rank \p Rank exchanges each step. Send slabs are cut from
+/// owned boxes; receive slabs land in (unowned) adjacent-row boxes. With
+/// two shards Prev == Next: both lists still travel distinct channels.
+/// A single shard has no peers and all lists are empty.
+struct ExchangePlan {
+  int Prev = -1;
+  int Next = -1;
+  std::vector<HaloSlab> SendPrev; ///< LOW faces of my first row's boxes.
+  std::vector<HaloSlab> SendNext; ///< HIGH faces of my last row's boxes.
+  std::vector<HaloSlab> RecvPrev; ///< HIGH faces of the row before mine.
+  std::vector<HaloSlab> RecvNext; ///< LOW faces of the row after mine.
+};
+
+/// Builds rank \p Rank's exchange plan for boxes of interior extent \p N
+/// and ghost depth \p G under \p Part.
+ExchangePlan buildExchangePlan(const rt::GridLayout &Layout,
+                               const SlabPartition &Part, int Rank, int N,
+                               int G);
+
+/// The box indices of z-row \p Z in Layout::index order.
+std::vector<int> boxesInRow(const rt::GridLayout &Layout, int Z);
+
+} // namespace shard
+} // namespace lcdfg
+
+#endif // LCDFG_SHARD_TOPOLOGY_H

@@ -48,6 +48,10 @@ std::string_view support::errorCodeName(ErrorCode Code) {
     return "E016-mem-budget-infeasible";
   case ErrorCode::JitUnavailable:
     return "E017-jit-unavailable";
+  case ErrorCode::PeerLost:
+    return "E018-peer-lost";
+  case ErrorCode::ExchangeTimeout:
+    return "E019-exchange-timeout";
   }
   return "E015-internal";
 }

@@ -72,6 +72,15 @@ enum class ErrorCode {
                      ///  (no host compiler, cache dir unwritable, dlopen
                      ///  failure). Always recoverable: the ladder falls
                      ///  back to the interpreted batched path (L008).
+  PeerLost,          ///< E018: a shard peer process died mid-protocol
+                     ///  (EOF/reset on its channel, or the coordinator
+                     ///  reaped the child). Recoverable: the coordinator
+                     ///  restores the pre-step snapshot and re-runs
+                     ///  single-process (L009).
+  ExchangeTimeout,   ///< E019: a ghost exchange missed its deadline
+                     ///  (LCDFG_SHARD_TIMEOUT_MS) after bounded resend
+                     ///  retries, or every retransmit of a frame arrived
+                     ///  truncated/corrupt. Recoverable like E018 (L009).
 };
 
 /// Stable "E0xx-name" string for \p Code.

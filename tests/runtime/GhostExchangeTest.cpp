@@ -48,7 +48,7 @@ TEST(GhostExchange, FillsGhostsFromNeighbors) {
   GridLayout L{2, 2, 2};
   const int N = 4, G = 2;
   std::vector<Box> Boxes = makeGrid(L, N, G, 2);
-  rt::exchangeGhosts(Boxes, L);
+  ASSERT_TRUE(rt::exchangeGhosts(Boxes, L).isOk());
 
   // Every ghost cell of every box holds the periodic global field value.
   int GlobalN = 2 * N;
@@ -74,7 +74,7 @@ TEST(GhostExchange, SingleBoxIsSelfPeriodic) {
   GridLayout L{1, 1, 1};
   const int N = 4, G = 2;
   std::vector<Box> Boxes = makeGrid(L, N, G, 1);
-  rt::exchangeGhosts(Boxes, L);
+  ASSERT_TRUE(rt::exchangeGhosts(Boxes, L).isOk());
   // Ghost at -1 wraps to interior N-1.
   EXPECT_EQ(Boxes[0].at(0, 0, 0, -1), Boxes[0].at(0, 0, 0, N - 1));
   EXPECT_EQ(Boxes[0].at(0, N, 0, 0), Boxes[0].at(0, 0, 0, 0));
@@ -85,14 +85,81 @@ TEST(GhostExchange, ParallelMatchesSerial) {
   GridLayout L{2, 2, 1};
   std::vector<Box> A = makeGrid(L, 4, 2, 3);
   std::vector<Box> B = A;
-  rt::exchangeGhosts(A, L, 1);
-  rt::exchangeGhosts(B, L, 4);
+  ASSERT_TRUE(rt::exchangeGhosts(A, L, 1).isOk());
+  ASSERT_TRUE(rt::exchangeGhosts(B, L, 4).isOk());
   for (std::size_t I = 0; I < A.size(); ++I)
     for (int C = 0; C < 3; ++C)
       for (int Z = -2; Z < 6; ++Z)
         for (int Y = -2; Y < 6; ++Y)
           for (int X = -2; X < 6; ++X)
             ASSERT_EQ(A[I].at(C, Z, Y, X), B[I].at(C, Z, Y, X));
+}
+
+TEST(GhostExchange, ThreadSweepIsBitIdentical) {
+  // T in {1,2,4} must produce bit-identical grids: each ghost cell has a
+  // single writer, so thread count cannot change any result bit.
+  GridLayout L{2, 2, 2};
+  const int N = 4, G = 2, Comps = 2;
+  std::vector<Box> Ref = makeGrid(L, N, G, Comps);
+  ASSERT_TRUE(rt::exchangeGhosts(Ref, L, 1).isOk());
+  for (int T : {2, 4}) {
+    std::vector<Box> Grid = makeGrid(L, N, G, Comps);
+    ASSERT_TRUE(rt::exchangeGhosts(Grid, L, T).isOk());
+    for (std::size_t I = 0; I < Ref.size(); ++I)
+      for (int C = 0; C < Comps; ++C)
+        for (int Z = -G; Z < N + G; ++Z)
+          for (int Y = -G; Y < N + G; ++Y)
+            for (int X = -G; X < N + G; ++X)
+              ASSERT_EQ(Ref[I].at(C, Z, Y, X), Grid[I].at(C, Z, Y, X))
+                  << "T=" << T << " box " << I;
+  }
+}
+
+TEST(GhostExchange, SingleBoxFullDepthSelfExchange) {
+  // 1x1x1 periodic self-exchange at the deepest legal ghost depth (G == N):
+  // every ghost coordinate wraps back into this box's own interior.
+  GridLayout L{1, 1, 1};
+  const int N = 3, G = 3;
+  std::vector<Box> Boxes = makeGrid(L, N, G, 1);
+  ASSERT_TRUE(rt::exchangeGhosts(Boxes, L).isOk());
+  const Box &B = Boxes[0];
+  for (int Z = -G; Z < N + G; ++Z)
+    for (int Y = -G; Y < N + G; ++Y)
+      for (int X = -G; X < N + G; ++X)
+        ASSERT_EQ(B.at(0, Z, Y, X),
+                  fieldValue(0, GridLayout::wrap(Z, N), GridLayout::wrap(Y, N),
+                             GridLayout::wrap(X, N)))
+            << Z << "," << Y << "," << X;
+}
+
+TEST(GhostExchange, RejectsGhostDeeperThanInterior) {
+  GridLayout L{1, 1, 1};
+  std::vector<Box> Boxes;
+  Boxes.emplace_back(/*Size=*/2, /*Ghost=*/3, /*Comps=*/1);
+  support::Status S = rt::exchangeGhosts(Boxes, L);
+  ASSERT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), support::ErrorCode::InvalidChain);
+  EXPECT_EQ(S.subcode(), "ghost-grid");
+}
+
+TEST(GhostExchange, RejectsBoxCountMismatch) {
+  GridLayout L{2, 1, 1};
+  std::vector<Box> Boxes;
+  Boxes.emplace_back(4, 1, 1);
+  support::Status S = rt::exchangeGhosts(Boxes, L);
+  ASSERT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), support::ErrorCode::InvalidChain);
+}
+
+TEST(GhostExchange, RejectsHeterogeneousBoxes) {
+  GridLayout L{2, 1, 1};
+  std::vector<Box> Boxes;
+  Boxes.emplace_back(4, 1, 1);
+  Boxes.emplace_back(4, 2, 1); // ghost depth differs from box 0
+  support::Status S = rt::exchangeGhosts(Boxes, L);
+  ASSERT_FALSE(S.isOk());
+  EXPECT_EQ(S.code(), support::ErrorCode::InvalidChain);
+  EXPECT_NE(S.message().find("box 1"), std::string::npos);
 }
 
 TEST(GhostExchange, TimeSteppingVariantsStayConsistent) {
@@ -110,12 +177,12 @@ TEST(GhostExchange, TimeSteppingVariantsStayConsistent) {
   mfd::RunConfig Cfg;
 
   for (int Step = 0; Step < 3; ++Step) {
-    rt::exchangeGhosts(StateA, L);
+    ASSERT_TRUE(rt::exchangeGhosts(StateA, L).isOk());
     mfd::runVariant(mfd::Variant::SeriesReduced, StateA, Next, Cfg);
     for (int I = 0; I < P.NumBoxes; ++I)
       StateA[I].copyInteriorFrom(Next[I]);
 
-    rt::exchangeGhosts(StateB, L);
+    ASSERT_TRUE(rt::exchangeGhosts(StateB, L).isOk());
     mfd::runVariant(mfd::Variant::FuseAllReduced, StateB, Next, Cfg);
     for (int I = 0; I < P.NumBoxes; ++I)
       StateB[I].copyInteriorFrom(Next[I]);

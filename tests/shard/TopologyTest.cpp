@@ -1,0 +1,173 @@
+//===- tests/shard/TopologyTest.cpp ---------------------------------------===//
+//
+// Slab ownership and exchange-plan enumeration: the sharded runner's
+// correctness rests on both ends of a channel deriving the same slab list
+// without negotiation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/Topology.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+namespace {
+
+using namespace lcdfg;
+using namespace lcdfg::shard;
+
+std::vector<int> boxIndices(const std::vector<HaloSlab> &Slabs) {
+  std::vector<int> Out;
+  for (const HaloSlab &S : Slabs)
+    Out.push_back(S.BoxIndex);
+  return Out;
+}
+
+TEST(SlabPartition, BalancesRowsWithRemainderAtTheFront) {
+  rt::GridLayout Layout{8, 2, 3};
+  auto Part = partitionRows(Layout, 3);
+  ASSERT_TRUE(Part);
+  EXPECT_EQ(Part->Shards, 3);
+  const std::vector<int> Expect{0, 3, 6, 8};
+  EXPECT_EQ(Part->RowBegin, Expect);
+  EXPECT_EQ(Part->rowsOf(0), 3);
+  EXPECT_EQ(Part->rowsOf(1), 3);
+  EXPECT_EQ(Part->rowsOf(2), 2);
+}
+
+TEST(SlabPartition, OwnerOfRowInvertsTheBounds) {
+  rt::GridLayout Layout{5, 1, 1};
+  auto Part = partitionRows(Layout, 2);
+  ASSERT_TRUE(Part);
+  for (int Z = 0; Z < Layout.Bz; ++Z) {
+    const int Rank = Part->ownerOfRow(Z);
+    ASSERT_GE(Rank, 0) << "row " << Z << " unowned";
+    EXPECT_LE(Part->firstRow(Rank), Z);
+    EXPECT_LT(Z, Part->endRow(Rank));
+  }
+}
+
+TEST(SlabPartition, EveryRowOwnedExactlyOnce) {
+  rt::GridLayout Layout{7, 1, 1};
+  auto Part = partitionRows(Layout, 4);
+  ASSERT_TRUE(Part);
+  int Covered = 0;
+  for (int R = 0; R < Part->Shards; ++R) {
+    EXPECT_GE(Part->rowsOf(R), 1);
+    Covered += Part->rowsOf(R);
+  }
+  EXPECT_EQ(Covered, Layout.Bz);
+  EXPECT_EQ(Part->RowBegin.front(), 0);
+  EXPECT_EQ(Part->RowBegin.back(), Layout.Bz);
+}
+
+TEST(SlabPartition, RejectsImpossibleShardCounts) {
+  rt::GridLayout Layout{4, 2, 2};
+  auto Zero = partitionRows(Layout, 0);
+  ASSERT_FALSE(Zero);
+  support::Status E = Zero.takeError();
+  EXPECT_EQ(E.code(), support::ErrorCode::InvalidChain);
+  EXPECT_EQ(E.subcode(), "shard-topology");
+
+  auto Over = partitionRows(Layout, 5);
+  ASSERT_FALSE(Over);
+  EXPECT_EQ(Over.takeError().subcode(), "shard-topology");
+}
+
+TEST(ExchangePlan, SingleShardHasNoPeersAndNoSlabs) {
+  rt::GridLayout Layout{4, 2, 2};
+  auto Part = partitionRows(Layout, 1);
+  ASSERT_TRUE(Part);
+  ExchangePlan Plan = buildExchangePlan(Layout, *Part, 0, 4, 1);
+  EXPECT_EQ(Plan.Prev, -1);
+  EXPECT_EQ(Plan.Next, -1);
+  EXPECT_TRUE(Plan.SendPrev.empty());
+  EXPECT_TRUE(Plan.SendNext.empty());
+  EXPECT_TRUE(Plan.RecvPrev.empty());
+  EXPECT_TRUE(Plan.RecvNext.empty());
+}
+
+TEST(ExchangePlan, SlabsCoverAdjacentRowFaces) {
+  rt::GridLayout Layout{4, 2, 2};
+  auto Part = partitionRows(Layout, 2);
+  ASSERT_TRUE(Part);
+  const int N = 4, G = 1;
+  ExchangePlan Plan = buildExchangePlan(Layout, *Part, 0, N, G);
+  EXPECT_EQ(Plan.Prev, 1);
+  EXPECT_EQ(Plan.Next, 1);
+
+  // Rank 0 owns rows 0-1: LOW faces of row 0 go to prev, HIGH faces of
+  // row 1 go to next; it receives HIGH faces of row 3 and LOW of row 2.
+  EXPECT_EQ(boxIndices(Plan.SendPrev), boxesInRow(Layout, 0));
+  EXPECT_EQ(boxIndices(Plan.SendNext), boxesInRow(Layout, 1));
+  EXPECT_EQ(boxIndices(Plan.RecvPrev), boxesInRow(Layout, 3));
+  EXPECT_EQ(boxIndices(Plan.RecvNext), boxesInRow(Layout, 2));
+  for (const HaloSlab &S : Plan.SendPrev) {
+    EXPECT_EQ(S.Z0, 0);
+    EXPECT_EQ(S.ZCount, G);
+  }
+  for (const HaloSlab &S : Plan.SendNext) {
+    EXPECT_EQ(S.Z0, N - G);
+    EXPECT_EQ(S.ZCount, G);
+  }
+  for (const HaloSlab &S : Plan.RecvPrev)
+    EXPECT_EQ(S.Z0, N - G);
+  for (const HaloSlab &S : Plan.RecvNext)
+    EXPECT_EQ(S.Z0, 0);
+}
+
+TEST(ExchangePlan, SendAndRecvListsPairUpAcrossTheRing) {
+  // Rank r's SendNext must be exactly rank (r+1)'s RecvPrev, and its
+  // SendPrev exactly rank (r-1)'s RecvNext — both ends enumerate the same
+  // slabs without negotiation.
+  rt::GridLayout Layout{5, 2, 1};
+  auto Part = partitionRows(Layout, 3);
+  ASSERT_TRUE(Part);
+  const int N = 3, G = 2;
+  std::vector<ExchangePlan> Plans;
+  for (int R = 0; R < 3; ++R)
+    Plans.push_back(buildExchangePlan(Layout, *Part, R, N, G));
+  for (int R = 0; R < 3; ++R) {
+    const ExchangePlan &Mine = Plans[static_cast<std::size_t>(R)];
+    const ExchangePlan &Nxt = Plans[static_cast<std::size_t>((R + 1) % 3)];
+    ASSERT_EQ(Mine.SendNext.size(), Nxt.RecvPrev.size());
+    for (std::size_t I = 0; I < Mine.SendNext.size(); ++I) {
+      EXPECT_EQ(Mine.SendNext[I].BoxIndex, Nxt.RecvPrev[I].BoxIndex);
+      EXPECT_EQ(Mine.SendNext[I].Z0, Nxt.RecvPrev[I].Z0);
+      EXPECT_EQ(Mine.SendNext[I].ZCount, Nxt.RecvPrev[I].ZCount);
+    }
+    const ExchangePlan &Prv = Plans[static_cast<std::size_t>((R + 2) % 3)];
+    ASSERT_EQ(Mine.SendPrev.size(), Prv.RecvNext.size());
+    for (std::size_t I = 0; I < Mine.SendPrev.size(); ++I)
+      EXPECT_EQ(Mine.SendPrev[I].BoxIndex, Prv.RecvNext[I].BoxIndex);
+  }
+}
+
+TEST(ExchangePlan, SingleRowRankSendsTheSameRowBothWays) {
+  // Bz == Shards: every rank owns one row; with two shards Prev == Next
+  // and the same row's LOW and HIGH faces travel distinct channels.
+  rt::GridLayout Layout{2, 1, 2};
+  auto Part = partitionRows(Layout, 2);
+  ASSERT_TRUE(Part);
+  const int N = 4, G = 1;
+  ExchangePlan Plan = buildExchangePlan(Layout, *Part, 0, N, G);
+  EXPECT_EQ(Plan.Prev, 1);
+  EXPECT_EQ(Plan.Next, 1);
+  EXPECT_EQ(boxIndices(Plan.SendPrev), boxesInRow(Layout, 0));
+  EXPECT_EQ(boxIndices(Plan.SendNext), boxesInRow(Layout, 0));
+  EXPECT_EQ(boxIndices(Plan.RecvPrev), boxesInRow(Layout, 1));
+  EXPECT_EQ(boxIndices(Plan.RecvNext), boxesInRow(Layout, 1));
+  EXPECT_NE(Plan.SendPrev.front().Z0, Plan.SendNext.front().Z0);
+}
+
+TEST(BoxesInRow, FollowsLayoutIndexOrder) {
+  rt::GridLayout Layout{3, 2, 2};
+  const std::vector<int> Row1 = boxesInRow(Layout, 1);
+  const std::vector<int> Expect{Layout.index(1, 0, 0), Layout.index(1, 0, 1),
+                                Layout.index(1, 1, 0), Layout.index(1, 1, 1)};
+  EXPECT_EQ(Row1, Expect);
+  EXPECT_TRUE(std::is_sorted(Row1.begin(), Row1.end()));
+}
+
+} // namespace
