@@ -33,6 +33,8 @@ std::string_view exec::faultSiteName(FaultSite Site) {
     return "peer";
   case FaultSite::Msg:
     return "msg";
+  case FaultSite::Serve:
+    return "serve";
   }
   return "none";
 }
@@ -88,9 +90,11 @@ support::Expected<FaultSpec> FaultInjector::parseSpec(std::string_view Spec) {
     S.Site = FaultSite::Peer;
   else if (Site == "msg")
     S.Site = FaultSite::Msg;
+  else if (Site == "serve")
+    S.Site = FaultSite::Serve;
   else
     return Bad("unknown site '" + std::string(Site) +
-               "' (kernel|task|modulo|input|jitval|peer|msg)");
+               "' (kernel|task|modulo|input|jitval|peer|msg|serve)");
 
   std::string_view Kind = trim(Parts[1]);
   if (Kind == "throw")
@@ -121,7 +125,11 @@ support::Expected<FaultSpec> FaultInjector::parseSpec(std::string_view Spec) {
                       (S.Site == FaultSite::Peer && S.Kind == FaultKind::Kill) ||
                       (S.Site == FaultSite::Msg && (S.Kind == FaultKind::Drop ||
                                                     S.Kind == FaultKind::Truncate ||
-                                                    S.Kind == FaultKind::Delay));
+                                                    S.Kind == FaultKind::Delay)) ||
+                      (S.Site == FaultSite::Serve &&
+                       (S.Kind == FaultKind::Drop ||
+                        S.Kind == FaultKind::Truncate ||
+                        S.Kind == FaultKind::Delay));
   if (!Paired)
     return Bad("kind '" + std::string(Kind) + "' does not apply to site '" +
                std::string(Site) + "'");

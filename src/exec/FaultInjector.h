@@ -34,6 +34,16 @@
 ///                      before sending (past the exchange deadline by
 ///                      default -> E019; a short delay exercises the
 ///                      recoverable resend path instead)
+///   serve   drop       the daemon closes one client connection before
+///                      writing any response byte (the client observes
+///                      EOF -> E018); other connections are untouched
+///   serve   truncate   the daemon writes roughly half of one response
+///                      line and closes mid-frame (the client sees an
+///                      unterminated/corrupt frame -> E020)
+///   serve   delay      the daemon stalls LCDFG_SERVE_DELAY_MS inside one
+///                      response write — the server-side slow-loris; a
+///                      stall past the client deadline is E019, a short
+///                      one is absorbed
 ///
 /// Faults are one-shot: a spec disarms itself when it fires, so a
 /// degradation-ladder retry observes a healthy system — recovery from a
@@ -70,7 +80,7 @@ namespace exec {
 struct ExecutionPlan;
 
 /// Where a fault strikes.
-enum class FaultSite { None, Kernel, Task, Modulo, Input, JitValidate, Peer, Msg };
+enum class FaultSite { None, Kernel, Task, Modulo, Input, JitValidate, Peer, Msg, Serve };
 /// What the fault does at its site.
 enum class FaultKind { None, Throw, Fail, Corrupt, Truncate, Reject, Kill, Drop, Delay };
 

@@ -429,11 +429,14 @@ constexpr std::size_t RedzonePad = 16;
 /// Recognizable canary value; any overwrite (including NaN) trips it.
 constexpr double RedzoneCanary = -6.02214076e123;
 
-/// Concrete footprint model for the untiled parallel path: space sizes
-/// from the store, per-task touch sets from the plan's statement streams.
+} // namespace
+
+// Concrete footprint model for the untiled parallel path (and, exported,
+// for the serving layer's admission control): space sizes from the store,
+// per-task touch sets from the plan's statement streams.
 storage::FootprintTracker
-buildFootprintTracker(const ExecutionPlan &Plan,
-                      const storage::ConcreteStorage &Store) {
+exec::buildFootprintTracker(const ExecutionPlan &Plan,
+                            const storage::ConcreteStorage &Store) {
   std::vector<storage::FootprintTracker::SpaceInfo> Spaces(Plan.NumSpaces);
   for (std::size_t S = 0; S < Plan.NumSpaces; ++S) {
     Spaces[S].Bytes =
@@ -451,6 +454,8 @@ buildFootprintTracker(const ExecutionPlan &Plan,
   }
   return storage::FootprintTracker(std::move(Spaces), std::move(TaskSpaces));
 }
+
+namespace {
 
 /// Raises E016 when a budget was requested on a path that cannot honor it
 /// (anything but the untiled list-scheduled run). Refusing loudly beats a

@@ -21,6 +21,7 @@
 
 #include "codegen/Interpreter.h"
 #include "exec/ExecutionPlan.h"
+#include "storage/LivenessAllocator.h"
 
 #include <cstdint>
 #include <string>
@@ -185,6 +186,16 @@ PlanStats runPlan(const ExecutionPlan &Plan,
 /// Convenience for plans consisting solely of external tasks (no kernels,
 /// no storage).
 PlanStats runPlan(const ExecutionPlan &Plan, const RunOptions &Opts = {});
+
+/// Concrete footprint model of \p Plan against \p Store: space sizes from
+/// the store's backing buffers, per-task touch sets from the plan's
+/// statement streams. The list scheduler builds one per budgeted run; the
+/// serving layer builds one per cached plan so admission control can
+/// charge a request its serial high-water bytes before any buffer is
+/// allocated.
+storage::FootprintTracker
+buildFootprintTracker(const ExecutionPlan &Plan,
+                      const storage::ConcreteStorage &Store);
 
 } // namespace exec
 } // namespace lcdfg

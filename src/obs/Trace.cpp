@@ -71,6 +71,16 @@ std::string_view obs::counterName(Counter C) {
     return "rt.shard.timeouts";
   case Counter::ShardPeerLost:
     return "rt.shard.peer_lost";
+  case Counter::ServeRequests:
+    return "serve.requests";
+  case Counter::ServeCacheHits:
+    return "serve.cache.hits";
+  case Counter::ServeCacheMisses:
+    return "serve.cache.misses";
+  case Counter::ServeEvictions:
+    return "serve.cache.evictions";
+  case Counter::ServeErrors:
+    return "serve.errors";
   case Counter::NumCounters:
     break;
   }

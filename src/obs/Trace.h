@@ -95,6 +95,18 @@ enum class Counter : unsigned {
                    ///  (terminal E019 events, before recovery).
   ShardPeerLost,   ///< rt.shard.peer_lost: peer processes lost
                    ///  mid-protocol (terminal E018 events).
+  ServeRequests,   ///< serve.requests: request lines the daemon accepted
+                   ///  for processing (commands and compile+run alike).
+  ServeCacheHits,  ///< serve.cache.hits: compile+run requests served from
+                   ///  a cached compiled plan.
+  ServeCacheMisses,///< serve.cache.misses: compile+run requests that
+                   ///  compiled fresh (including cache bypasses and
+                   ///  compiles that failed).
+  ServeEvictions,  ///< serve.cache.evictions: compiled plans evicted by
+                   ///  the LRU policy to admit a new entry.
+  ServeErrors,     ///< serve.errors: responses sent with "ok":false
+                   ///  (protocol violations, compile errors, exhausted
+                   ///  ladders, admission rejections).
   NumCounters
 };
 

@@ -52,6 +52,8 @@ std::string_view support::errorCodeName(ErrorCode Code) {
     return "E018-peer-lost";
   case ErrorCode::ExchangeTimeout:
     return "E019-exchange-timeout";
+  case ErrorCode::Protocol:
+    return "E020-protocol";
   }
   return "E015-internal";
 }

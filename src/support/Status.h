@@ -81,6 +81,13 @@ enum class ErrorCode {
                      ///  (LCDFG_SHARD_TIMEOUT_MS) after bounded resend
                      ///  retries, or every retransmit of a frame arrived
                      ///  truncated/corrupt. Recoverable like E018 (L009).
+  Protocol,          ///< E020: a serve-protocol framing violation — an
+                     ///  oversized or unterminated request line, text that
+                     ///  is not a JSON object, a field of the wrong type,
+                     ///  an unknown command, or a response the client
+                     ///  could not parse back. Always scoped to the one
+                     ///  request (or connection) that violated the
+                     ///  grammar; the daemon keeps serving.
 };
 
 /// Stable "E0xx-name" string for \p Code.

@@ -21,8 +21,15 @@
 #                          # shards (each must descend to L009 with
 #                          # bit-identical recovery), clean 1/2/4-shard
 #                          # drills, and the overlap window under TSan
+#   tools/ci.sh serve      # plan-serving daemon: protocol/cache/fault
+#                          # suites + the 5k soak under ASan+UBSan, the
+#                          # connection-multiplexing paths under TSan at
+#                          # LCDFG_THREADS=2 and 4, and a process-level
+#                          # fault matrix (lcdfg-serve + lcdfg-load --raw)
+#                          # grepping the documented E/L codes
 #   tools/ci.sh tidy       # clang-tidy over src/ (skips if tool absent)
-#   tools/ci.sh coverage   # line-coverage report over src/{exec,verify,obs,jit}
+#   tools/ci.sh coverage   # line-coverage report over
+#                          # src/{exec,verify,obs,jit,serve}
 #
 # The tsan stage additionally re-runs the execution-layer and
 # observability tests across the scheduler matrix — LCDFG_SCHED in
@@ -47,7 +54,9 @@
 # timings against the committed BENCH_*.json baselines with
 # tools/bench_compare: any row more than BENCH_TOL (default 0.15 = 15%)
 # slower than its baseline fails the stage. bench_fig6_large is excluded
-# (longest run, same code paths). Set BENCH_GATE=off to skip the gate on
+# (longest run, same code paths); bench_serve gates at the looser
+# BENCH_SERVE_TOL (default 0.5) because request latencies jitter more
+# than compute-bound rows. Set BENCH_GATE=off to skip the gate on
 # machines whose timings are not comparable to the committed baselines.
 #
 # The jit stage exercises the host-compiler kernel backend end to end:
@@ -81,12 +90,12 @@
 # with a visible notice, not a failure — when clang-tidy is absent.
 #
 # The coverage stage rebuilds the library with --coverage, runs the
-# test_exec / test_verify / test_kernel_verify / test_obs / test_jit
-# suites, and aggregates
-# gcov line coverage per instrumented directory; src/obs (the
-# observability layer this repo's traces and counters hang off), src/verify
-# (the legality gate) and src/jit (the kernel-compilation backend) must
-# each stay at >= 80% lines.
+# test_exec / test_verify / test_kernel_verify / test_obs / test_jit /
+# test_serve suites, and aggregates gcov line coverage per instrumented
+# directory; src/obs (the observability layer this repo's traces and
+# counters hang off), src/verify (the legality gate), src/jit (the
+# kernel-compilation backend), and src/serve (the plan-serving daemon)
+# must each stay at >= 80% lines.
 #
 #===------------------------------------------------------------------------===#
 
@@ -96,7 +105,8 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 PRESETS=("$@")
 if [ ${#PRESETS[@]} -eq 0 ]; then
-  PRESETS=(default tsan ubsan bench verify faults jit shard tidy coverage)
+  PRESETS=(default tsan ubsan bench verify faults jit shard serve tidy
+    coverage)
 fi
 
 bench_smoke() {
@@ -126,6 +136,16 @@ bench_gate() {
     ./build-bench/tools/bench_compare --tolerance="${TOL}" \
       "BENCH_${NAME}.json" "${JSON}"
   done
+  # The serving rows gate at a looser tolerance (BENCH_SERVE_TOL,
+  # default 0.5): sub-millisecond request latencies jitter far more
+  # than the kernel benches' compute-bound rows, and the row that
+  # matters most — warm staying two orders under cold — is asserted
+  # unconditionally inside bench_serve itself.
+  JSON="build-bench/BENCH_serve_fresh.json"
+  BENCH_JSON="${JSON}" BENCH_COMMIT="${COMMIT}" \
+    ./build-bench/bench/bench_serve >/dev/null
+  ./build-bench/tools/bench_compare \
+    --tolerance="${BENCH_SERVE_TOL:-0.5}" BENCH_serve.json "${JSON}"
   echo "bench gate: fresh timings within ${TOL} of committed baselines"
 }
 
@@ -134,9 +154,9 @@ bench_gate() {
 # when a floored directory (src/obs, src/verify) drops below its floor.
 coverage_report() {
   local OBJ=build-cov/src/CMakeFiles/lcdfg.dir
-  declare -A FLOORS=([obs]=80.0 [verify]=80.0 [jit]=80.0)
+  declare -A FLOORS=([obs]=80.0 [verify]=80.0 [jit]=80.0 [serve]=80.0)
   local DIR PCT FLOOR FAIL=0
-  for DIR in exec verify obs jit; do
+  for DIR in exec verify obs jit serve; do
     # gcov resolves sources from the .gcda files themselves (CMake's
     # <file>.cpp.gcda naming defeats gcov's -o source lookup).
     # Only count the summary line directly under a matching File header:
@@ -268,6 +288,62 @@ fault_campaign() {
     LCDFG_THREADS="${T}" ./build-tsan/tests/test_exec \
       --gtest_filter='Recovery.*:FaultInjector.*:FaultSpecParse.*:ThreadPool.*:TaskGraph.*'
   done
+}
+
+# One process-level serve fault row: start lcdfg-serve with LCDFG_FAULT
+# in its environment, drive one --raw request through lcdfg-load, and
+# grep the expected code — an E-code in the client-side status for the
+# transport faults, the L002 descent inside an ok response for an
+# execution fault the daemon's ladder absorbs. A follow-up clean request
+# against the same daemon then proves per-request isolation: the fault
+# poisoned one request, not the process.
+serve_fault_row() {
+  local FAULT="$1" EXPECT="$2" TIMEOUT="$3" OUT
+  local SOCK="/tmp/lcdfg-ci-serve-$$-${RANDOM}.sock" PID I
+  local REQ='{"chain":"#pragma omplc for domain(0:N) with (x) write OUT{(x)} read IN{(x)}\nS: OUT(x) = g(IN(x));\n","size":16,"threads":2,"checksum":true}'
+  rm -f "${SOCK}"
+  LCDFG_FAULT="${FAULT}" ./build/tools/lcdfg-serve --unix="${SOCK}" \
+    >/dev/null 2>&1 &
+  PID=$!
+  for I in $(seq 1 100); do [ -S "${SOCK}" ] && break; sleep 0.1; done
+  OUT="$(./build/tools/lcdfg-load --unix="${SOCK}" \
+         --timeout-ms="${TIMEOUT}" --raw="${REQ}")"
+  if ! grep -q "${EXPECT}" <<<"${OUT}"; then
+    kill "${PID}" 2>/dev/null || true
+    echo "serve fault ${FAULT}: expected ${EXPECT}: ${OUT}" >&2
+    return 1
+  fi
+  OUT="$(./build/tools/lcdfg-load --unix="${SOCK}" --timeout-ms=30000 \
+         --raw="${REQ}")"
+  kill "${PID}" 2>/dev/null
+  wait "${PID}" 2>/dev/null || true
+  if ! grep -q '"ok":true' <<<"${OUT}"; then
+    echo "serve fault ${FAULT}: daemon did not keep serving: ${OUT}" >&2
+    return 1
+  fi
+  echo "serve fault ${FAULT}: [${EXPECT}], daemon kept serving"
+}
+
+# Plan-serving gate: the protocol/cache/fault suites and the full 5k
+# randomized soak under ASan+UBSan (the acceptance run — zero restarts,
+# bit-identical warm-vs-cold), the connection-multiplexing and shared-
+# pool paths under TSan with the worker pool pinned small (the soak is
+# excluded there: 5k requests under the race detector would dominate the
+# whole CI run; the protocol suite's concurrent-client tests cover the
+# same interleavings), then the process-level fault matrix.
+serve_stage() {
+  ./build-asan/tests/test_serve
+  local T
+  for T in 2 4; do
+    echo "== serve: tsan suite with LCDFG_THREADS=${T} =="
+    LCDFG_THREADS="${T}" ./build-tsan/tests/test_serve \
+      --gtest_filter='-ServeSoak.*'
+  done
+  serve_fault_row serve:drop E018-peer-lost 30000
+  serve_fault_row serve:truncate E020-protocol 30000
+  LCDFG_SERVE_DELAY_MS=2000 \
+    serve_fault_row serve:delay E019-exchange-timeout 300
+  serve_fault_row kernel:throw L002-worker-exception 30000
 }
 
 # JIT backend gate: suite runs under two builds, then cache hygiene and
@@ -434,6 +510,17 @@ for PRESET in "${PRESETS[@]}"; do
     shard_stage
     continue
   fi
+  if [ "${PRESET}" = serve ]; then
+    cmake --preset asan
+    cmake --build --preset asan -j "${JOBS}" --target test_serve
+    cmake --preset tsan
+    cmake --build --preset tsan -j "${JOBS}" --target test_serve
+    cmake --preset default
+    cmake --build --preset default -j "${JOBS}" --target lcdfg-serve \
+      lcdfg-load
+    serve_stage
+    continue
+  fi
   if [ "${PRESET}" = ubsan ]; then
     cmake --preset ubsan
     cmake --build --preset ubsan -j "${JOBS}"
@@ -451,7 +538,8 @@ for PRESET in "${PRESETS[@]}"; do
   if [ "${PRESET}" = coverage ]; then
     cmake --preset coverage
     cmake --build --preset coverage -j "${JOBS}" \
-      --target test_exec test_verify test_kernel_verify test_obs test_jit
+      --target test_exec test_verify test_kernel_verify test_obs test_jit \
+      test_serve
     # Stale counters from a previous run would dilute the report.
     find build-cov -name '*.gcda' -delete
     ./build-cov/tests/test_exec
@@ -459,6 +547,7 @@ for PRESET in "${PRESETS[@]}"; do
     ./build-cov/tests/test_kernel_verify
     ./build-cov/tests/test_obs
     ./build-cov/tests/test_jit
+    ./build-cov/tests/test_serve
     coverage_report
     continue
   fi
